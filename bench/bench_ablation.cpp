@@ -1,0 +1,101 @@
+// Ablation study for the design choices of the three algorithms (DESIGN.md):
+//  * Hyperplane: <=2n base case on/off; cos^2 dimension preference on/off.
+//  * k-d Tree: d_i/f_i split weighting vs plain largest-dimension.
+//  * Stencil Strips: boustrophedon on/off (Fig. 5a vs 5b); alpha distortion
+//    on/off; balanced strip widths vs the literal last-absorbs rule.
+// Reported metric: Jsum (and Jmax) on the paper's two instances x stencils.
+#include <iostream>
+
+#include "common/bench_common.hpp"
+#include "core/dims_create.hpp"
+#include "core/hyperplane.hpp"
+#include "core/kd_tree.hpp"
+#include "core/stencil_strips.hpp"
+#include "baselines/sfc.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace gridmap;
+
+void run_instance(int nodes, int ppn) {
+  const NodeAllocation alloc = NodeAllocation::homogeneous(nodes, ppn);
+  const CartesianGrid grid(dims_create(alloc.total(), 2));
+  std::cout << "--- Instance: N=" << nodes << ", ppn=" << ppn << ", grid "
+            << grid.dim(0) << "x" << grid.dim(1) << " ---\n";
+
+  struct Variant {
+    std::string name;
+    std::unique_ptr<Mapper> mapper;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"Hyperplane (paper)", std::make_unique<HyperplaneMapper>()});
+  {
+    HyperplaneMapper::Options o;
+    o.use_base_case = false;
+    variants.push_back({"Hyperplane, no <=2n base case",
+                        std::make_unique<HyperplaneMapper>(o)});
+  }
+  {
+    HyperplaneMapper::Options o;
+    o.stencil_aware_order = false;
+    variants.push_back({"Hyperplane, size-only cut order",
+                        std::make_unique<HyperplaneMapper>(o)});
+  }
+  variants.push_back({"k-d Tree (paper)", std::make_unique<KdTreeMapper>()});
+  {
+    KdTreeMapper::Options o;
+    o.weighted = false;
+    variants.push_back({"k-d Tree, unweighted splits",
+                        std::make_unique<KdTreeMapper>(o)});
+  }
+  variants.push_back({"Stencil Strips (paper)", std::make_unique<StencilStripsMapper>()});
+  {
+    StencilStripsMapper::Options o;
+    o.snake = false;
+    variants.push_back({"Stencil Strips, no snake (Fig. 5b)",
+                        std::make_unique<StencilStripsMapper>(o)});
+  }
+  {
+    StencilStripsMapper::Options o;
+    o.distortion = false;
+    variants.push_back({"Stencil Strips, no alpha distortion",
+                        std::make_unique<StencilStripsMapper>(o)});
+  }
+  {
+    StencilStripsMapper::Options o;
+    o.balanced_widths = false;
+    variants.push_back({"Stencil Strips, last strip absorbs remainder",
+                        std::make_unique<StencilStripsMapper>(o)});
+  }
+  // Stencil-oblivious locality baselines for contrast.
+  variants.push_back({"Hilbert space-filling curve",
+                      std::make_unique<SfcMapper>(SfcCurve::kHilbert)});
+  variants.push_back({"Morton space-filling curve",
+                      std::make_unique<SfcMapper>(SfcCurve::kMorton)});
+
+  const auto stencils = bench::paper_stencils(2);
+  std::vector<std::string> header = {"Variant"};
+  for (const auto& ns : stencils) header.push_back(ns.name + " Jsum/Jmax");
+  Table table(header);
+  for (const Variant& v : variants) {
+    std::vector<std::string> cells = {v.name};
+    for (const auto& ns : stencils) {
+      const MappingCost cost =
+          evaluate_mapping(grid, ns.stencil, v.mapper->remap(grid, ns.stencil, alloc), alloc);
+      cells.push_back(std::to_string(cost.jsum) + " / " + std::to_string(cost.jmax));
+    }
+    table.add_row(std::move(cells));
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: algorithm design choices (lower Jsum/Jmax is better) ===\n\n";
+  run_instance(50, 48);
+  run_instance(100, 48);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 6, left column: sorted Jsum/Jmax scores for the N=50, ppn=48
+// instance (grid 50x48) and the three evaluation stencils.
+#include <iostream>
+
+#include "common/bench_common.hpp"
+#include "core/dims_create.hpp"
+
+int main() {
+  using namespace gridmap;
+  std::cout << "=== Figure 6 (left column): mapping scores, N=50, ppn=48 ===\n\n";
+  const NodeAllocation alloc = NodeAllocation::homogeneous(50, 48);
+  const CartesianGrid grid(dims_create(alloc.total(), 2));
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kBlocked,       Algorithm::kHyperplane, Algorithm::kKdTree,
+      Algorithm::kStencilStrips, Algorithm::kNodecart,   Algorithm::kViemStar};
+  for (const auto& ns : bench::paper_stencils(2)) {
+    bench::print_score_panel(ns.name,
+                             bench::compute_scores(grid, ns.stencil, alloc, algorithms));
+  }
+  std::cout << "Paper reference (Jsum): nn 1244-4704, hops 3160-13824, component 96-4704.\n";
+  return 0;
+}

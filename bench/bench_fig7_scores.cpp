@@ -1,0 +1,22 @@
+// Figure 7, left column: sorted Jsum/Jmax scores for the N=100, ppn=48
+// instance (grid 75x64) and the three evaluation stencils.
+#include <iostream>
+
+#include "common/bench_common.hpp"
+#include "core/dims_create.hpp"
+
+int main() {
+  using namespace gridmap;
+  std::cout << "=== Figure 7 (left column): mapping scores, N=100, ppn=48 ===\n\n";
+  const NodeAllocation alloc = NodeAllocation::homogeneous(100, 48);
+  const CartesianGrid grid(dims_create(alloc.total(), 2));
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kBlocked,       Algorithm::kHyperplane, Algorithm::kKdTree,
+      Algorithm::kStencilStrips, Algorithm::kNodecart,   Algorithm::kViemStar};
+  for (const auto& ns : bench::paper_stencils(2)) {
+    bench::print_score_panel(ns.name,
+                             bench::compute_scores(grid, ns.stencil, alloc, algorithms));
+  }
+  std::cout << "Paper reference (Jsum): nn 2654-9622, hops 6698-28182, component 192-9472.\n";
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Figure 7, right three columns: MPI_Neighbor_alltoall speedup over the
+// blocked mapping on VSC4 / SuperMUC-NG / JUWELS (simulated; see DESIGN.md),
+// N=100, ppn=48, grid 75x64, three stencils, message sizes 1 KiB - 4 MiB.
+#include <iostream>
+
+#include "common/bench_common.hpp"
+#include "core/dims_create.hpp"
+
+int main() {
+  using namespace gridmap;
+  std::cout << "=== Figure 7 (right columns): neighbor-alltoall speedups, N=100 ===\n\n";
+  const NodeAllocation alloc = NodeAllocation::homogeneous(100, 48);
+  const CartesianGrid grid(dims_create(alloc.total(), 2));
+  for (const MachineModel& machine : paper_machines()) {
+    for (const auto& ns : bench::paper_stencils(2)) {
+      const auto result = bench::run_speedup_experiment(machine, grid, ns.stencil, alloc);
+      bench::print_speedup_panel(machine.name + " / " + ns.name, result);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Figure 8: distribution of the inter-node communication reduction
+// (C_algorithm / C_blocked, for both Jsum and Jmax) over the paper's
+// 144-instance set: N in {10,13,...,31}, ppn in {10,13,...,31} u {32},
+// d in {2,3}, grids via dims_create, for all three stencils. We report the
+// median with the Gaussian-asymptotic 95 % CI (the paper's notches) and
+// reproduce the paper's statistical comparison against Nodecart.
+#include <iostream>
+
+#include "common/bench_common.hpp"
+#include "core/dims_create.hpp"
+#include "gmap/gmap.hpp"
+#include "report/table.hpp"
+#include "stats/stats.hpp"
+
+namespace {
+
+using namespace gridmap;
+
+struct Reductions {
+  std::vector<double> jsum;
+  std::vector<double> jmax;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 8: reduction over blocked mapping, 144 instances ===\n";
+  const std::vector<int> node_counts = {10, 13, 16, 19, 22, 25, 28, 31};
+  const std::vector<int> ppn_values = {10, 13, 16, 19, 22, 25, 28, 31, 32};
+  const std::vector<int> dimensions = {2, 3};
+  std::cout << "Instances: " << node_counts.size() * ppn_values.size() * dimensions.size()
+            << " (N x ppn x d)\n\n";
+
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kHyperplane, Algorithm::kKdTree, Algorithm::kStencilStrips,
+      Algorithm::kNodecart, Algorithm::kViemStar};
+
+  for (const auto& [stencil_name, make_stencil] :
+       std::vector<std::pair<std::string, Stencil (*)(int)>>{
+           {"(a) Nearest neighbor", +[](int d) { return Stencil::nearest_neighbor(d); }},
+           {"(b) Nearest neighbor with hops",
+            +[](int d) { return Stencil::nearest_neighbor_with_hops(d, {2, 3}); }},
+           {"(c) Component", +[](int d) { return Stencil::component(d); }}}) {
+    std::vector<Reductions> reductions(algorithms.size());
+    int skipped = 0;
+
+    for (const int d : dimensions) {
+      const Stencil stencil = make_stencil(d);
+      for (const int nodes : node_counts) {
+        for (const int ppn : ppn_values) {
+          const NodeAllocation alloc = NodeAllocation::homogeneous(nodes, ppn);
+          const CartesianGrid grid(dims_create(alloc.total(), d));
+          const MappingCost blocked =
+              evaluate_mapping(grid, stencil, Remapping::identity(grid), alloc);
+          for (std::size_t i = 0; i < algorithms.size(); ++i) {
+            std::unique_ptr<Mapper> mapper;
+            if (algorithms[i] == Algorithm::kViemStar) {
+              // Lighter search effort for the 432-run sweep; quality-first
+              // settings are used everywhere else.
+              GmapOptions options;
+              options.restarts = 2;
+              options.local_search_sweeps = 16;
+              mapper = std::make_unique<GeneralGraphMapper>(options);
+            } else {
+              mapper = make_mapper(algorithms[i]);
+            }
+            if (!mapper->applicable(grid, stencil, alloc)) {
+              ++skipped;
+              continue;
+            }
+            const MappingCost cost =
+                evaluate_mapping(grid, stencil, mapper->remap(grid, stencil, alloc), alloc);
+            if (blocked.jsum > 0) {
+              reductions[i].jsum.push_back(static_cast<double>(cost.jsum) /
+                                           static_cast<double>(blocked.jsum));
+            }
+            if (blocked.jmax > 0) {
+              reductions[i].jmax.push_back(static_cast<double>(cost.jmax) /
+                                           static_cast<double>(blocked.jmax));
+            }
+          }
+        }
+      }
+    }
+
+    std::cout << stencil_name << " — reduction over blocked (lower is better)\n";
+    Table table({"Algorithm", "metric", "median", "CI95 low", "CI95 high", "samples"});
+    std::vector<ConfidenceInterval> jsum_cis(algorithms.size());
+    for (std::size_t i = 0; i < algorithms.size(); ++i) {
+      for (const auto& [metric, values] :
+           std::vector<std::pair<std::string, const std::vector<double>*>>{
+               {"Jsum", &reductions[i].jsum}, {"Jmax", &reductions[i].jmax}}) {
+        if (values->empty()) continue;
+        const ConfidenceInterval ci = median_ci95(*values);
+        if (metric == "Jsum") jsum_cis[i] = ci;
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.4f", ci.center);
+        std::string med = buffer;
+        std::snprintf(buffer, sizeof(buffer), "%.4f", ci.lower);
+        std::string lo = buffer;
+        std::snprintf(buffer, sizeof(buffer), "%.4f", ci.upper);
+        std::string hi = buffer;
+        table.add_row({std::string(to_string(algorithms[i])), metric, med, lo, hi,
+                       std::to_string(values->size())});
+      }
+    }
+    table.print(std::cout);
+    if (skipped > 0) std::cout << "(" << skipped << " non-applicable runs skipped)\n";
+
+    // The paper's §VI-C claim: Hyperplane and Stencil Strips median CIs do
+    // not overlap Nodecart's.
+    const std::size_t nodecart = 3;
+    for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+      const bool separated = !jsum_cis[i].overlaps(jsum_cis[nodecart]) &&
+                             jsum_cis[i].center < jsum_cis[nodecart].center;
+      std::cout << to_string(algorithms[i]) << " vs Nodecart (Jsum medians): "
+                << (separated ? "statistically better (CIs disjoint)"
+                              : "not separated")
+                << "\n";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Extension bench: socket-aware hierarchical mapping. The evaluation
+// machines have two sockets per node; this bench quantifies how much
+// cross-socket traffic the socket-refined variants of the three algorithms
+// save on the paper's N=50/N=100 instances, and what it costs at the node
+// level (DESIGN.md lists this as the Gropp/Niethammer-inspired extension).
+#include <iostream>
+#include <memory>
+
+#include "common/bench_common.hpp"
+#include "core/dims_create.hpp"
+#include "core/hierarchical.hpp"
+#include "core/hyperplane.hpp"
+#include "core/kd_tree.hpp"
+#include "core/stencil_strips.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace gridmap;
+
+void run_instance(int nodes, int ppn, int sockets) {
+  const NodeAllocation alloc = NodeAllocation::homogeneous(nodes, ppn);
+  const CartesianGrid grid(dims_create(alloc.total(), 2));
+  std::cout << "--- N=" << nodes << ", ppn=" << ppn << ", " << sockets
+            << " sockets/node, grid " << grid.dim(0) << "x" << grid.dim(1) << " ---\n";
+
+  struct Entry {
+    std::string name;
+    std::unique_ptr<Mapper> mapper;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"Hyperplane", std::make_unique<HyperplaneMapper>()});
+  entries.push_back({"Hyperplane (socket-aware)",
+                     std::make_unique<HierarchicalMapper>(
+                         std::make_unique<HyperplaneMapper>(), sockets)});
+  entries.push_back({"k-d Tree", std::make_unique<KdTreeMapper>()});
+  entries.push_back({"k-d Tree (socket-aware)",
+                     std::make_unique<HierarchicalMapper>(
+                         std::make_unique<KdTreeMapper>(), sockets)});
+  entries.push_back({"Stencil Strips", std::make_unique<StencilStripsMapper>()});
+  entries.push_back({"Stencil Strips (socket-aware)",
+                     std::make_unique<HierarchicalMapper>(
+                         std::make_unique<StencilStripsMapper>(), sockets)});
+
+  for (const auto& ns : bench::paper_stencils(2)) {
+    Table table({"Algorithm", "node Jsum", "node Jmax", "socket Jsum", "socket Jmax"});
+    for (const Entry& e : entries) {
+      if (!e.mapper->applicable(grid, ns.stencil, alloc)) continue;
+      const HierarchicalCost cost = evaluate_hierarchical(
+          grid, ns.stencil, e.mapper->remap(grid, ns.stencil, alloc), alloc, sockets);
+      table.add_row({e.name, std::to_string(cost.node_level.jsum),
+                     std::to_string(cost.node_level.jmax),
+                     std::to_string(cost.socket_level.jsum),
+                     std::to_string(cost.socket_level.jmax)});
+    }
+    std::cout << "Stencil: " << ns.name << "\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Extension: socket-aware hierarchical mapping ===\n\n";
+  run_instance(50, 48, 2);
+  run_instance(100, 48, 2);
+  return 0;
+}

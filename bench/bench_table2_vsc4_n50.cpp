@@ -1,0 +1,9 @@
+// Table II: MPI_Neighbor_alltoall times on VSC4, N=50, ppn=48 (simulated).
+#include "common/bench_common.hpp"
+
+int main() {
+  gridmap::bench::print_appendix_table(
+      "=== Table II: neighbor-alltoall times, VSC4, N=50, ppn=48 ===",
+      gridmap::vsc4(), 50, 48);
+  return 0;
+}

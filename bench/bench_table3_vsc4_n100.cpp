@@ -1,0 +1,9 @@
+// Table III: MPI_Neighbor_alltoall times on VSC4, N=100, ppn=48 (simulated).
+#include "common/bench_common.hpp"
+
+int main() {
+  gridmap::bench::print_appendix_table(
+      "=== Table III: neighbor-alltoall times, VSC4, N=100, ppn=48 ===",
+      gridmap::vsc4(), 100, 48);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Table IV: MPI_Neighbor_alltoall times on SuperMUC-NG, N=50, ppn=48
+// (simulated).
+#include "common/bench_common.hpp"
+
+int main() {
+  gridmap::bench::print_appendix_table(
+      "=== Table IV: neighbor-alltoall times, SuperMUC-NG, N=50, ppn=48 ===",
+      gridmap::supermuc_ng(), 50, 48);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Table V: MPI_Neighbor_alltoall times on SuperMUC-NG, N=100, ppn=48
+// (simulated).
+#include "common/bench_common.hpp"
+
+int main() {
+  gridmap::bench::print_appendix_table(
+      "=== Table V: neighbor-alltoall times, SuperMUC-NG, N=100, ppn=48 ===",
+      gridmap::supermuc_ng(), 100, 48);
+  return 0;
+}

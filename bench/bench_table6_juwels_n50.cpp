@@ -1,0 +1,9 @@
+// Table VI: MPI_Neighbor_alltoall times on JUWELS, N=50, ppn=48 (simulated).
+#include "common/bench_common.hpp"
+
+int main() {
+  gridmap::bench::print_appendix_table(
+      "=== Table VI: neighbor-alltoall times, JUWELS, N=50, ppn=48 ===",
+      gridmap::juwels(), 50, 48);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Table VII: MPI_Neighbor_alltoall times, N=100, ppn=48 (simulated). The
+// paper's Table VII header says "VSC4" but it is the N=100 companion of the
+// JUWELS Table VI; we label it JUWELS (see DESIGN.md experiment index).
+#include "common/bench_common.hpp"
+
+int main() {
+  gridmap::bench::print_appendix_table(
+      "=== Table VII: neighbor-alltoall times, JUWELS, N=100, ppn=48 ===",
+      gridmap::juwels(), 100, 48);
+  return 0;
+}

@@ -1,0 +1,174 @@
+#include "common/bench_common.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <optional>
+
+#include "core/dims_create.hpp"
+#include "netsim/exchange.hpp"
+#include "report/table.hpp"
+#include "stats/stats.hpp"
+
+namespace gridmap::bench {
+
+std::vector<NamedStencil> paper_stencils(int ndims) {
+  return {
+      {"Nearest neighbor", Stencil::nearest_neighbor(ndims)},
+      {"Nearest neighbor with hops", Stencil::nearest_neighbor_with_hops(ndims)},
+      {"Component", Stencil::component(ndims)},
+  };
+}
+
+std::vector<std::int64_t> figure_message_labels() {
+  return {1024, 4096, 16384, 65536, 262144, 1048576, 4194304};
+}
+
+std::vector<std::int64_t> table_message_sizes() {
+  return {64,   128,   256,   512,   1024,   2048,   4096,
+          8192, 16384, 32768, 65536, 131072, 262144, 524288};
+}
+
+std::vector<ScoreRow> compute_scores(const CartesianGrid& grid, const Stencil& stencil,
+                                     const NodeAllocation& alloc,
+                                     const std::vector<Algorithm>& algorithms) {
+  std::vector<ScoreRow> rows;
+  for (const Algorithm a : algorithms) {
+    const auto mapper = make_mapper(a);
+    if (!mapper->applicable(grid, stencil, alloc)) continue;
+    rows.push_back({a, evaluate_mapping(grid, stencil,
+                                        mapper->remap(grid, stencil, alloc), alloc)});
+  }
+  return rows;
+}
+
+void print_score_panel(const std::string& title, std::vector<ScoreRow> rows) {
+  std::sort(rows.begin(), rows.end(), [](const ScoreRow& a, const ScoreRow& b) {
+    return a.cost.jsum < b.cost.jsum ||
+           (a.cost.jsum == b.cost.jsum && a.cost.jmax < b.cost.jmax);
+  });
+  BarChart jsum(title + " — Jsum (sorted, smaller is better)");
+  BarChart jmax(title + " — Jmax");
+  for (const ScoreRow& row : rows) {
+    jsum.add(std::string(to_string(row.algorithm)), static_cast<double>(row.cost.jsum));
+    jmax.add(std::string(to_string(row.algorithm)), static_cast<double>(row.cost.jmax));
+  }
+  jsum.print(std::cout);
+  jmax.print(std::cout);
+  std::cout << "\n";
+}
+
+SpeedupResult run_speedup_experiment(const MachineModel& machine, const CartesianGrid& grid,
+                                     const Stencil& stencil, const NodeAllocation& alloc,
+                                     int repetitions) {
+  SpeedupResult result;
+  result.message_labels = figure_message_labels();
+  result.algorithms = reordering_algorithms();
+
+  const auto mean_time_ms = [&](const Remapping& remapping, std::int64_t label) {
+    ExchangeConfig cfg;
+    cfg.message_bytes = label / 8;  // see figure_message_labels()
+    cfg.repetitions = repetitions;
+    cfg.seed = static_cast<std::uint64_t>(label) * 0x9e3779b97f4a7c15ULL + alloc.num_nodes();
+    const std::vector<double> samples =
+        simulate_neighbor_alltoall(machine, grid, stencil, remapping, alloc, cfg);
+    return mean(remove_outliers_iqr(samples)) * 1e3;
+  };
+
+  const Remapping blocked = make_mapper(Algorithm::kBlocked)->remap(grid, stencil, alloc);
+  for (const std::int64_t label : result.message_labels) {
+    result.blocked_ms.push_back(mean_time_ms(blocked, label));
+  }
+  for (const Algorithm a : result.algorithms) {
+    const auto mapper = make_mapper(a);
+    std::vector<double> times;
+    if (mapper->applicable(grid, stencil, alloc)) {
+      const Remapping remapping = mapper->remap(grid, stencil, alloc);
+      for (const std::int64_t label : result.message_labels) {
+        times.push_back(mean_time_ms(remapping, label));
+      }
+    }
+    result.algorithm_ms.push_back(std::move(times));
+  }
+  return result;
+}
+
+void print_speedup_panel(const std::string& title, const SpeedupResult& result) {
+  std::cout << title << "\n";
+  std::vector<std::string> header = {"Algorithm"};
+  for (const std::int64_t label : result.message_labels) {
+    header.push_back(std::to_string(label) + " B");
+  }
+  Table speedup(header);
+  Table absolute(header);
+  absolute.add_row("Blocked [ms]", result.blocked_ms, 3);
+  for (std::size_t i = 0; i < result.algorithms.size(); ++i) {
+    if (result.algorithm_ms[i].empty()) continue;
+    std::vector<double> ratio;
+    for (std::size_t j = 0; j < result.message_labels.size(); ++j) {
+      ratio.push_back(result.blocked_ms[j] / result.algorithm_ms[i][j]);
+    }
+    speedup.add_row(std::string(to_string(result.algorithms[i])), ratio, 2);
+    absolute.add_row(std::string(to_string(result.algorithms[i])) + " [ms]",
+                     result.algorithm_ms[i], 3);
+  }
+  std::cout << "Speedup over blocked mapping (higher is better):\n";
+  speedup.print(std::cout);
+  std::cout << "Absolute mean times:\n";
+  absolute.print(std::cout);
+  std::cout << "\n";
+}
+
+void print_appendix_table(const std::string& title, const MachineModel& machine,
+                          int num_nodes, int procs_per_node, int repetitions) {
+  std::cout << title << "\n";
+  const NodeAllocation alloc = NodeAllocation::homogeneous(num_nodes, procs_per_node);
+  const CartesianGrid grid(dims_create(alloc.total(), 2));
+  std::cout << "Grid " << grid.dim(0) << "x" << grid.dim(1) << ", N=" << num_nodes
+            << ", ppn=" << procs_per_node << ", machine=" << machine.name << "\n";
+
+  const std::vector<Algorithm> columns = {
+      Algorithm::kBlocked,  Algorithm::kHyperplane,    Algorithm::kKdTree,
+      Algorithm::kStencilStrips, Algorithm::kNodecart, Algorithm::kViemStar,
+      Algorithm::kRandom};
+
+  for (const NamedStencil& ns : paper_stencils(2)) {
+    std::vector<std::string> header = {"Size [B]"};
+    for (const Algorithm a : columns) header.push_back(std::string(to_string(a)));
+    Table table(header);
+
+    // Remap once per algorithm, reuse across message sizes.
+    std::vector<std::optional<Remapping>> remappings;
+    for (const Algorithm a : columns) {
+      const auto mapper = make_mapper(a);
+      if (mapper->applicable(grid, ns.stencil, alloc)) {
+        remappings.push_back(mapper->remap(grid, ns.stencil, alloc));
+      } else {
+        remappings.push_back(std::nullopt);
+      }
+    }
+    for (const std::int64_t bytes : table_message_sizes()) {
+      std::vector<std::string> cells = {std::to_string(bytes)};
+      for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (!remappings[i].has_value()) {
+          cells.push_back("n/a");
+          continue;
+        }
+        ExchangeConfig cfg;
+        cfg.message_bytes = bytes;
+        cfg.repetitions = repetitions;
+        cfg.seed = static_cast<std::uint64_t>(bytes) * 2654435761u + i;
+        const std::vector<double> samples = simulate_neighbor_alltoall(
+            machine, grid, ns.stencil, *remappings[i], alloc, cfg);
+        const std::vector<double> kept = remove_outliers_iqr(samples);
+        const ConfidenceInterval ci = mean_ci95(kept);
+        cells.push_back(Table::format_ci(ci.center * 1e3, ci.half_width() * 1e3));
+      }
+      table.add_row(std::move(cells));
+    }
+    std::cout << "\nStencil: " << ns.name << " (times in ms)\n";
+    table.print(std::cout);
+  }
+  std::cout << "\n";
+}
+
+}  // namespace gridmap::bench

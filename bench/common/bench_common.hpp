@@ -1,0 +1,70 @@
+// Shared experiment drivers used by the paper-reproduction benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "core/grid.hpp"
+#include "core/mapper.hpp"
+#include "core/metrics.hpp"
+#include "core/stencil.hpp"
+#include "netsim/machine.hpp"
+
+namespace gridmap::bench {
+
+/// The three evaluation stencils of the paper (Section II / Fig. 2).
+struct NamedStencil {
+  std::string name;
+  Stencil stencil;
+};
+
+std::vector<NamedStencil> paper_stencils(int ndims);
+
+/// The message sizes of the Fig. 6/7 speedup plots. The paper's figures
+/// label the x-axis with 1024..4194304 "bytes" while the appendix tables
+/// list 64..524288 B with identical absolute times — the figure labels are
+/// 8x the wire size (one double per "byte"). We keep the figure labels and
+/// send label/8 bytes so our absolute numbers line up with the tables.
+std::vector<std::int64_t> figure_message_labels();
+
+/// The full message-size column of the appendix tables (64 B .. 512 KiB).
+std::vector<std::int64_t> table_message_sizes();
+
+/// Mapping scores for one instance, one row per algorithm.
+struct ScoreRow {
+  Algorithm algorithm;
+  MappingCost cost;
+};
+
+std::vector<ScoreRow> compute_scores(const CartesianGrid& grid, const Stencil& stencil,
+                                     const NodeAllocation& alloc,
+                                     const std::vector<Algorithm>& algorithms);
+
+/// Prints the sorted Jsum/Jmax score panel (left column of Fig. 6/7).
+void print_score_panel(const std::string& title, std::vector<ScoreRow> rows);
+
+/// One speedup experiment: a machine, an instance, one stencil; produces the
+/// paper's per-message-size mean times (after 1.5-IQR outlier removal) and
+/// speedups over the blocked mapping.
+struct SpeedupResult {
+  std::vector<std::int64_t> message_labels;
+  std::vector<Algorithm> algorithms;               // excluding blocked
+  std::vector<double> blocked_ms;                  // per size
+  std::vector<std::vector<double>> algorithm_ms;   // [algorithm][size]
+};
+
+SpeedupResult run_speedup_experiment(const MachineModel& machine, const CartesianGrid& grid,
+                                     const Stencil& stencil, const NodeAllocation& alloc,
+                                     int repetitions = 200);
+
+void print_speedup_panel(const std::string& title, const SpeedupResult& result);
+
+/// Emits one appendix-style table (Tables II-VII): mean time in ms with the
+/// 95 % CI half-width, per stencil x message size x algorithm, for one
+/// machine and node count.
+void print_appendix_table(const std::string& title, const MachineModel& machine,
+                          int num_nodes, int procs_per_node, int repetitions = 200);
+
+}  // namespace gridmap::bench

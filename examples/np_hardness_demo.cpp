@@ -1,0 +1,83 @@
+// NP-hardness demo (Theorem IV.3): walks through the reduction from
+// 3-WAY-PARTITION to GRID-PARTITION on the paper's Figure 3 example
+// I' = {6, 3, 3, 2, 2, 2} and on an unsolvable sibling, checking both
+// directions of the equivalence with the exact solvers.
+#include <iostream>
+
+#include "npc/reduction.hpp"
+#include "npc/three_partition.hpp"
+
+namespace {
+
+using namespace gridmap;
+
+void demo(const std::vector<std::int64_t>& items) {
+  std::cout << "I' = {";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    std::cout << (i ? ", " : "") << items[i];
+  }
+  std::cout << "}\n";
+
+  const GridPartitionInstance instance = reduce_three_partition(items);
+  std::cout << "  GRID-PARTITION instance: D = [" << instance.dims[0] << ", "
+            << instance.dims[1] << "], component stencil "
+            << instance.stencil.to_string() << ", Q = " << instance.budget << "\n";
+
+  const ThreePartitionSolution solution = solve_three_partition(items);
+  if (solution.solvable) {
+    std::cout << "  3-WAY-PARTITION: solvable; subsets ";
+    for (int g = 0; g < 3; ++g) {
+      std::cout << "{";
+      bool first = true;
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (solution.group[i] == g) {
+          std::cout << (first ? "" : ",") << items[i];
+          first = false;
+        }
+      }
+      std::cout << "}" << (g < 2 ? " " : "\n");
+    }
+    const std::vector<NodeId> mapping =
+        mapping_from_three_partition(instance, items, solution);
+    const std::int64_t jsum = grid_partition_cost(instance, mapping);
+    std::cout << "  Certificate mapping achieves Jsum = " << jsum
+              << (jsum <= instance.budget ? " <= Q  [yes-instance confirmed]\n"
+                                          : " > Q   [BUG]\n");
+    const CartesianGrid grid = instance.grid();
+    std::cout << "  Grid ownership (rows = the three subsets):\n";
+    for (int i = 0; i < instance.dims[0]; ++i) {
+      std::cout << "    ";
+      for (int j = 0; j < instance.dims[1]; ++j) {
+        std::cout << static_cast<char>(
+            'A' + mapping[static_cast<std::size_t>(grid.cell_of({i, j}))]);
+      }
+      std::cout << "\n";
+    }
+  } else {
+    std::cout << "  3-WAY-PARTITION: unsolvable.\n";
+    if (instance.grid().size() <= 14) {
+      const bool reachable = grid_partition_decision(instance);
+      std::cout << "  Exhaustive GRID-PARTITION search: Jsum <= Q is "
+                << (reachable ? "reachable [BUG]" : "NOT reachable — "
+                                                    "no-instance confirmed")
+                << "\n";
+    } else {
+      std::cout << "  (instance too large for the exhaustive cross-check)\n";
+    }
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Theorem IV.3: 3-WAY-PARTITION reduces to GRID-PARTITION\n"
+            << "(2-d grid, one-dimensional component stencil)\n\n";
+  demo({6, 3, 3, 2, 2, 2});  // the paper's Figure 3 example
+  demo({2, 2, 2, 1, 1, 1});
+  demo({5, 1, 1, 1, 1});     // unsolvable: the 5 exceeds the subset sum 3
+  std::cout << "Because 3-WAY-PARTITION is NP-complete, finding optimal mappings\n"
+            << "for Cartesian grids is NP-hard even for this restricted stencil —\n"
+            << "the motivation for the paper's heuristic algorithms.\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Ocean column transport — the motivating workload for the paper's
+// *component stencil*: in layered ocean/climate models, some phases couple
+// grid columns only along one horizontal direction (e.g. meridional
+// transport sweeps), so processes communicate along a single grid dimension
+// while the other dimension carries independent columns.
+//
+// On this pattern the k-d Tree and Stencil Strips algorithms find *optimal*
+// mappings (2 outgoing edges per node, paper §VI-D), turning into the
+// largest observed speedups. The example runs an upwind advection sweep per
+// column lane over the vmpi substrate and reports simulated exchange times.
+//
+// Run:  ./ocean_columns [steps]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/dims_create.hpp"
+#include "report/table.hpp"
+#include "vmpi/cart_stencil_comm.hpp"
+
+namespace {
+
+using namespace gridmap;
+
+constexpr int kCellsPerRank = 32;
+constexpr double kCfl = 0.5;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 200;
+  const int nodes = 25;
+  const int ppn = 24;
+  const NodeAllocation alloc = NodeAllocation::homogeneous(nodes, ppn);
+  const Dims proc_dims = dims_create(alloc.total(), 2);  // 25x24
+  std::cout << "Ocean column transport: " << proc_dims[0] * kCellsPerRank
+            << " cells per column, " << proc_dims[1] << " independent column lanes, "
+            << proc_dims[0] << "x" << proc_dims[1] << " process grid\n";
+
+  // Component stencil: communication along dimension 0 only.
+  const Stencil stencil = Stencil::component(2);
+
+  Table table({"Algorithm", "Jsum", "Jmax", "sim. comm time [ms]", "mass"});
+  double reference_mass = -1.0;
+  for (const Algorithm a :
+       {Algorithm::kBlocked, Algorithm::kHyperplane, Algorithm::kKdTree,
+        Algorithm::kStencilStrips, Algorithm::kNodecart}) {
+    vmpi::Universe universe(alloc, vsc4());
+    const vmpi::CartStencilComm comm(universe, proc_dims, {false, false}, true, stencil, a);
+    const int p = comm.size();
+
+    // Each rank owns kCellsPerRank cells of its column; 1-cell halo on each
+    // side along dimension 0.
+    const std::size_t width = kCellsPerRank + 2;
+    std::vector<std::vector<double>> c(static_cast<std::size_t>(p),
+                                       std::vector<double>(width, 0.0));
+    for (Rank r = 0; r < p; ++r) {
+      const Coord pos = comm.coordinates(r);
+      for (int i = 0; i < kCellsPerRank; ++i) {
+        const int gi = pos[0] * kCellsPerRank + i;
+        // A tracer blob near the top of every column, lane-shifted.
+        const double x = gi - 20.0 - pos[1];
+        c[static_cast<std::size_t>(r)][static_cast<std::size_t>(i + 1)] =
+            std::exp(-x * x / 50.0);
+      }
+    }
+
+    const std::size_t count = 1;
+    const std::size_t k = static_cast<std::size_t>(stencil.k());
+    std::vector<std::vector<double>> send(static_cast<std::size_t>(p),
+                                          std::vector<double>(k * count, 0.0));
+    std::vector<std::vector<double>> recv = send;
+    std::vector<std::vector<double>> next = c;
+    double comm_seconds = 0.0;
+
+    for (int step = 0; step < steps; ++step) {
+      for (Rank r = 0; r < p; ++r) {
+        // Stencil order: +1_0, -1_0.
+        send[static_cast<std::size_t>(r)][0] =
+            c[static_cast<std::size_t>(r)][width - 2];  // last owned cell
+        send[static_cast<std::size_t>(r)][1] = c[static_cast<std::size_t>(r)][1];
+      }
+      comm_seconds += comm.neighbor_alltoall(send, recv, count);
+      for (Rank r = 0; r < p; ++r) {
+        auto& mine = c[static_cast<std::size_t>(r)];
+        mine[0] = comm.neighbor(r, 1) ? recv[static_cast<std::size_t>(r)][1] : 0.0;
+        mine[width - 1] = 0.0;  // outflow at the bottom is irrelevant for upwind
+        auto& out = next[static_cast<std::size_t>(r)];
+        for (std::size_t i = 1; i < width - 1; ++i) {
+          out[i] = mine[i] - kCfl * (mine[i] - mine[i - 1]);  // upwind advection
+        }
+      }
+      c.swap(next);
+    }
+
+    double mass = 0.0;
+    for (Rank r = 0; r < p; ++r) {
+      for (std::size_t i = 1; i < width - 1; ++i) {
+        mass += c[static_cast<std::size_t>(r)][i];
+      }
+    }
+    if (reference_mass < 0.0) reference_mass = mass;
+    const MappingCost cost = comm.cost();
+    char time_str[32];
+    char mass_str[32];
+    std::snprintf(time_str, sizeof(time_str), "%.3f", comm_seconds * 1e3);
+    std::snprintf(mass_str, sizeof(mass_str), "%.9f", mass);
+    table.add_row({std::string(to_string(a)), std::to_string(cost.jsum),
+                   std::to_string(cost.jmax), time_str, mass_str});
+    if (std::abs(mass - reference_mass) > 1e-9) {
+      std::cerr << "MISMATCH: tracer mass differs across mappings\n";
+      return 1;
+    }
+  }
+  table.print(std::cout);
+  std::cout << "k-d Tree / Stencil Strips reach the optimal mapping (2 outgoing\n"
+               "edges per node) — the paper's section VI-D observation.\n";
+  return 0;
+}

@@ -1,0 +1,18 @@
+#include "baselines/blocked.hpp"
+
+namespace gridmap {
+
+Coord BlockedMapper::new_coordinate(const CartesianGrid& grid, const Stencil& /*stencil*/,
+                                    const NodeAllocation& alloc, Rank rank) const {
+  GRIDMAP_CHECK(rank >= 0 && rank < alloc.total(), "rank out of range");
+  return grid.coord_of(static_cast<Cell>(rank));
+}
+
+Remapping BlockedMapper::remap(const CartesianGrid& grid, const Stencil& /*stencil*/,
+                               const NodeAllocation& alloc) const {
+  GRIDMAP_CHECK(grid.size() == alloc.total(),
+                "allocation total must equal number of grid positions");
+  return Remapping::identity(grid);
+}
+
+}  // namespace gridmap

@@ -1,0 +1,21 @@
+// Blocked mapping: the identity — rank r occupies grid cell r (the paper's
+// "blocked"/"Standard" baseline, i.e. what MPI_Cart_create without reorder
+// does under a blocked scheduler allocation).
+#pragma once
+
+#include "core/mapper.hpp"
+
+namespace gridmap {
+
+class BlockedMapper final : public DistributedMapper {
+ public:
+  std::string_view name() const noexcept override { return "Blocked"; }
+
+  Coord new_coordinate(const CartesianGrid& grid, const Stencil& stencil,
+                       const NodeAllocation& alloc, Rank rank) const override;
+
+  Remapping remap(const CartesianGrid& grid, const Stencil& stencil,
+                  const NodeAllocation& alloc) const override;
+};
+
+}  // namespace gridmap

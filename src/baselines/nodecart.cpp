@@ -1,0 +1,86 @@
+#include "baselines/nodecart.hpp"
+
+#include <limits>
+
+#include "core/dims_create.hpp"
+
+namespace gridmap {
+
+namespace {
+
+// Enumerates factorizations n = prod c_i with c_i | dims[i] by DFS, keeping
+// the block with the smallest boundary surface.
+void search_block(const Dims& dims, std::size_t pos, std::int64_t remaining,
+                  Dims& current, double& best_surface, Dims& best) {
+  if (pos == dims.size()) {
+    if (remaining != 1) return;
+    double surface = 0.0;
+    double volume = 1.0;
+    for (const int c : current) volume *= c;
+    for (const int c : current) surface += 2.0 * volume / c;
+    if (surface < best_surface) {
+      best_surface = surface;
+      best = current;
+    }
+    return;
+  }
+  for (const std::int64_t c : divisors(remaining)) {
+    if (dims[pos] % c != 0) continue;
+    current[pos] = static_cast<int>(c);
+    search_block(dims, pos + 1, remaining / c, current, best_surface, best);
+  }
+  current[pos] = 1;
+}
+
+}  // namespace
+
+std::optional<Dims> NodecartMapper::within_node_block(const Dims& dims, int n) const {
+  Dims current(dims.size(), 1);
+  Dims best;
+  double best_surface = std::numeric_limits<double>::infinity();
+  search_block(dims, 0, n, current, best_surface, best);
+  if (best.empty()) return std::nullopt;
+  return best;
+}
+
+bool NodecartMapper::applicable(const CartesianGrid& grid, const Stencil& stencil,
+                                const NodeAllocation& alloc) const {
+  if (!Mapper::applicable(grid, stencil, alloc)) return false;
+  if (!alloc.homogeneous()) return false;
+  return within_node_block(grid.dims(), alloc.uniform_size()).has_value();
+}
+
+Coord NodecartMapper::new_coordinate(const CartesianGrid& grid, const Stencil& stencil,
+                                     const NodeAllocation& alloc, Rank rank) const {
+  GRIDMAP_CHECK(rank >= 0 && rank < alloc.total(), "rank out of range");
+  GRIDMAP_CHECK(applicable(grid, stencil, alloc),
+                "Nodecart requires a homogeneous allocation and a factorizable node size");
+  const int n = alloc.uniform_size();
+  const Dims block = *within_node_block(grid.dims(), n);
+
+  // Node grid: q_i = d_i / c_i. Rank r lives on node r / n (blocked
+  // allocation); its node coordinate is the row-major position in the node
+  // grid, its within-node coordinate the row-major position in the block.
+  Dims node_dims(block.size());
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    node_dims[i] = grid.dims()[i] / block[i];
+  }
+  const std::int64_t node = rank / n;
+  const std::int64_t within = rank % n;
+
+  Coord coord(block.size(), 0);
+  std::int64_t nrem = node;
+  std::int64_t wrem = within;
+  for (int i = static_cast<int>(block.size()) - 1; i >= 0; --i) {
+    const int q = node_dims[static_cast<std::size_t>(i)];
+    const int c = block[static_cast<std::size_t>(i)];
+    const int node_coord = static_cast<int>(nrem % q);
+    const int within_coord = static_cast<int>(wrem % c);
+    nrem /= q;
+    wrem /= c;
+    coord[static_cast<std::size_t>(i)] = node_coord * c + within_coord;
+  }
+  return coord;
+}
+
+}  // namespace gridmap

@@ -1,0 +1,20 @@
+#include "baselines/random_mapper.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+namespace gridmap {
+
+Remapping RandomMapper::remap(const CartesianGrid& grid, const Stencil& /*stencil*/,
+                              const NodeAllocation& alloc) const {
+  GRIDMAP_CHECK(grid.size() == alloc.total(),
+                "allocation total must equal number of grid positions");
+  std::vector<Cell> cells(static_cast<std::size_t>(grid.size()));
+  std::iota(cells.begin(), cells.end(), Cell{0});
+  std::mt19937_64 rng(seed_);
+  std::shuffle(cells.begin(), cells.end(), rng);
+  return Remapping::from_cells(grid, std::move(cells));
+}
+
+}  // namespace gridmap

@@ -1,0 +1,24 @@
+// Random mapping baseline (paper appendix tables): ranks are assigned to
+// grid cells by a seeded uniform permutation.
+#pragma once
+
+#include <cstdint>
+
+#include "core/mapper.hpp"
+
+namespace gridmap {
+
+class RandomMapper final : public Mapper {
+ public:
+  explicit RandomMapper(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : seed_(seed) {}
+
+  std::string_view name() const noexcept override { return "Random"; }
+
+  Remapping remap(const CartesianGrid& grid, const Stencil& stencil,
+                  const NodeAllocation& alloc) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace gridmap

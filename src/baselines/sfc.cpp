@@ -1,0 +1,81 @@
+#include "baselines/sfc.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gridmap {
+
+std::uint64_t SfcMapper::hilbert_index(int order, int x, int y) {
+  // Standard iterative x/y -> d conversion on a 2^order square.
+  std::uint64_t rx = 0;
+  std::uint64_t ry = 0;
+  std::uint64_t d = 0;
+  for (std::uint64_t s = std::uint64_t{1} << (order - 1); s > 0; s /= 2) {
+    rx = (static_cast<std::uint64_t>(x) & s) > 0 ? 1 : 0;
+    ry = (static_cast<std::uint64_t>(y) & s) > 0 ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    // Rotate the quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = static_cast<int>(s - 1 - static_cast<std::uint64_t>(x));
+        y = static_cast<int>(s - 1 - static_cast<std::uint64_t>(y));
+      }
+      std::swap(x, y);
+    }
+  }
+  return d;
+}
+
+std::uint64_t SfcMapper::morton_index(const Coord& coord) {
+  // Interleave the bits of all coordinates, lowest bit first.
+  std::uint64_t result = 0;
+  int out_bit = 0;
+  for (int bit = 0; bit < 21; ++bit) {
+    for (const int c : coord) {
+      GRIDMAP_CHECK(c >= 0, "Morton index requires non-negative coordinates");
+      result |= static_cast<std::uint64_t>((static_cast<unsigned>(c) >> bit) & 1u)
+                << out_bit++;
+      GRIDMAP_CHECK(out_bit <= 63, "Morton index overflow");
+    }
+  }
+  return result;
+}
+
+bool SfcMapper::applicable(const CartesianGrid& grid, const Stencil& stencil,
+                           const NodeAllocation& alloc) const {
+  if (!Mapper::applicable(grid, stencil, alloc)) return false;
+  return curve_ == SfcCurve::kMorton || grid.ndims() == 2;
+}
+
+Remapping SfcMapper::remap(const CartesianGrid& grid, const Stencil& stencil,
+                           const NodeAllocation& alloc) const {
+  GRIDMAP_CHECK(applicable(grid, stencil, alloc),
+                "Hilbert curve mapping requires a 2-d grid");
+  const std::int64_t p = grid.size();
+
+  int order = 1;
+  int max_dim = 0;
+  for (int i = 0; i < grid.ndims(); ++i) max_dim = std::max(max_dim, grid.dim(i));
+  while ((1 << order) < max_dim) ++order;
+
+  // Sort cells by curve index (cells outside the bounding power-of-two box
+  // simply do not occur, so skipping is implicit).
+  std::vector<std::pair<std::uint64_t, Cell>> keyed;
+  keyed.reserve(static_cast<std::size_t>(p));
+  for (Cell c = 0; c < p; ++c) {
+    const Coord coord = grid.coord_of(c);
+    const std::uint64_t key = curve_ == SfcCurve::kHilbert
+                                  ? hilbert_index(order, coord[0], coord[1])
+                                  : morton_index(coord);
+    keyed.push_back({key, c});
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  std::vector<Cell> cell_of_rank(static_cast<std::size_t>(p));
+  for (std::size_t r = 0; r < keyed.size(); ++r) {
+    cell_of_rank[r] = keyed[r].second;
+  }
+  return Remapping::from_cells(grid, std::move(cell_of_rank));
+}
+
+}  // namespace gridmap

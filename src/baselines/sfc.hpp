@@ -1,0 +1,40 @@
+// Space-filling-curve mapping — a classic locality baseline not evaluated in
+// the paper but widely used for grid partitioning: order the grid cells
+// along a Hilbert (2-d) or Morton curve and assign consecutive runs to the
+// nodes. Included as an additional comparison point for the ablation bench;
+// the paper's specialized algorithms should match or beat it because they
+// exploit the stencil shape, which the curve ignores.
+#pragma once
+
+#include "core/mapper.hpp"
+
+namespace gridmap {
+
+enum class SfcCurve { kHilbert, kMorton };
+
+class SfcMapper final : public Mapper {
+ public:
+  explicit SfcMapper(SfcCurve curve = SfcCurve::kHilbert) : curve_(curve) {}
+
+  std::string_view name() const noexcept override {
+    return curve_ == SfcCurve::kHilbert ? "Hilbert SFC" : "Morton SFC";
+  }
+
+  /// Hilbert requires 2-d grids; Morton handles any dimension.
+  bool applicable(const CartesianGrid& grid, const Stencil& stencil,
+                  const NodeAllocation& alloc) const override;
+
+  Remapping remap(const CartesianGrid& grid, const Stencil& stencil,
+                  const NodeAllocation& alloc) const override;
+
+  /// Curve index of a coordinate within the 2^order x 2^order bounding
+  /// square (Hilbert) or the bounding power-of-two box (Morton). Exposed for
+  /// tests.
+  static std::uint64_t hilbert_index(int order, int x, int y);
+  static std::uint64_t morton_index(const Coord& coord);
+
+ private:
+  SfcCurve curve_;
+};
+
+}  // namespace gridmap

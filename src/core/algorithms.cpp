@@ -1,0 +1,84 @@
+#include "core/algorithms.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "baselines/blocked.hpp"
+#include "baselines/nodecart.hpp"
+#include "baselines/random_mapper.hpp"
+#include "core/hyperplane.hpp"
+#include "core/kd_tree.hpp"
+#include "core/stencil_strips.hpp"
+#include "gmap/gmap.hpp"
+
+namespace gridmap {
+
+std::string_view to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kBlocked:
+      return "Blocked";
+    case Algorithm::kHyperplane:
+      return "Hyperplane";
+    case Algorithm::kKdTree:
+      return "k-d Tree";
+    case Algorithm::kStencilStrips:
+      return "Stencil Strips";
+    case Algorithm::kNodecart:
+      return "Nodecart";
+    case Algorithm::kViemStar:
+      return "VieM*";
+    case Algorithm::kRandom:
+      return "Random";
+  }
+  return "unknown";
+}
+
+Algorithm algorithm_from_string(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  lower.erase(std::remove_if(lower.begin(), lower.end(),
+                             [](unsigned char c) { return c == ' ' || c == '-' || c == '_'; }),
+              lower.end());
+  if (lower == "blocked" || lower == "standard") return Algorithm::kBlocked;
+  if (lower == "hyperplane") return Algorithm::kHyperplane;
+  if (lower == "kdtree") return Algorithm::kKdTree;
+  if (lower == "stencilstrips" || lower == "strips") return Algorithm::kStencilStrips;
+  if (lower == "nodecart") return Algorithm::kNodecart;
+  if (lower == "viem" || lower == "viem*" || lower == "gmap") return Algorithm::kViemStar;
+  if (lower == "random") return Algorithm::kRandom;
+  throw_invalid("unknown algorithm name: " + std::string(name));
+}
+
+std::unique_ptr<Mapper> make_mapper(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kBlocked:
+      return std::make_unique<BlockedMapper>();
+    case Algorithm::kHyperplane:
+      return std::make_unique<HyperplaneMapper>();
+    case Algorithm::kKdTree:
+      return std::make_unique<KdTreeMapper>();
+    case Algorithm::kStencilStrips:
+      return std::make_unique<StencilStripsMapper>();
+    case Algorithm::kNodecart:
+      return std::make_unique<NodecartMapper>();
+    case Algorithm::kViemStar:
+      return std::make_unique<GeneralGraphMapper>();
+    case Algorithm::kRandom:
+      return std::make_unique<RandomMapper>();
+  }
+  throw_invalid("unknown algorithm enumerator");
+}
+
+std::vector<Algorithm> all_algorithms() {
+  return {Algorithm::kBlocked,       Algorithm::kHyperplane, Algorithm::kKdTree,
+          Algorithm::kStencilStrips, Algorithm::kNodecart,   Algorithm::kViemStar,
+          Algorithm::kRandom};
+}
+
+std::vector<Algorithm> reordering_algorithms() {
+  return {Algorithm::kHyperplane, Algorithm::kKdTree, Algorithm::kStencilStrips,
+          Algorithm::kViemStar, Algorithm::kNodecart};
+}
+
+}  // namespace gridmap

@@ -1,0 +1,41 @@
+// Registry of all mapping algorithms, mirroring the paper's evaluation
+// line-up (Section VI): the three new algorithms, blocked, Random, Nodecart,
+// and the VieM-style general graph mapper.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mapper.hpp"
+
+namespace gridmap {
+
+enum class Algorithm {
+  kBlocked,
+  kHyperplane,
+  kKdTree,
+  kStencilStrips,
+  kNodecart,
+  kViemStar,  // our VieM reimplementation
+  kRandom,
+};
+
+/// Display name matching the paper's figures.
+std::string_view to_string(Algorithm algorithm);
+
+/// Parses a (case-insensitive) algorithm name; accepts both paper names
+/// ("hyperplane", "k-d tree", "stencil strips", "nodecart", "viem",
+/// "blocked", "random") and compact aliases ("kdtree", "strips").
+Algorithm algorithm_from_string(std::string_view name);
+
+std::unique_ptr<Mapper> make_mapper(Algorithm algorithm);
+
+/// All algorithms in the paper's plotting order.
+std::vector<Algorithm> all_algorithms();
+
+/// The reordering algorithms compared in the speedup plots (everything
+/// except the blocked baseline and Random).
+std::vector<Algorithm> reordering_algorithms();
+
+}  // namespace gridmap

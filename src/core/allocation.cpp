@@ -1,0 +1,69 @@
+#include "core/allocation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gridmap {
+
+NodeAllocation NodeAllocation::homogeneous(int num_nodes, int procs_per_node) {
+  GRIDMAP_CHECK(num_nodes >= 1, "allocation needs at least one node");
+  GRIDMAP_CHECK(procs_per_node >= 1, "allocation needs at least one process per node");
+  return NodeAllocation(std::vector<int>(static_cast<std::size_t>(num_nodes), procs_per_node));
+}
+
+NodeAllocation::NodeAllocation(std::vector<int> sizes) : sizes_(std::move(sizes)) {
+  GRIDMAP_CHECK(!sizes_.empty(), "allocation needs at least one node");
+  prefix_.reserve(sizes_.size() + 1);
+  prefix_.push_back(0);
+  for (const int n : sizes_) {
+    GRIDMAP_CHECK(n >= 1, "node sizes must be positive");
+    prefix_.push_back(prefix_.back() + n);
+  }
+  total_ = prefix_.back();
+}
+
+bool NodeAllocation::homogeneous() const noexcept {
+  return std::all_of(sizes_.begin(), sizes_.end(),
+                     [&](int n) { return n == sizes_.front(); });
+}
+
+int NodeAllocation::uniform_size() const {
+  GRIDMAP_CHECK(homogeneous(), "allocation is heterogeneous");
+  return sizes_.front();
+}
+
+int NodeAllocation::representative_size(NodeSizeRep rep) const {
+  switch (rep) {
+    case NodeSizeRep::kMin:
+      return *std::min_element(sizes_.begin(), sizes_.end());
+    case NodeSizeRep::kMax:
+      return *std::max_element(sizes_.begin(), sizes_.end());
+    case NodeSizeRep::kMean:
+    default: {
+      const double mean = static_cast<double>(total_) / num_nodes();
+      return std::max(1, static_cast<int>(mean + 0.5));
+    }
+  }
+}
+
+NodeId NodeAllocation::node_of_rank(Rank r) const {
+  GRIDMAP_CHECK(r >= 0 && r < total_, "rank out of range");
+  const auto it = std::upper_bound(prefix_.begin(), prefix_.end(), static_cast<std::int64_t>(r));
+  return static_cast<NodeId>(std::distance(prefix_.begin(), it) - 1);
+}
+
+Rank NodeAllocation::first_rank(NodeId node) const {
+  GRIDMAP_CHECK(node >= 0 && node < num_nodes(), "node id out of range");
+  return static_cast<Rank>(prefix_[static_cast<std::size_t>(node)]);
+}
+
+std::vector<NodeId> NodeAllocation::node_of_all_ranks() const {
+  std::vector<NodeId> nodes(static_cast<std::size_t>(total_));
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    std::fill(nodes.begin() + prefix_[static_cast<std::size_t>(i)],
+              nodes.begin() + prefix_[static_cast<std::size_t>(i) + 1], i);
+  }
+  return nodes;
+}
+
+}  // namespace gridmap

@@ -1,0 +1,57 @@
+// NodeAllocation: the scheduler-given distribution of processes over compute
+// nodes (paper Section II: n_i processes on node i, sum n_i = p). The
+// allocation is fixed; mapping algorithms only permute which grid cell each
+// rank occupies.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace gridmap {
+
+/// How a single representative node size is derived from heterogeneous
+/// allocations (paper Section V-A: "one can use the mean, minimum or maximum
+/// of the node sizes as an input").
+enum class NodeSizeRep { kMean, kMin, kMax };
+
+class NodeAllocation {
+ public:
+  /// N nodes with n processes each.
+  static NodeAllocation homogeneous(int num_nodes, int procs_per_node);
+
+  /// Arbitrary per-node process counts (all positive).
+  explicit NodeAllocation(std::vector<int> sizes);
+
+  int num_nodes() const noexcept { return static_cast<int>(sizes_.size()); }
+  std::int64_t total() const noexcept { return total_; }
+  int size(NodeId node) const { return sizes_.at(static_cast<std::size_t>(node)); }
+  const std::vector<int>& sizes() const noexcept { return sizes_; }
+
+  bool homogeneous() const noexcept;
+
+  /// The common node size; throws when the allocation is heterogeneous.
+  int uniform_size() const;
+
+  /// Representative node size for algorithms that need a single n.
+  int representative_size(NodeSizeRep rep = NodeSizeRep::kMean) const;
+
+  /// Node hosting rank r under the blocked scheduler allocation
+  /// (consecutive ranks fill node 0, then node 1, ...). O(log N).
+  NodeId node_of_rank(Rank r) const;
+
+  /// First rank hosted on `node`.
+  Rank first_rank(NodeId node) const;
+
+  /// node_of_rank materialized for all ranks.
+  std::vector<NodeId> node_of_all_ranks() const;
+
+  friend bool operator==(const NodeAllocation&, const NodeAllocation&) = default;
+
+ private:
+  std::vector<int> sizes_;
+  std::vector<std::int64_t> prefix_;  // prefix_[i] = first rank of node i; size N+1
+  std::int64_t total_ = 0;
+};
+
+}  // namespace gridmap

@@ -1,0 +1,97 @@
+#include "core/brute_force.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace gridmap {
+
+namespace {
+
+struct SearchState {
+  const CartesianGrid* grid = nullptr;
+  std::vector<std::vector<Cell>> neighbors;  // directed adjacency per cell
+  std::vector<NodeId> assignment;
+  std::vector<int> remaining;  // capacity left per node
+  std::int64_t current_cut = 0;
+  std::int64_t best_cut = std::numeric_limits<std::int64_t>::max();
+  std::vector<NodeId> best_assignment;
+};
+
+// Assign cells in linear order; when assigning cell c, every edge between c
+// and an already-assigned cell is decided, so current_cut is exact over the
+// assigned prefix and a valid lower bound overall (branch and bound).
+void search(SearchState& st, Cell cell) {
+  const std::int64_t p = st.grid->size();
+  if (st.current_cut >= st.best_cut) return;
+  if (cell == p) {
+    st.best_cut = st.current_cut;
+    st.best_assignment = st.assignment;
+    return;
+  }
+  // Symmetry breaking: among nodes with identical remaining capacity that
+  // are still untouched, only try the first.
+  std::vector<bool> tried_capacity(static_cast<std::size_t>(
+                                       *std::max_element(st.remaining.begin(),
+                                                         st.remaining.end()) +
+                                       1),
+                                   false);
+  for (NodeId node = 0; node < static_cast<NodeId>(st.remaining.size()); ++node) {
+    if (st.remaining[static_cast<std::size_t>(node)] == 0) continue;
+    const bool untouched =
+        std::none_of(st.assignment.begin(), st.assignment.begin() + cell,
+                     [&](NodeId a) { return a == node; });
+    if (untouched) {
+      const int cap = st.remaining[static_cast<std::size_t>(node)];
+      if (tried_capacity[static_cast<std::size_t>(cap)]) continue;
+      tried_capacity[static_cast<std::size_t>(cap)] = true;
+    }
+    std::int64_t delta = 0;
+    for (const Cell nb : st.neighbors[static_cast<std::size_t>(cell)]) {
+      if (nb < cell && st.assignment[static_cast<std::size_t>(nb)] != node) ++delta;
+    }
+    // Each decided undirected pair contributes both directions when the
+    // stencil is symmetric; we count directed edges exactly by also scanning
+    // reverse edges from earlier cells into this one.
+    std::int64_t delta_rev = 0;
+    for (Cell earlier = 0; earlier < cell; ++earlier) {
+      if (st.assignment[static_cast<std::size_t>(earlier)] == node) continue;
+      for (const Cell nb : st.neighbors[static_cast<std::size_t>(earlier)]) {
+        if (nb == cell) ++delta_rev;
+      }
+    }
+    st.assignment[static_cast<std::size_t>(cell)] = node;
+    --st.remaining[static_cast<std::size_t>(node)];
+    st.current_cut += delta + delta_rev;
+    search(st, cell + 1);
+    st.current_cut -= delta + delta_rev;
+    ++st.remaining[static_cast<std::size_t>(node)];
+    st.assignment[static_cast<std::size_t>(cell)] = -1;
+  }
+}
+
+}  // namespace
+
+BruteForceResult brute_force_optimal(const CartesianGrid& grid, const Stencil& stencil,
+                                     const NodeAllocation& alloc, int max_cells) {
+  GRIDMAP_CHECK(grid.size() == alloc.total(),
+                "allocation total must equal number of grid positions");
+  GRIDMAP_CHECK(grid.size() <= max_cells,
+                "brute force limited to tiny instances");
+
+  SearchState st;
+  st.grid = &grid;
+  st.neighbors.resize(static_cast<std::size_t>(grid.size()));
+  for (Cell c = 0; c < grid.size(); ++c) {
+    st.neighbors[static_cast<std::size_t>(c)] = grid.neighbors(c, stencil);
+  }
+  st.assignment.assign(static_cast<std::size_t>(grid.size()), NodeId{-1});
+  st.remaining = alloc.sizes();
+  search(st, 0);
+
+  BruteForceResult result;
+  result.node_of_cell = st.best_assignment;
+  result.cost = evaluate_mapping(grid, stencil, result.node_of_cell, alloc.num_nodes());
+  return result;
+}
+
+}  // namespace gridmap

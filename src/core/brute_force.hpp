@@ -1,0 +1,25 @@
+// Exact optimal mapping by exhaustive search — the test oracle for tiny
+// instances. Finds the assignment of grid cells to nodes (respecting the
+// per-node capacities) minimizing Jsum, with Jmax as tie-breaker.
+#pragma once
+
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/grid.hpp"
+#include "core/metrics.hpp"
+#include "core/stencil.hpp"
+
+namespace gridmap {
+
+struct BruteForceResult {
+  std::vector<NodeId> node_of_cell;
+  MappingCost cost;
+};
+
+/// Exhaustive branch-and-bound over cell->node assignments. Only feasible
+/// for very small grids (p <= ~16); throws beyond `max_cells`.
+BruteForceResult brute_force_optimal(const CartesianGrid& grid, const Stencil& stencil,
+                                     const NodeAllocation& alloc, int max_cells = 16);
+
+}  // namespace gridmap

@@ -1,0 +1,124 @@
+#include "core/dims_create.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace gridmap {
+
+std::vector<std::int64_t> divisors(std::int64_t n) {
+  GRIDMAP_CHECK(n >= 1, "divisors: n must be positive");
+  std::vector<std::int64_t> small;
+  std::vector<std::int64_t> large;
+  for (std::int64_t i = 1; i * i <= n; ++i) {
+    if (n % i == 0) {
+      small.push_back(i);
+      if (i != n / i) large.push_back(n / i);
+    }
+  }
+  small.insert(small.end(), large.rbegin(), large.rend());
+  return small;
+}
+
+std::vector<std::int64_t> prime_factors(std::int64_t n) {
+  GRIDMAP_CHECK(n >= 1, "prime_factors: n must be positive");
+  std::vector<std::int64_t> factors;
+  for (std::int64_t f = 2; f * f <= n; ++f) {
+    while (n % f == 0) {
+      factors.push_back(f);
+      n /= f;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  return factors;
+}
+
+namespace {
+
+// Recursively assigns `slots` factors whose product is `n`, each at most
+// `max_allowed` (to emit a non-increasing sequence), minimizing the sum of
+// squares of the factors (the most balanced factorization).
+void search(std::int64_t n, int slots, std::int64_t max_allowed,
+            std::vector<std::int64_t>& current, double current_cost,
+            std::vector<std::int64_t>& best, double& best_cost) {
+  if (slots == 0) {
+    if (n == 1 && current_cost < best_cost) {
+      best = current;
+      best_cost = current_cost;
+    }
+    return;
+  }
+  for (const std::int64_t d : divisors(n)) {
+    if (d > max_allowed) break;
+    // The remaining slots must each be <= d (non-increasing output), so the
+    // residue n/d must fit into slots-1 factors of size at most d, i.e.
+    // d^(slots-1) >= n/d. Computed with an overflow clamp.
+    const std::int64_t need = n / d;
+    std::int64_t have = 1;
+    for (int i = 0; i < slots - 1 && have < need; ++i) {
+      if (have > std::numeric_limits<std::int64_t>::max() / std::max<std::int64_t>(d, 1)) {
+        have = std::numeric_limits<std::int64_t>::max();
+        break;
+      }
+      have *= d;
+    }
+    if (have < need) continue;
+    const double cost = current_cost + static_cast<double>(d) * static_cast<double>(d);
+    if (cost >= best_cost) continue;
+    current.push_back(d);
+    search(n / d, slots - 1, d, current, cost, best, best_cost);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+Dims dims_create(std::int64_t nnodes, int ndims) {
+  return dims_create(nnodes, ndims, Dims(static_cast<std::size_t>(ndims), 0));
+}
+
+Dims dims_create(std::int64_t nnodes, int ndims, Dims dims) {
+  GRIDMAP_CHECK(nnodes >= 1, "dims_create: nnodes must be positive");
+  GRIDMAP_CHECK(ndims >= 1, "dims_create: ndims must be positive");
+  GRIDMAP_CHECK(static_cast<int>(dims.size()) == ndims,
+                "dims_create: dims vector length must equal ndims");
+
+  std::int64_t fixed = 1;
+  int free_slots = 0;
+  for (const int d : dims) {
+    GRIDMAP_CHECK(d >= 0, "dims_create: dimension sizes must be non-negative");
+    if (d > 0) {
+      fixed *= d;
+    } else {
+      ++free_slots;
+    }
+  }
+  GRIDMAP_CHECK(fixed > 0 && nnodes % fixed == 0,
+                "dims_create: nnodes not divisible by fixed dimensions");
+  const std::int64_t remaining = nnodes / fixed;
+
+  if (free_slots == 0) {
+    GRIDMAP_CHECK(remaining == 1, "dims_create: fixed dimensions do not factor nnodes");
+    return dims;
+  }
+
+  // Enumerate non-increasing factorizations of `remaining` into `free_slots`
+  // factors, minimizing the sum of squares (the MPI "as close as possible"
+  // criterion). The first factor enumerated is the largest.
+  std::vector<std::int64_t> current;
+  std::vector<std::int64_t> best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  search(remaining, free_slots, remaining, current, 0.0, best, best_cost);
+  GRIDMAP_CHECK(!best.empty() || remaining == 1,
+                "dims_create: no factorization found");
+  if (best.empty()) best.assign(static_cast<std::size_t>(free_slots), 1);
+
+  // `best` is non-increasing already (max_allowed shrinks along the path);
+  // fill the zero entries in order.
+  std::size_t next = 0;
+  for (int& d : dims) {
+    if (d == 0) d = static_cast<int>(best[next++]);
+  }
+  return dims;
+}
+
+}  // namespace gridmap

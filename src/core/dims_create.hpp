@@ -1,0 +1,26 @@
+// dims_create: reimplementation of MPI_Dims_create semantics — factor a
+// process count into grid dimensions that are as close to each other as
+// possible, in non-increasing order (paper Section VI-B uses this to build
+// all evaluation grids).
+#pragma once
+
+#include "core/types.hpp"
+
+namespace gridmap {
+
+/// Returns the `ndims` dimension sizes for `nnodes` processes, balanced and
+/// sorted non-increasingly. Equivalent to MPI_Dims_create with all entries 0.
+Dims dims_create(std::int64_t nnodes, int ndims);
+
+/// MPI-style variant: entries of `dims` that are non-zero are kept fixed;
+/// zero entries are filled. Throws if `nnodes` is not divisible by the
+/// product of the fixed entries.
+Dims dims_create(std::int64_t nnodes, int ndims, Dims dims);
+
+/// All divisors of n in ascending order.
+std::vector<std::int64_t> divisors(std::int64_t n);
+
+/// Prime factorization of n as a flat list with multiplicities, ascending.
+std::vector<std::int64_t> prime_factors(std::int64_t n);
+
+}  // namespace gridmap

@@ -1,0 +1,92 @@
+#include "core/grid.hpp"
+
+namespace gridmap {
+
+CartesianGrid::CartesianGrid(Dims dims, std::vector<bool> periodic)
+    : dims_(std::move(dims)), periodic_(std::move(periodic)) {
+  GRIDMAP_CHECK(!dims_.empty(), "grid needs at least one dimension");
+  size_ = product(dims_);
+  if (periodic_.empty()) periodic_.assign(dims_.size(), false);
+  GRIDMAP_CHECK(periodic_.size() == dims_.size(),
+                "periodicity vector length must match ndims");
+  strides_.assign(dims_.size(), 1);
+  for (int i = ndims() - 2; i >= 0; --i) {
+    strides_[static_cast<std::size_t>(i)] =
+        strides_[static_cast<std::size_t>(i + 1)] * dims_[static_cast<std::size_t>(i + 1)];
+  }
+}
+
+Cell CartesianGrid::cell_of(const Coord& coord) const {
+  GRIDMAP_CHECK(in_bounds(coord), "coordinate out of grid bounds");
+  Cell cell = 0;
+  for (std::size_t i = 0; i < dims_.size(); ++i) cell += coord[i] * strides_[i];
+  return cell;
+}
+
+Coord CartesianGrid::coord_of(Cell cell) const {
+  GRIDMAP_CHECK(cell >= 0 && cell < size_, "cell index out of range");
+  Coord coord(dims_.size(), 0);
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    coord[i] = static_cast<int>(cell / strides_[i]);
+    cell %= strides_[i];
+  }
+  return coord;
+}
+
+bool CartesianGrid::in_bounds(const Coord& coord) const {
+  if (coord.size() != dims_.size()) return false;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (coord[i] < 0 || coord[i] >= dims_[i]) return false;
+  }
+  return true;
+}
+
+bool CartesianGrid::translate(const Coord& coord, const Offset& offset, Coord& out) const {
+  GRIDMAP_CHECK(offset.size() == dims_.size(), "offset dimensionality mismatch");
+  out = coord;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    int v = coord[i] + offset[i];
+    if (v < 0 || v >= dims_[i]) {
+      if (!periodic_[i]) return false;
+      v %= dims_[i];
+      if (v < 0) v += dims_[i];
+    }
+    out[i] = v;
+  }
+  return true;
+}
+
+std::vector<Cell> CartesianGrid::neighbors(Cell cell, const Stencil& stencil) const {
+  GRIDMAP_CHECK(stencil.ndims() == ndims(), "stencil dimensionality mismatch");
+  const Coord coord = coord_of(cell);
+  std::vector<Cell> result;
+  result.reserve(stencil.offsets().size());
+  Coord dest;
+  for (const Offset& off : stencil.offsets()) {
+    if (translate(coord, off, dest)) result.push_back(cell_of(dest));
+  }
+  return result;
+}
+
+std::int64_t CartesianGrid::count_directed_edges(const Stencil& stencil) const {
+  GRIDMAP_CHECK(stencil.ndims() == ndims(), "stencil dimensionality mismatch");
+  // For each offset, the number of cells whose translated position stays in
+  // bounds is a product over dimensions of (d_i - |off_i|) (or d_i when the
+  // dimension is periodic and |off_i| < d_i covers wrapping).
+  std::int64_t total = 0;
+  for (const Offset& off : stencil.offsets()) {
+    std::int64_t cells = 1;
+    for (int i = 0; i < ndims(); ++i) {
+      const int a = off[static_cast<std::size_t>(i)];
+      const int d = dims_[static_cast<std::size_t>(i)];
+      const int reach = periodic_[static_cast<std::size_t>(i)]
+                            ? d
+                            : std::max(0, d - (a < 0 ? -a : a));
+      cells *= reach;
+    }
+    total += cells;
+  }
+  return total;
+}
+
+}  // namespace gridmap

@@ -1,0 +1,57 @@
+// CartesianGrid: a d-dimensional process grid with row-major rank layout
+// (paper Section II). Supports optional per-dimension periodicity.
+#pragma once
+
+#include <vector>
+
+#include "core/stencil.hpp"
+#include "core/types.hpp"
+
+namespace gridmap {
+
+/// A Cartesian process grid with dimension sizes D = [d_0, ..., d_{d-1}].
+///
+/// Grid positions are identified either by coordinate vectors or by their
+/// row-major linear index (the *cell*): the last dimension varies fastest,
+/// matching MPI_Cart_rank / the paper's w.l.o.g. row-major assignment.
+class CartesianGrid {
+ public:
+  explicit CartesianGrid(Dims dims, std::vector<bool> periodic = {});
+
+  int ndims() const noexcept { return static_cast<int>(dims_.size()); }
+  const Dims& dims() const noexcept { return dims_; }
+  int dim(int i) const { return dims_.at(static_cast<std::size_t>(i)); }
+  std::int64_t size() const noexcept { return size_; }
+  bool periodic(int i) const { return periodic_.at(static_cast<std::size_t>(i)); }
+  const std::vector<bool>& periods() const noexcept { return periodic_; }
+
+  /// Row-major linear index of a coordinate (must be in bounds).
+  Cell cell_of(const Coord& coord) const;
+
+  /// Inverse of cell_of.
+  Coord coord_of(Cell cell) const;
+
+  bool in_bounds(const Coord& coord) const;
+
+  /// Destination of moving from `coord` by `offset`. Returns false when the
+  /// move leaves the grid along a non-periodic dimension; otherwise writes
+  /// the (wrapped) destination into `out` and returns true.
+  bool translate(const Coord& coord, const Offset& offset, Coord& out) const;
+
+  /// All existing stencil neighbors of `cell` (directed, one per offset that
+  /// stays in bounds / wraps periodically).
+  std::vector<Cell> neighbors(Cell cell, const Stencil& stencil) const;
+
+  /// Total number of directed communication edges induced by the stencil.
+  std::int64_t count_directed_edges(const Stencil& stencil) const;
+
+  friend bool operator==(const CartesianGrid&, const CartesianGrid&) = default;
+
+ private:
+  Dims dims_;
+  std::vector<bool> periodic_;
+  std::vector<std::int64_t> strides_;  // row-major strides
+  std::int64_t size_ = 0;
+};
+
+}  // namespace gridmap

@@ -1,0 +1,52 @@
+#include "core/hierarchical.hpp"
+
+namespace gridmap {
+
+NodeAllocation socket_allocation(const NodeAllocation& alloc, int sockets_per_node) {
+  GRIDMAP_CHECK(sockets_per_node >= 1, "need at least one socket per node");
+  std::vector<int> sizes;
+  sizes.reserve(static_cast<std::size_t>(alloc.num_nodes()) * sockets_per_node);
+  for (NodeId node = 0; node < alloc.num_nodes(); ++node) {
+    const int n = alloc.size(node);
+    GRIDMAP_CHECK(n % sockets_per_node == 0,
+                  "node size not divisible by the socket count");
+    for (int s = 0; s < sockets_per_node; ++s) {
+      sizes.push_back(n / sockets_per_node);
+    }
+  }
+  return NodeAllocation(std::move(sizes));
+}
+
+HierarchicalCost evaluate_hierarchical(const CartesianGrid& grid, const Stencil& stencil,
+                                       const Remapping& remapping,
+                                       const NodeAllocation& alloc, int sockets_per_node) {
+  HierarchicalCost cost;
+  cost.node_level = evaluate_mapping(grid, stencil, remapping, alloc);
+  cost.socket_level = evaluate_mapping(
+      grid, stencil, remapping, socket_allocation(alloc, sockets_per_node));
+  return cost;
+}
+
+HierarchicalMapper::HierarchicalMapper(std::unique_ptr<Mapper> inner, int sockets_per_node)
+    : inner_(std::move(inner)), sockets_per_node_(sockets_per_node) {
+  GRIDMAP_CHECK(inner_ != nullptr, "hierarchical mapper needs an inner algorithm");
+  GRIDMAP_CHECK(sockets_per_node_ >= 1, "need at least one socket per node");
+  name_ = std::string(inner_->name()) + " (socket-aware)";
+}
+
+bool HierarchicalMapper::applicable(const CartesianGrid& grid, const Stencil& stencil,
+                                    const NodeAllocation& alloc) const {
+  for (NodeId node = 0; node < alloc.num_nodes(); ++node) {
+    if (alloc.size(node) % sockets_per_node_ != 0) return false;
+  }
+  return inner_->applicable(grid, stencil, socket_allocation(alloc, sockets_per_node_));
+}
+
+Remapping HierarchicalMapper::remap(const CartesianGrid& grid, const Stencil& stencil,
+                                    const NodeAllocation& alloc) const {
+  GRIDMAP_CHECK(applicable(grid, stencil, alloc),
+                "hierarchical mapping not applicable to this instance");
+  return inner_->remap(grid, stencil, socket_allocation(alloc, sockets_per_node_));
+}
+
+}  // namespace gridmap

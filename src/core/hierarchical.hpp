@@ -1,0 +1,54 @@
+// Hierarchical (socket-aware) mapping — an extension the paper points to
+// via Gropp's node/socket variant and Niethammer & Rabenseifner's
+// hierarchical systems: the evaluation machines all have two CPU sockets per
+// node, and cross-socket communication is slower than within a socket.
+//
+// We refine any mapping algorithm hierarchically: the inner mapper is run
+// against a finer allocation of N * S pseudo-nodes of size n/S (one per
+// socket). Because the scheduler's rank order is blocked, socket s of node i
+// holds exactly the pseudo-node i*S + s, so the refined mapping is
+// simultaneously a valid node-level mapping (pseudo-node / S) and a
+// socket-level mapping — node-level quality is preserved structurally by
+// divisible-split algorithms while cross-socket traffic drops.
+#pragma once
+
+#include <memory>
+
+#include "core/mapper.hpp"
+#include "core/metrics.hpp"
+
+namespace gridmap {
+
+struct HierarchicalCost {
+  MappingCost node_level;    ///< inter-node Jsum/Jmax (the paper's metrics)
+  MappingCost socket_level;  ///< inter-socket Jsum/Jmax (treating sockets as units)
+};
+
+/// Evaluates a remapping at both hierarchy levels. Requires every node size
+/// to be divisible by `sockets_per_node`.
+HierarchicalCost evaluate_hierarchical(const CartesianGrid& grid, const Stencil& stencil,
+                                       const Remapping& remapping,
+                                       const NodeAllocation& alloc, int sockets_per_node);
+
+/// The socket-refined allocation: N * S units of size n_i / S.
+NodeAllocation socket_allocation(const NodeAllocation& alloc, int sockets_per_node);
+
+class HierarchicalMapper final : public Mapper {
+ public:
+  HierarchicalMapper(std::unique_ptr<Mapper> inner, int sockets_per_node);
+
+  std::string_view name() const noexcept override { return name_; }
+
+  bool applicable(const CartesianGrid& grid, const Stencil& stencil,
+                  const NodeAllocation& alloc) const override;
+
+  Remapping remap(const CartesianGrid& grid, const Stencil& stencil,
+                  const NodeAllocation& alloc) const override;
+
+ private:
+  std::unique_ptr<Mapper> inner_;
+  int sockets_per_node_;
+  std::string name_;
+};
+
+}  // namespace gridmap

@@ -1,0 +1,22 @@
+#include "core/mapper.hpp"
+
+namespace gridmap {
+
+bool Mapper::applicable(const CartesianGrid& grid, const Stencil& stencil,
+                        const NodeAllocation& alloc) const {
+  return grid.size() == alloc.total() && stencil.ndims() == grid.ndims();
+}
+
+Remapping DistributedMapper::remap(const CartesianGrid& grid, const Stencil& stencil,
+                                   const NodeAllocation& alloc) const {
+  GRIDMAP_CHECK(grid.size() == alloc.total(),
+                "allocation total must equal number of grid positions");
+  std::vector<Cell> cells(static_cast<std::size_t>(grid.size()));
+  for (Rank r = 0; r < static_cast<Rank>(grid.size()); ++r) {
+    cells[static_cast<std::size_t>(r)] =
+        grid.cell_of(new_coordinate(grid, stencil, alloc, r));
+  }
+  return Remapping::from_cells(grid, std::move(cells));
+}
+
+}  // namespace gridmap

@@ -1,0 +1,43 @@
+// Mapper: common interface of all process-to-node mapping algorithms.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "core/allocation.hpp"
+#include "core/grid.hpp"
+#include "core/remapping.hpp"
+#include "core/stencil.hpp"
+
+namespace gridmap {
+
+/// Base interface: computes a full rank -> grid-cell remapping.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Whether the algorithm can handle this instance (e.g. Nodecart requires a
+  /// factorization of n compatible with the grid). Default: always.
+  virtual bool applicable(const CartesianGrid& grid, const Stencil& stencil,
+                          const NodeAllocation& alloc) const;
+
+  virtual Remapping remap(const CartesianGrid& grid, const Stencil& stencil,
+                          const NodeAllocation& alloc) const = 0;
+};
+
+/// A mapper whose result every rank can compute locally from the input alone
+/// (the paper's design goal (a) in Section V). `new_coordinate` is the
+/// distributed entry point; `remap` (provided here) simply loops over ranks,
+/// so the two must stay consistent — a property the tests pin down.
+class DistributedMapper : public Mapper {
+ public:
+  virtual Coord new_coordinate(const CartesianGrid& grid, const Stencil& stencil,
+                               const NodeAllocation& alloc, Rank rank) const = 0;
+
+  Remapping remap(const CartesianGrid& grid, const Stencil& stencil,
+                  const NodeAllocation& alloc) const override;
+};
+
+}  // namespace gridmap

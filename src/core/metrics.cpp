@@ -1,0 +1,116 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gridmap {
+
+MappingCost evaluate_mapping(const CartesianGrid& grid, const Stencil& stencil,
+                             const std::vector<NodeId>& node_of_cell, int num_nodes) {
+  GRIDMAP_CHECK(static_cast<std::int64_t>(node_of_cell.size()) == grid.size(),
+                "node_of_cell size must equal grid size");
+  MappingCost cost;
+  cost.out_edges.assign(static_cast<std::size_t>(num_nodes), 0);
+  cost.intra_edges.assign(static_cast<std::size_t>(num_nodes), 0);
+
+  const std::int64_t p = grid.size();
+  for (Cell u = 0; u < p; ++u) {
+    const NodeId nu = node_of_cell[static_cast<std::size_t>(u)];
+    GRIDMAP_CHECK(nu >= 0 && nu < num_nodes, "node id out of range");
+    for (const Cell v : grid.neighbors(u, stencil)) {
+      const NodeId nv = node_of_cell[static_cast<std::size_t>(v)];
+      if (nu == nv) {
+        ++cost.intra_edges[static_cast<std::size_t>(nu)];
+      } else {
+        ++cost.out_edges[static_cast<std::size_t>(nu)];
+        ++cost.jsum;
+      }
+    }
+  }
+  const auto it = std::max_element(cost.out_edges.begin(), cost.out_edges.end());
+  cost.jmax = (it == cost.out_edges.end()) ? 0 : *it;
+  cost.bottleneck = (it == cost.out_edges.end())
+                        ? NodeId{-1}
+                        : static_cast<NodeId>(std::distance(cost.out_edges.begin(), it));
+  return cost;
+}
+
+MappingCost evaluate_mapping(const CartesianGrid& grid, const Stencil& stencil,
+                             const Remapping& remapping, const NodeAllocation& alloc) {
+  return evaluate_mapping(grid, stencil, remapping.node_of_cell(alloc), alloc.num_nodes());
+}
+
+TrafficMatrix::TrafficMatrix(int num_nodes) : num_nodes_(num_nodes) {
+  GRIDMAP_CHECK(num_nodes >= 1, "traffic matrix needs at least one node");
+  counts_.assign(static_cast<std::size_t>(num_nodes) * num_nodes, 0);
+}
+
+std::int64_t& TrafficMatrix::at(NodeId from, NodeId to) {
+  return counts_.at(static_cast<std::size_t>(from) * num_nodes_ + to);
+}
+
+std::int64_t TrafficMatrix::at(NodeId from, NodeId to) const {
+  return counts_.at(static_cast<std::size_t>(from) * num_nodes_ + to);
+}
+
+std::int64_t TrafficMatrix::total() const {
+  std::int64_t sum = 0;
+  for (int a = 0; a < num_nodes_; ++a) {
+    for (int b = 0; b < num_nodes_; ++b) {
+      if (a != b) sum += at(a, b);
+    }
+  }
+  return sum;
+}
+
+std::int64_t TrafficMatrix::out_degree_bytes(NodeId node) const {
+  std::int64_t sum = 0;
+  for (int b = 0; b < num_nodes_; ++b) {
+    if (b != node) sum += at(node, b);
+  }
+  return sum;
+}
+
+std::int64_t TrafficMatrix::in_degree_bytes(NodeId node) const {
+  std::int64_t sum = 0;
+  for (int a = 0; a < num_nodes_; ++a) {
+    if (a != node) sum += at(a, node);
+  }
+  return sum;
+}
+
+TrafficMatrix traffic_matrix(const CartesianGrid& grid, const Stencil& stencil,
+                             const std::vector<NodeId>& node_of_cell, int num_nodes) {
+  GRIDMAP_CHECK(static_cast<std::int64_t>(node_of_cell.size()) == grid.size(),
+                "node_of_cell size must equal grid size");
+  TrafficMatrix traffic(num_nodes);
+  const std::int64_t p = grid.size();
+  for (Cell u = 0; u < p; ++u) {
+    const NodeId nu = node_of_cell[static_cast<std::size_t>(u)];
+    for (const Cell v : grid.neighbors(u, stencil)) {
+      const NodeId nv = node_of_cell[static_cast<std::size_t>(v)];
+      ++traffic.at(nu, nv);
+    }
+  }
+  return traffic;
+}
+
+std::vector<RankFlow> rank_flows(const CartesianGrid& grid, const Stencil& stencil,
+                                 const Remapping& remapping, const NodeAllocation& alloc) {
+  const std::vector<NodeId> node_of_rank = alloc.node_of_all_ranks();
+  std::vector<RankFlow> flows;
+  flows.reserve(static_cast<std::size_t>(grid.size()) * stencil.offsets().size());
+  const std::int64_t p = grid.size();
+  for (Cell u = 0; u < p; ++u) {
+    const Rank src = remapping.rank_of(u);
+    const NodeId src_node = node_of_rank[static_cast<std::size_t>(src)];
+    for (const Cell v : grid.neighbors(u, stencil)) {
+      const Rank dst = remapping.rank_of(v);
+      flows.push_back(RankFlow{src, dst, src_node,
+                               node_of_rank[static_cast<std::size_t>(dst)]});
+    }
+  }
+  return flows;
+}
+
+}  // namespace gridmap

@@ -1,0 +1,67 @@
+// Mapping-quality metrics of the paper (Section II): Jsum — total number of
+// directed inter-node communication edges — and Jmax — the outgoing edge
+// count of the bottleneck node.
+#pragma once
+
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/grid.hpp"
+#include "core/remapping.hpp"
+#include "core/stencil.hpp"
+#include "core/types.hpp"
+
+namespace gridmap {
+
+struct MappingCost {
+  std::int64_t jsum = 0;  ///< directed edges crossing node boundaries
+  std::int64_t jmax = 0;  ///< max over nodes of outgoing inter-node edges
+  NodeId bottleneck = -1; ///< node attaining jmax
+  std::vector<std::int64_t> out_edges;    ///< per node: outgoing inter-node edges
+  std::vector<std::int64_t> intra_edges;  ///< per node: directed edges staying inside
+};
+
+/// Evaluates a node-ownership vector (node_of_cell) directly.
+MappingCost evaluate_mapping(const CartesianGrid& grid, const Stencil& stencil,
+                             const std::vector<NodeId>& node_of_cell, int num_nodes);
+
+/// Evaluates a rank remapping under the given allocation.
+MappingCost evaluate_mapping(const CartesianGrid& grid, const Stencil& stencil,
+                             const Remapping& remapping, const NodeAllocation& alloc);
+
+/// Directed communication volume between node pairs: entry (a, b) counts the
+/// directed grid edges from a cell owned by node a to a cell owned by node b
+/// (a != b). Used by the network simulator.
+class TrafficMatrix {
+ public:
+  TrafficMatrix(int num_nodes);
+
+  int num_nodes() const noexcept { return num_nodes_; }
+  std::int64_t& at(NodeId from, NodeId to);
+  std::int64_t at(NodeId from, NodeId to) const;
+
+  std::int64_t total() const;                ///< == Jsum
+  std::int64_t out_degree_bytes(NodeId) const;  ///< row sum (edge counts)
+  std::int64_t in_degree_bytes(NodeId) const;   ///< column sum
+
+ private:
+  int num_nodes_ = 0;
+  std::vector<std::int64_t> counts_;  // dense num_nodes x num_nodes
+};
+
+TrafficMatrix traffic_matrix(const CartesianGrid& grid, const Stencil& stencil,
+                             const std::vector<NodeId>& node_of_cell, int num_nodes);
+
+/// Per-rank directed communication edges (src rank -> dst rank) under a
+/// remapping; the unit of the network simulator's flows.
+struct RankFlow {
+  Rank src = 0;
+  Rank dst = 0;
+  NodeId src_node = 0;
+  NodeId dst_node = 0;
+};
+
+std::vector<RankFlow> rank_flows(const CartesianGrid& grid, const Stencil& stencil,
+                                 const Remapping& remapping, const NodeAllocation& alloc);
+
+}  // namespace gridmap

@@ -1,0 +1,42 @@
+#include "core/remapping.hpp"
+
+#include <numeric>
+
+namespace gridmap {
+
+Remapping Remapping::identity(const CartesianGrid& grid) {
+  Remapping m;
+  m.cell_of_rank_.resize(static_cast<std::size_t>(grid.size()));
+  std::iota(m.cell_of_rank_.begin(), m.cell_of_rank_.end(), Cell{0});
+  m.rank_of_cell_.resize(static_cast<std::size_t>(grid.size()));
+  std::iota(m.rank_of_cell_.begin(), m.rank_of_cell_.end(), Rank{0});
+  return m;
+}
+
+Remapping Remapping::from_cells(const CartesianGrid& grid, std::vector<Cell> cell_of_rank) {
+  GRIDMAP_CHECK(static_cast<std::int64_t>(cell_of_rank.size()) == grid.size(),
+                "remapping size must equal grid size");
+  Remapping m;
+  m.rank_of_cell_.assign(cell_of_rank.size(), Rank{-1});
+  for (std::size_t r = 0; r < cell_of_rank.size(); ++r) {
+    const Cell c = cell_of_rank[r];
+    GRIDMAP_CHECK(c >= 0 && c < grid.size(), "remapping target cell out of range");
+    GRIDMAP_CHECK(m.rank_of_cell_[static_cast<std::size_t>(c)] < 0,
+                  "remapping is not a bijection (duplicate cell)");
+    m.rank_of_cell_[static_cast<std::size_t>(c)] = static_cast<Rank>(r);
+  }
+  m.cell_of_rank_ = std::move(cell_of_rank);
+  return m;
+}
+
+std::vector<NodeId> Remapping::node_of_cell(const NodeAllocation& alloc) const {
+  GRIDMAP_CHECK(alloc.total() == size(), "allocation total must equal grid size");
+  std::vector<NodeId> node_of_rank = alloc.node_of_all_ranks();
+  std::vector<NodeId> result(rank_of_cell_.size());
+  for (std::size_t c = 0; c < rank_of_cell_.size(); ++c) {
+    result[c] = node_of_rank[static_cast<std::size_t>(rank_of_cell_[c])];
+  }
+  return result;
+}
+
+}  // namespace gridmap

@@ -1,0 +1,43 @@
+// Remapping: the result of a mapping algorithm — a bijection between ranks
+// and grid cells. The scheduler's node allocation stays fixed (MPI reorder
+// semantics): algorithms choose *where in the grid* each rank goes, which
+// determines which compute node owns each grid position.
+#pragma once
+
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/grid.hpp"
+#include "core/types.hpp"
+
+namespace gridmap {
+
+class Remapping {
+ public:
+  /// The blocked / identity mapping: rank r occupies cell r.
+  static Remapping identity(const CartesianGrid& grid);
+
+  /// Builds from cell_of_rank (validated to be a bijection on [0, p)).
+  static Remapping from_cells(const CartesianGrid& grid, std::vector<Cell> cell_of_rank);
+
+  std::int64_t size() const noexcept { return static_cast<std::int64_t>(cell_of_rank_.size()); }
+
+  Cell cell_of(Rank r) const { return cell_of_rank_.at(static_cast<std::size_t>(r)); }
+  Rank rank_of(Cell c) const { return rank_of_cell_.at(static_cast<std::size_t>(c)); }
+
+  const std::vector<Cell>& cell_of_rank() const noexcept { return cell_of_rank_; }
+  const std::vector<Rank>& rank_of_cell() const noexcept { return rank_of_cell_; }
+
+  /// node_of_cell[c] = compute node owning grid cell c under `alloc`.
+  std::vector<NodeId> node_of_cell(const NodeAllocation& alloc) const;
+
+  friend bool operator==(const Remapping&, const Remapping&) = default;
+
+ private:
+  Remapping() = default;
+
+  std::vector<Cell> cell_of_rank_;
+  std::vector<Rank> rank_of_cell_;
+};
+
+}  // namespace gridmap

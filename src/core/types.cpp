@@ -1,0 +1,21 @@
+#include "core/types.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace gridmap {
+
+void throw_invalid(const std::string& what) { throw std::invalid_argument(what); }
+
+std::int64_t product(const Dims& dims) {
+  std::int64_t p = 1;
+  for (const int d : dims) {
+    GRIDMAP_CHECK(d > 0, "dimension sizes must be positive");
+    GRIDMAP_CHECK(p <= std::numeric_limits<std::int64_t>::max() / d,
+                  "grid size overflows 64-bit integer");
+    p *= d;
+  }
+  return p;
+}
+
+}  // namespace gridmap

@@ -1,0 +1,36 @@
+// Core type aliases and error-checking helpers shared across gridmap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gridmap {
+
+/// MPI-style process rank within a communicator (0-based).
+using Rank = std::int32_t;
+/// Compute-node identifier (0-based).
+using NodeId = std::int32_t;
+/// Linear (row-major) index of a grid position.
+using Cell = std::int64_t;
+/// Position vector in a d-dimensional Cartesian grid.
+using Coord = std::vector<int>;
+/// Dimension sizes of a Cartesian grid.
+using Dims = std::vector<int>;
+/// Relative offset vector of a stencil neighbor.
+using Offset = std::vector<int>;
+
+/// Throws std::invalid_argument with the given message.
+[[noreturn]] void throw_invalid(const std::string& what);
+
+/// Precondition/invariant check used across the library. Always enabled: the
+/// checks guard API misuse on cold paths only.
+#define GRIDMAP_CHECK(cond, msg)                         \
+  do {                                                   \
+    if (!(cond)) ::gridmap::throw_invalid((msg));        \
+  } while (false)
+
+/// Product of dimension sizes as a 64-bit integer (overflow-checked).
+std::int64_t product(const Dims& dims);
+
+}  // namespace gridmap

@@ -1,0 +1,30 @@
+// Multilevel 2-way partitioning: coarsen (heavy-edge matching), greedy
+// region-growing initial partition on the coarsest graph, FM refinement on
+// every level while uncoarsening, exact rebalance at the finest level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace gridmap {
+
+struct BisectionOptions {
+  std::int64_t target0 = 0;  ///< desired vertex weight of side 0
+  int coarsen_target = 60;   ///< stop coarsening below this many vertices
+  int initial_tries = 4;     ///< region-growing attempts (different seeds)
+  int fm_passes = 8;
+  std::uint64_t seed = 1;
+  bool exact_balance = true;  ///< force side-0 weight == target0 at the end
+};
+
+/// Returns a 0/1 partition of the graph's vertices.
+std::vector<int> multilevel_bisection(const CsrGraph& graph, const BisectionOptions& options);
+
+/// Greedy region growing used for the initial partition (exposed for tests):
+/// grows side 0 from `seed_vertex` by repeatedly absorbing the boundary
+/// vertex with the strongest connection to side 0 until target0 is reached.
+std::vector<int> grow_region(const CsrGraph& graph, int seed_vertex, std::int64_t target0);
+
+}  // namespace gridmap

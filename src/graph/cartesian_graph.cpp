@@ -1,0 +1,22 @@
+#include "graph/cartesian_graph.hpp"
+
+namespace gridmap {
+
+CsrGraph build_cartesian_graph(const CartesianGrid& grid, const Stencil& stencil) {
+  GRIDMAP_CHECK(grid.size() <= (std::int64_t{1} << 31) - 1,
+                "grid too large for the CSR graph builder");
+  std::vector<CsrGraph::WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(grid.size()) * stencil.offsets().size() / 2 + 1);
+  const std::int64_t p = grid.size();
+  for (Cell u = 0; u < p; ++u) {
+    for (const Cell v : grid.neighbors(u, stencil)) {
+      // Each directed edge contributes weight 1; from_edges merges the two
+      // directions (and any duplicate offsets reaching the same pair, e.g.
+      // via periodic wrap-around) into one undirected edge.
+      edges.push_back({static_cast<int>(u), static_cast<int>(v), 1});
+    }
+  }
+  return CsrGraph::from_edges(static_cast<int>(p), std::move(edges));
+}
+
+}  // namespace gridmap

@@ -1,0 +1,15 @@
+// Builds the Cartesian communication graph C = (V, E) induced by a grid and
+// a k-neighborhood stencil (paper Section II), as an undirected CSR graph
+// whose edge weights count the directed communication edges between the
+// endpoints — so a partition's weighted cut equals Jsum.
+#pragma once
+
+#include "core/grid.hpp"
+#include "core/stencil.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace gridmap {
+
+CsrGraph build_cartesian_graph(const CartesianGrid& grid, const Stencil& stencil);
+
+}  // namespace gridmap

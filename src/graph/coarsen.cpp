@@ -1,0 +1,84 @@
+#include "graph/coarsen.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+namespace gridmap {
+
+CoarseLevel coarsen_once(const CsrGraph& graph, std::uint64_t seed) {
+  const int n = graph.num_vertices();
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::mt19937_64 rng(seed);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  std::vector<int> match(static_cast<std::size_t>(n), -1);
+  for (const int v : order) {
+    if (match[static_cast<std::size_t>(v)] >= 0) continue;
+    const auto nbs = graph.neighbors(v);
+    const auto wts = graph.edge_weights(v);
+    int best = -1;
+    std::int64_t best_weight = -1;
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      const int u = nbs[i];
+      if (match[static_cast<std::size_t>(u)] >= 0) continue;
+      if (wts[i] > best_weight || (wts[i] == best_weight && u < best)) {
+        best = u;
+        best_weight = wts[i];
+      }
+    }
+    if (best >= 0) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    } else {
+      match[static_cast<std::size_t>(v)] = v;  // stays alone
+    }
+  }
+
+  CoarseLevel level;
+  level.fine_to_coarse.assign(static_cast<std::size_t>(n), -1);
+  int coarse_count = 0;
+  for (int v = 0; v < n; ++v) {
+    if (level.fine_to_coarse[static_cast<std::size_t>(v)] >= 0) continue;
+    const int u = match[static_cast<std::size_t>(v)];
+    level.fine_to_coarse[static_cast<std::size_t>(v)] = coarse_count;
+    level.fine_to_coarse[static_cast<std::size_t>(u)] = coarse_count;
+    ++coarse_count;
+  }
+
+  std::vector<std::int64_t> vwgt(static_cast<std::size_t>(coarse_count), 0);
+  for (int v = 0; v < n; ++v) {
+    vwgt[static_cast<std::size_t>(level.fine_to_coarse[static_cast<std::size_t>(v)])] +=
+        graph.vertex_weight(v);
+  }
+  std::vector<CsrGraph::WeightedEdge> edges;
+  for (int v = 0; v < n; ++v) {
+    const auto nbs = graph.neighbors(v);
+    const auto wts = graph.edge_weights(v);
+    const int cv = level.fine_to_coarse[static_cast<std::size_t>(v)];
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      const int cu = level.fine_to_coarse[static_cast<std::size_t>(nbs[i])];
+      if (cv < cu) edges.push_back({cv, cu, wts[i]});  // each fine edge once
+    }
+  }
+  level.graph = CsrGraph::from_edges(coarse_count, std::move(edges), std::move(vwgt));
+  return level;
+}
+
+std::vector<CoarseLevel> coarsen_hierarchy(const CsrGraph& graph, int target_vertices,
+                                           std::uint64_t seed) {
+  std::vector<CoarseLevel> hierarchy;
+  const CsrGraph* current = &graph;
+  while (current->num_vertices() > target_vertices) {
+    CoarseLevel level = coarsen_once(*current, seed + hierarchy.size());
+    const int before = current->num_vertices();
+    const int after = level.graph.num_vertices();
+    if (after >= before || before - after < before / 10) break;  // matching stalled
+    hierarchy.push_back(std::move(level));
+    current = &hierarchy.back().graph;
+  }
+  return hierarchy;
+}
+
+}  // namespace gridmap

@@ -1,0 +1,28 @@
+// Multilevel coarsening via heavy-edge matching (the standard first phase of
+// multilevel graph partitioners; see Schulz et al. for the approach VieM is
+// built on).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace gridmap {
+
+struct CoarseLevel {
+  CsrGraph graph;                ///< the contracted graph
+  std::vector<int> fine_to_coarse;  ///< map from fine vertex to coarse vertex
+};
+
+/// One round of heavy-edge matching + contraction. Vertices are visited in a
+/// seeded random order; each unmatched vertex is matched to the unmatched
+/// neighbor with the heaviest connecting edge (ties: lower id).
+CoarseLevel coarsen_once(const CsrGraph& graph, std::uint64_t seed);
+
+/// A full coarsening hierarchy: repeat until at most `target_vertices`
+/// remain or a round shrinks the graph by less than 10 %.
+std::vector<CoarseLevel> coarsen_hierarchy(const CsrGraph& graph, int target_vertices,
+                                           std::uint64_t seed);
+
+}  // namespace gridmap

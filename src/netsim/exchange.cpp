@@ -1,0 +1,156 @@
+#include "netsim/exchange.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <random>
+#include <tuple>
+
+#include "netsim/fluid.hpp"
+
+namespace gridmap {
+
+namespace {
+
+// Resource layout: [0, N) nic-out per node, [N, 2N) nic-in per node,
+// [2N, 3N) intra-node shared memory, [3N] fabric.
+std::vector<FluidResource> build_resources(const MachineModel& machine, int num_nodes) {
+  std::vector<FluidResource> resources(static_cast<std::size_t>(3 * num_nodes) + 1);
+  for (int n = 0; n < num_nodes; ++n) {
+    resources[static_cast<std::size_t>(n)].capacity = machine.nic_bandwidth;
+    resources[static_cast<std::size_t>(num_nodes + n)].capacity = machine.nic_bandwidth;
+    resources[static_cast<std::size_t>(2 * num_nodes + n)].capacity =
+        machine.intra_node_bandwidth;
+  }
+  resources.back().capacity = machine.fabric_capacity(num_nodes);
+  return resources;
+}
+
+std::vector<FluidFlowClass> build_classes(const TrafficMatrix& traffic,
+                                          std::int64_t message_bytes) {
+  const int num_nodes = traffic.num_nodes();
+  std::vector<FluidFlowClass> classes;
+  for (NodeId a = 0; a < num_nodes; ++a) {
+    for (NodeId b = 0; b < num_nodes; ++b) {
+      const std::int64_t count = traffic.at(a, b);
+      if (count == 0) continue;
+      FluidFlowClass c;
+      c.count = count;
+      c.bytes = static_cast<double>(message_bytes);
+      if (a == b) {
+        c.resources = {2 * num_nodes + a};
+      } else {
+        c.resources = {a, num_nodes + b, 3 * num_nodes};
+      }
+      classes.push_back(std::move(c));
+    }
+  }
+  return classes;
+}
+
+double latency_terms(const MachineModel& machine, const TrafficMatrix& traffic,
+                     int stencil_degree) {
+  const bool has_inter = traffic.total() > 0;
+  return machine.base_overhead +
+         static_cast<double>(stencil_degree) * machine.per_message_overhead +
+         (has_inter ? machine.inter_latency : machine.intra_latency);
+}
+
+}  // namespace
+
+double exchange_time_analytic(const MachineModel& machine, const TrafficMatrix& traffic,
+                              std::int64_t message_bytes, int stencil_degree) {
+  const int num_nodes = traffic.num_nodes();
+  const double m = static_cast<double>(message_bytes);
+  double worst = 0.0;
+  double total_inter = 0.0;
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    const double out = static_cast<double>(traffic.out_degree_bytes(n)) * m;
+    const double in = static_cast<double>(traffic.in_degree_bytes(n)) * m;
+    const double intra = static_cast<double>(traffic.at(n, n)) * m;
+    worst = std::max(worst, out / machine.nic_bandwidth);
+    worst = std::max(worst, in / machine.nic_bandwidth);
+    worst = std::max(worst, intra / machine.intra_node_bandwidth);
+    total_inter += out;
+  }
+  worst = std::max(worst, total_inter / machine.fabric_capacity(num_nodes));
+  return worst + latency_terms(machine, traffic, stencil_degree);
+}
+
+double exchange_time_flows(const MachineModel& machine, const std::vector<NodeFlow>& flows,
+                           int num_nodes, int max_degree) {
+  const std::vector<FluidResource> resources = build_resources(machine, num_nodes);
+  // Group identical flows (same endpoints and size) into classes.
+  std::map<std::tuple<NodeId, NodeId, double>, std::int64_t> groups;
+  bool has_inter = false;
+  for (const NodeFlow& f : flows) {
+    GRIDMAP_CHECK(f.src >= 0 && f.src < num_nodes && f.dst >= 0 && f.dst < num_nodes,
+                  "flow endpoint out of range");
+    if (f.bytes <= 0.0) continue;
+    ++groups[{f.src, f.dst, f.bytes}];
+    if (f.src != f.dst) has_inter = true;
+  }
+  std::vector<FluidFlowClass> classes;
+  classes.reserve(groups.size());
+  for (const auto& [key, count] : groups) {
+    const auto& [src, dst, bytes] = key;
+    FluidFlowClass c;
+    c.count = count;
+    c.bytes = bytes;
+    if (src == dst) {
+      c.resources = {2 * num_nodes + src};
+    } else {
+      c.resources = {src, num_nodes + dst, 3 * num_nodes};
+    }
+    classes.push_back(std::move(c));
+  }
+  const FluidResult result = simulate_fluid(resources, classes);
+  return result.makespan + machine.base_overhead +
+         static_cast<double>(max_degree) * machine.per_message_overhead +
+         (has_inter ? machine.inter_latency : machine.intra_latency);
+}
+
+double exchange_time(const MachineModel& machine, const TrafficMatrix& traffic,
+                     std::int64_t message_bytes, int stencil_degree, bool use_fluid) {
+  if (!use_fluid) {
+    return exchange_time_analytic(machine, traffic, message_bytes, stencil_degree);
+  }
+  const std::vector<FluidResource> resources =
+      build_resources(machine, traffic.num_nodes());
+  const std::vector<FluidFlowClass> classes = build_classes(traffic, message_bytes);
+  const FluidResult result = simulate_fluid(resources, classes);
+  return result.makespan + latency_terms(machine, traffic, stencil_degree);
+}
+
+std::vector<double> simulate_neighbor_alltoall(const MachineModel& machine,
+                                               const CartesianGrid& grid,
+                                               const Stencil& stencil,
+                                               const Remapping& remapping,
+                                               const NodeAllocation& alloc,
+                                               const ExchangeConfig& config) {
+  GRIDMAP_CHECK(config.message_bytes > 0, "message size must be positive");
+  GRIDMAP_CHECK(config.repetitions > 0, "need at least one repetition");
+  const std::vector<NodeId> node_of_cell = remapping.node_of_cell(alloc);
+  const TrafficMatrix traffic =
+      traffic_matrix(grid, stencil, node_of_cell, alloc.num_nodes());
+  const double base =
+      exchange_time(machine, traffic, config.message_bytes, stencil.k(), config.use_fluid);
+
+  std::mt19937_64 rng(config.seed ^ (static_cast<std::uint64_t>(config.message_bytes) *
+                                     0x9e3779b97f4a7c15ULL));
+  std::normal_distribution<double> gauss(0.0, machine.noise_sigma);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(config.repetitions));
+  for (int rep = 0; rep < config.repetitions; ++rep) {
+    double t = base * std::exp(gauss(rng));
+    if (uniform(rng) < machine.spike_probability) {
+      t *= machine.spike_factor * (1.0 + uniform(rng));
+    }
+    samples.push_back(t);
+  }
+  return samples;
+}
+
+}  // namespace gridmap

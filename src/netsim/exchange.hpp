@@ -1,0 +1,61 @@
+// Simulation of an MPI_Neighbor_alltoall exchange under a machine model:
+// per-node traffic loads are computed exactly from the mapping; the
+// transfer-time core goes through the max-min fluid simulator (or a
+// closed-form analytic bound); a reproducible noise model yields the
+// per-repetition samples the paper's statistics are computed from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/grid.hpp"
+#include "core/metrics.hpp"
+#include "core/remapping.hpp"
+#include "core/stencil.hpp"
+#include "netsim/machine.hpp"
+
+namespace gridmap {
+
+struct ExchangeConfig {
+  std::int64_t message_bytes = 1024;  ///< bytes sent to each neighbor
+  int repetitions = 200;              ///< samples drawn (paper: 200)
+  std::uint64_t seed = 0x5eed;        ///< noise seed (deterministic)
+  bool use_fluid = true;              ///< fluid simulator vs analytic bound
+};
+
+/// Deterministic, noise-free exchange time for the given node-level traffic.
+/// `traffic` must include the intra-node diagonal; `stencil_degree` is the
+/// maximum number of neighbors of any process (for latency/overhead terms).
+double exchange_time(const MachineModel& machine, const TrafficMatrix& traffic,
+                     std::int64_t message_bytes, int stencil_degree, bool use_fluid);
+
+/// Closed-form analytic bound: max over resources of load/capacity, plus
+/// latency and overhead terms. Cross-checks the fluid simulator.
+double exchange_time_analytic(const MachineModel& machine, const TrafficMatrix& traffic,
+                              std::int64_t message_bytes, int stencil_degree);
+
+/// A node-level flow with its own byte count (variable-size exchanges,
+/// e.g. MPI_Neighbor_alltoallv over a distributed graph communicator).
+struct NodeFlow {
+  NodeId src = 0;
+  NodeId dst = 0;  ///< == src for intra-node flows
+  double bytes = 0.0;
+};
+
+/// Exchange time for heterogeneous flows (fluid simulation). `max_degree`
+/// is the largest per-process message count (latency/overhead term).
+double exchange_time_flows(const MachineModel& machine, const std::vector<NodeFlow>& flows,
+                           int num_nodes, int max_degree);
+
+/// Full sampled experiment for a mapping: repetitions with multiplicative
+/// lognormal jitter and occasional outlier spikes, exactly the distribution
+/// shape the paper's 1.5-IQR outlier filter is designed for.
+std::vector<double> simulate_neighbor_alltoall(const MachineModel& machine,
+                                               const CartesianGrid& grid,
+                                               const Stencil& stencil,
+                                               const Remapping& remapping,
+                                               const NodeAllocation& alloc,
+                                               const ExchangeConfig& config);
+
+}  // namespace gridmap

@@ -1,0 +1,114 @@
+#include "netsim/fluid.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace gridmap {
+
+namespace {
+
+// Max-min fair rate allocation over the active classes via progressive
+// filling: repeatedly saturate the tightest resource and freeze the classes
+// flowing through it at the fair share.
+std::vector<double> maxmin_rates(const std::vector<FluidResource>& resources,
+                                 const std::vector<FluidFlowClass>& classes,
+                                 const std::vector<bool>& active) {
+  const std::size_t num_classes = classes.size();
+  std::vector<double> rate(num_classes, 0.0);
+  std::vector<bool> frozen(num_classes, false);
+  std::vector<double> remaining_capacity(resources.size());
+  for (std::size_t r = 0; r < resources.size(); ++r) {
+    remaining_capacity[r] = resources[r].capacity;
+  }
+  std::vector<std::int64_t> unfrozen_flows(resources.size(), 0);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    if (!active[c]) {
+      frozen[c] = true;
+      continue;
+    }
+    for (const int r : classes[c].resources) {
+      unfrozen_flows[static_cast<std::size_t>(r)] += classes[c].count;
+    }
+  }
+
+  while (true) {
+    // Tightest resource: minimal fair share capacity/flows.
+    double best_share = std::numeric_limits<double>::infinity();
+    int best_resource = -1;
+    for (std::size_t r = 0; r < resources.size(); ++r) {
+      if (unfrozen_flows[r] <= 0) continue;
+      const double share = remaining_capacity[r] / static_cast<double>(unfrozen_flows[r]);
+      if (share < best_share) {
+        best_share = share;
+        best_resource = static_cast<int>(r);
+      }
+    }
+    if (best_resource < 0) break;  // all flows frozen
+
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      if (frozen[c]) continue;
+      const auto& res = classes[c].resources;
+      if (std::find(res.begin(), res.end(), best_resource) == res.end()) continue;
+      rate[c] = best_share;
+      frozen[c] = true;
+      for (const int r : res) {
+        remaining_capacity[static_cast<std::size_t>(r)] -=
+            best_share * static_cast<double>(classes[c].count);
+        unfrozen_flows[static_cast<std::size_t>(r)] -= classes[c].count;
+      }
+    }
+    remaining_capacity[static_cast<std::size_t>(best_resource)] = 0.0;
+  }
+  return rate;
+}
+
+}  // namespace
+
+FluidResult simulate_fluid(const std::vector<FluidResource>& resources,
+                           const std::vector<FluidFlowClass>& classes) {
+  for (const FluidFlowClass& c : classes) {
+    GRIDMAP_CHECK(c.count >= 0 && c.bytes >= 0.0, "invalid flow class");
+    for (const int r : c.resources) {
+      GRIDMAP_CHECK(r >= 0 && r < static_cast<int>(resources.size()),
+                    "flow references unknown resource");
+      GRIDMAP_CHECK(resources[static_cast<std::size_t>(r)].capacity > 0.0,
+                    "flow routed through zero-capacity resource");
+    }
+  }
+
+  const std::size_t num_classes = classes.size();
+  std::vector<double> remaining(num_classes);
+  std::vector<bool> active(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    remaining[c] = classes[c].bytes;
+    active[c] = classes[c].count > 0 && classes[c].bytes > 0.0;
+  }
+
+  FluidResult result;
+  result.class_completion.assign(num_classes, 0.0);
+  double now = 0.0;
+
+  while (std::any_of(active.begin(), active.end(), [](bool a) { return a; })) {
+    const std::vector<double> rate = maxmin_rates(resources, classes, active);
+    // Earliest completion among active classes.
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      if (!active[c]) continue;
+      GRIDMAP_CHECK(rate[c] > 0.0, "active flow received zero rate");
+      dt = std::min(dt, remaining[c] / rate[c]);
+    }
+    now += dt;
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      if (!active[c]) continue;
+      remaining[c] -= rate[c] * dt;
+      if (remaining[c] <= 1e-9 * classes[c].bytes + 1e-12) {
+        active[c] = false;
+        result.class_completion[c] = now;
+      }
+    }
+  }
+  result.makespan = now;
+  return result;
+}
+
+}  // namespace gridmap

@@ -1,0 +1,34 @@
+// Max-min-fair fluid flow simulation: all flows start at t=0, each flow uses
+// a set of capacity-limited resources, rates are assigned max-min fairly
+// (progressive filling) and recomputed at every completion event. Flows with
+// identical resource sets are grouped into classes for efficiency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace gridmap {
+
+struct FluidResource {
+  double capacity = 0.0;  ///< bytes per second
+};
+
+struct FluidFlowClass {
+  std::vector<int> resources;  ///< indices into the resource vector
+  std::int64_t count = 0;      ///< number of identical flows in this class
+  double bytes = 0.0;          ///< bytes per flow
+};
+
+struct FluidResult {
+  double makespan = 0.0;                  ///< completion time of the last flow
+  std::vector<double> class_completion;   ///< per class
+};
+
+/// Simulates all classes to completion. Throws when a flow references a
+/// resource with non-positive capacity.
+FluidResult simulate_fluid(const std::vector<FluidResource>& resources,
+                           const std::vector<FluidFlowClass>& classes);
+
+}  // namespace gridmap

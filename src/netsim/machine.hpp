@@ -1,0 +1,61 @@
+// Machine models for the three evaluation systems of the paper (Table I).
+//
+// The paper measures MPI_Neighbor_alltoall on real clusters; we substitute a
+// parameterized performance model (see DESIGN.md §2). Parameters are
+// calibrated once, in machine.cpp, against the absolute times of the paper's
+// appendix tables; every *relative* result (who wins, crossovers) derives
+// from the per-node traffic loads computed exactly from the mapping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gridmap {
+
+struct MachineModel {
+  std::string name;
+  int cores_per_node = 48;
+
+  // Bandwidths in bytes/second.
+  double nic_bandwidth = 1.0e9;        ///< effective per-node injection/ejection rate
+  double fabric_factor = 0.5;          ///< usable fraction of aggregate NIC bw in the core
+  double fabric_load_fraction = 0.5;   ///< share of inter-node traffic crossing the core
+  double intra_node_bandwidth = 3.5e9; ///< aggregate shared-memory transfer rate per node
+
+  // Latency / overhead in seconds.
+  double inter_latency = 1.5e-6;       ///< per inter-node message
+  double intra_latency = 0.4e-6;       ///< per intra-node message
+  double per_message_overhead = 0.35e-6;  ///< CPU cost to post one message
+  double base_overhead = 6.0e-6;       ///< collective entry/exit + barrier skew
+
+  // Measurement-noise model (reproduces the paper's confidence intervals and
+  // occasional outliers removed by the 1.5 IQR rule).
+  double noise_sigma = 0.015;          ///< lognormal jitter
+  double spike_probability = 0.01;     ///< chance of an outlier repetition
+  double spike_factor = 2.5;           ///< outlier multiplier
+
+  /// Aggregate core-switch capacity in bytes/second for N nodes, already
+  /// scaled by the share of traffic that actually traverses the core (leaf-
+  /// local traffic in a fat tree never does).
+  double fabric_capacity(int num_nodes) const {
+    return nic_bandwidth * fabric_factor * num_nodes / fabric_load_fraction;
+  }
+};
+
+/// Vienna Scientific Cluster 4: dual Skylake 8174, 48 cores/node, OmniPath
+/// 100 Gbit/s, two-level fat tree with 2:1 blocking.
+MachineModel vsc4();
+
+/// SuperMUC-NG: same node type as VSC4; OmniPath fat-tree islands with 1:4
+/// pruning between islands (intra-island for the paper's 50-100 nodes).
+MachineModel supermuc_ng();
+
+/// JUWELS: dual Xeon 8168, 48 cores usable, InfiniBand EDR fat tree with 2:1
+/// pruning; noticeably noisier in the paper's measurements.
+MachineModel juwels();
+
+/// All three, in the paper's column order.
+std::vector<MachineModel> paper_machines();
+
+}  // namespace gridmap

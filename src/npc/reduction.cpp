@@ -1,0 +1,68 @@
+#include "npc/reduction.hpp"
+
+#include <numeric>
+
+#include "core/brute_force.hpp"
+#include "core/metrics.hpp"
+
+namespace gridmap {
+
+GridPartitionInstance reduce_three_partition(const std::vector<std::int64_t>& items) {
+  GRIDMAP_CHECK(items.size() >= 3, "reduction needs at least three items");
+  const std::int64_t total = std::accumulate(items.begin(), items.end(), std::int64_t{0});
+  GRIDMAP_CHECK(total % 3 == 0, "item sum must be divisible by 3");
+
+  GridPartitionInstance instance;
+  instance.dims = {3, static_cast<int>(total / 3)};
+  instance.stencil = Stencil::from_offsets({{0, 1}, {0, -1}});
+  instance.capacities.reserve(items.size());
+  for (const std::int64_t x : items) {
+    GRIDMAP_CHECK(x > 0, "items must be positive");
+    instance.capacities.push_back(static_cast<int>(x));
+  }
+  instance.budget = 2 * static_cast<std::int64_t>(items.size()) - 6;
+  return instance;
+}
+
+std::int64_t grid_partition_cost(const GridPartitionInstance& instance,
+                                 const std::vector<NodeId>& node_of_cell) {
+  const CartesianGrid grid = instance.grid();
+  return evaluate_mapping(grid, instance.stencil, node_of_cell,
+                          static_cast<int>(instance.capacities.size()))
+      .jsum;
+}
+
+std::vector<NodeId> mapping_from_three_partition(const GridPartitionInstance& instance,
+                                                 const std::vector<std::int64_t>& items,
+                                                 const ThreePartitionSolution& solution) {
+  GRIDMAP_CHECK(solution.solvable, "need a yes-certificate");
+  GRIDMAP_CHECK(solution.group.size() == items.size(), "certificate size mismatch");
+  const CartesianGrid grid = instance.grid();
+  std::vector<NodeId> node_of_cell(static_cast<std::size_t>(grid.size()), -1);
+
+  // Row j (fixed first coordinate) is filled left to right with the items of
+  // subset j, each item occupying a contiguous run of cells owned by its
+  // node. Runs only touch along the communicating dimension, so every
+  // non-border node boundary costs exactly 2 directed edges.
+  const int row_length = instance.dims[1];
+  std::vector<int> cursor(3, 0);  // next free column per row
+  for (std::size_t item = 0; item < items.size(); ++item) {
+    const int row = solution.group[item];
+    for (std::int64_t i = 0; i < items[item]; ++i) {
+      GRIDMAP_CHECK(cursor[static_cast<std::size_t>(row)] < row_length,
+                    "subset overflows its row — invalid certificate");
+      const Cell cell = grid.cell_of({row, cursor[static_cast<std::size_t>(row)]++});
+      node_of_cell[static_cast<std::size_t>(cell)] = static_cast<NodeId>(item);
+    }
+  }
+  return node_of_cell;
+}
+
+bool grid_partition_decision(const GridPartitionInstance& instance, int max_cells) {
+  const CartesianGrid grid = instance.grid();
+  const BruteForceResult best =
+      brute_force_optimal(grid, instance.stencil, instance.allocation(), max_cells);
+  return best.cost.jsum <= instance.budget;
+}
+
+}  // namespace gridmap

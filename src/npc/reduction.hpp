@@ -1,0 +1,50 @@
+// Theorem IV.3: reduction from 3-WAY-PARTITION to GRID-PARTITION. Given a
+// multi-set I', build the Cartesian graph with dimension sizes D = [3, S/3]
+// (S = sum of I'), the one-dimensional component stencil communicating along
+// the second dimension, node capacities N = I', and budget Q = 2|I'| - 6.
+// I' is a yes-instance of 3-WAY-PARTITION iff a mapping with Jsum <= Q
+// exists.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/grid.hpp"
+#include "core/stencil.hpp"
+#include "npc/three_partition.hpp"
+
+namespace gridmap {
+
+struct GridPartitionInstance {
+  Dims dims;                      ///< [3, sum/3]
+  /// {+-1_1}: communication along rows.
+  Stencil stencil = Stencil::from_offsets({{0, 1}, {0, -1}});
+  std::vector<int> capacities;    ///< node sizes = the items of I'
+  std::int64_t budget = 0;        ///< Q = 2|I'| - 6
+
+  CartesianGrid grid() const { return CartesianGrid(dims); }
+  NodeAllocation allocation() const {
+    return NodeAllocation(capacities);
+  }
+};
+
+/// Builds the GRID-PARTITION instance of Theorem IV.3. Requires sum(items)
+/// divisible by 3 and |items| >= 3 (pad the multi-set otherwise).
+GridPartitionInstance reduce_three_partition(const std::vector<std::int64_t>& items);
+
+/// Jsum of a node-of-cell assignment for the instance (convenience wrapper).
+std::int64_t grid_partition_cost(const GridPartitionInstance& instance,
+                                 const std::vector<NodeId>& node_of_cell);
+
+/// Converts a yes-certificate of 3-WAY-PARTITION into a mapping achieving
+/// Jsum == budget: row j receives the items of subset j as contiguous runs.
+std::vector<NodeId> mapping_from_three_partition(const GridPartitionInstance& instance,
+                                                 const std::vector<std::int64_t>& items,
+                                                 const ThreePartitionSolution& solution);
+
+/// Exhaustive check (tiny instances only): does any mapping reach
+/// Jsum <= budget?
+bool grid_partition_decision(const GridPartitionInstance& instance, int max_cells = 14);
+
+}  // namespace gridmap

@@ -1,0 +1,64 @@
+#include "npc/three_partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/types.hpp"
+
+namespace gridmap {
+
+namespace {
+
+bool backtrack(const std::vector<std::int64_t>& items,
+               const std::vector<std::size_t>& order, std::size_t pos,
+               std::array<std::int64_t, 3>& remaining, std::vector<int>& group) {
+  if (pos == order.size()) return true;
+  const std::size_t item = order[pos];
+  for (int g = 0; g < 3; ++g) {
+    if (remaining[static_cast<std::size_t>(g)] < items[item]) continue;
+    // Symmetry breaking: skip subsets identical (by remaining sum) to an
+    // earlier one we already tried for this item.
+    bool duplicate = false;
+    for (int h = 0; h < g; ++h) {
+      if (remaining[static_cast<std::size_t>(h)] == remaining[static_cast<std::size_t>(g)]) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    remaining[static_cast<std::size_t>(g)] -= items[item];
+    group[item] = g;
+    if (backtrack(items, order, pos + 1, remaining, group)) return true;
+    remaining[static_cast<std::size_t>(g)] += items[item];
+    group[item] = -1;
+  }
+  return false;
+}
+
+}  // namespace
+
+ThreePartitionSolution solve_three_partition(const std::vector<std::int64_t>& items) {
+  GRIDMAP_CHECK(!items.empty(), "3-partition of empty multi-set");
+  for (const std::int64_t x : items) {
+    GRIDMAP_CHECK(x > 0, "3-partition items must be positive");
+  }
+  ThreePartitionSolution solution;
+  const std::int64_t total = std::accumulate(items.begin(), items.end(), std::int64_t{0});
+  if (total % 3 != 0) return solution;
+
+  // Largest-first ordering prunes the search early.
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return items[a] > items[b]; });
+
+  std::array<std::int64_t, 3> remaining = {total / 3, total / 3, total / 3};
+  std::vector<int> group(items.size(), -1);
+  if (backtrack(items, order, 0, remaining, group)) {
+    solution.solvable = true;
+    solution.group = std::move(group);
+  }
+  return solution;
+}
+
+}  // namespace gridmap

@@ -1,0 +1,22 @@
+// 3-WAY-PARTITION: divide a multi-set of integers into three subsets of
+// equal sum (paper Definition IV.2; NP-complete). Solved exactly here by
+// backtracking for the small instances used in the NP-hardness reduction
+// demo and tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace gridmap {
+
+struct ThreePartitionSolution {
+  bool solvable = false;
+  /// group[i] = index of the subset (0-2) item i belongs to; empty when
+  /// unsolvable.
+  std::vector<int> group;
+};
+
+ThreePartitionSolution solve_three_partition(const std::vector<std::int64_t>& items);
+
+}  // namespace gridmap

@@ -1,0 +1,97 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/types.hpp"
+
+namespace gridmap {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  GRIDMAP_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  GRIDMAP_CHECK(cells.size() == header_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row(const std::string& label, const std::vector<double>& values,
+                    int precision) {
+  std::vector<std::string> cells;
+  cells.push_back(label);
+  char buffer[64];
+  for (const double v : values) {
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, v);
+    cells.emplace_back(buffer);
+  }
+  add_row(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  print_row(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ",";
+      os << row[c];
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::format_ci(double center, double half, int precision) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "%.*f +-%.*f", precision, center, precision, half);
+  return buffer;
+}
+
+void BarChart::add(const std::string& label, double value) {
+  GRIDMAP_CHECK(value >= 0.0, "bar chart values must be non-negative");
+  entries_.push_back({label, value});
+}
+
+void BarChart::print(std::ostream& os) const {
+  os << title_ << "\n";
+  double max_value = 0.0;
+  std::size_t label_width = 0;
+  for (const auto& [label, value] : entries_) {
+    max_value = std::max(max_value, value);
+    label_width = std::max(label_width, label.size());
+  }
+  for (const auto& [label, value] : entries_) {
+    const int bars =
+        max_value > 0.0 ? static_cast<int>(value / max_value * width_ + 0.5) : 0;
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%12.3f", value);
+    os << "  " << label << std::string(label_width - label.size(), ' ') << " "
+       << buffer << " " << std::string(static_cast<std::size_t>(bars), '#') << "\n";
+  }
+}
+
+}  // namespace gridmap

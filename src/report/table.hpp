@@ -1,0 +1,49 @@
+// Plain-text table rendering for the benchmark binaries: aligned ASCII (for
+// terminals) and CSV (for post-processing).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gridmap {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a row built from printf-style doubles with the given precision.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  /// Formats "center +-half" like the paper's appendix tables.
+  static std::string format_ci(double center, double half, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A labelled horizontal text bar chart (for the sorted-score columns of
+/// Figures 6/7 and the Fig. 9 instantiation times).
+class BarChart {
+ public:
+  explicit BarChart(std::string title, int width = 48) : title_(std::move(title)), width_(width) {}
+
+  void add(const std::string& label, double value);
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  int width_;
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+}  // namespace gridmap

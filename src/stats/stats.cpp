@@ -1,0 +1,78 @@
+#include "stats/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/types.hpp"
+
+namespace gridmap {
+
+double mean(const std::vector<double>& xs) {
+  GRIDMAP_CHECK(!xs.empty(), "mean of empty sample");
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  GRIDMAP_CHECK(xs.size() >= 2, "variance needs at least two samples");
+  const double m = mean(xs);
+  double sum = 0.0;
+  for (const double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double quantile(std::vector<double> xs, double q) {
+  GRIDMAP_CHECK(!xs.empty(), "quantile of empty sample");
+  GRIDMAP_CHECK(q >= 0.0 && q <= 1.0, "quantile level out of range");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double median(const std::vector<double>& xs) { return quantile(xs, 0.5); }
+
+std::vector<double> remove_outliers_iqr(const std::vector<double>& xs, double factor) {
+  GRIDMAP_CHECK(!xs.empty(), "outlier filter on empty sample");
+  const double q1 = quantile(xs, 0.25);
+  const double q3 = quantile(xs, 0.75);
+  const double iqr = q3 - q1;
+  const double lo = q1 - factor * iqr;
+  const double hi = q3 + factor * iqr;
+  std::vector<double> kept;
+  kept.reserve(xs.size());
+  for (const double x : xs) {
+    if (x >= lo && x <= hi) kept.push_back(x);
+  }
+  return kept;
+}
+
+ConfidenceInterval mean_ci95(const std::vector<double>& xs) {
+  ConfidenceInterval ci;
+  ci.center = mean(xs);
+  if (xs.size() < 2) {
+    ci.lower = ci.upper = ci.center;
+    return ci;
+  }
+  const double half = 1.96 * stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+  ci.lower = ci.center - half;
+  ci.upper = ci.center + half;
+  return ci;
+}
+
+ConfidenceInterval median_ci95(const std::vector<double>& xs) {
+  ConfidenceInterval ci;
+  ci.center = median(xs);
+  const double iqr = quantile(xs, 0.75) - quantile(xs, 0.25);
+  const double half = 1.57 * iqr / std::sqrt(static_cast<double>(xs.size()));
+  ci.lower = ci.center - half;
+  ci.upper = ci.center + half;
+  return ci;
+}
+
+}  // namespace gridmap

@@ -1,0 +1,43 @@
+// Statistics used throughout the evaluation, matching the paper's method
+// (Section VI): mean/median, 1.5-IQR outlier removal, normal-approximation
+// mean confidence intervals, and the Gaussian-asymptotic median CI ("notch"
+// formula) used for Fig. 8.
+#pragma once
+
+#include <vector>
+
+namespace gridmap {
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);   ///< unbiased (n-1)
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolation quantile, q in [0, 1] (type-7, the numpy default).
+double quantile(std::vector<double> xs, double q);
+double median(const std::vector<double>& xs);
+
+/// Removes values beyond 1.5 IQR from the first/third quartile — exactly the
+/// paper's outlier rule. Returns the retained values (order preserved).
+std::vector<double> remove_outliers_iqr(const std::vector<double>& xs,
+                                        double factor = 1.5);
+
+struct ConfidenceInterval {
+  double center = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+
+  double half_width() const { return (upper - lower) / 2.0; }
+  bool overlaps(const ConfidenceInterval& other) const {
+    return lower <= other.upper && other.lower <= upper;
+  }
+};
+
+/// Mean with a 95 % normal-approximation confidence interval
+/// (mean +- 1.96 * s / sqrt(n)).
+ConfidenceInterval mean_ci95(const std::vector<double>& xs);
+
+/// Median with the Gaussian-based asymptotic 95 % CI the paper cites for its
+/// Fig. 8 notches: median +- 1.57 * IQR / sqrt(n).
+ConfidenceInterval median_ci95(const std::vector<double>& xs);
+
+}  // namespace gridmap

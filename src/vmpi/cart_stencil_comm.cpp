@@ -1,0 +1,116 @@
+#include "vmpi/cart_stencil_comm.hpp"
+
+#include <algorithm>
+
+namespace gridmap::vmpi {
+
+CartStencilComm::CartStencilComm(Universe& universe, Dims dims, std::vector<bool> periods,
+                                 bool reorder, Stencil stencil, Algorithm algorithm)
+    : universe_(&universe),
+      grid_(std::move(dims), std::move(periods)),
+      stencil_(std::move(stencil)),
+      remapping_(Remapping::identity(grid_)) {
+  GRIDMAP_CHECK(grid_.size() == universe.allocation().total(),
+                "grid size must match the universe's process count");
+  if (reorder) {
+    const auto mapper = make_mapper(algorithm);
+    GRIDMAP_CHECK(mapper->applicable(grid_, stencil_, universe.allocation()),
+                  "selected reordering algorithm not applicable to this instance");
+    remapping_ = mapper->remap(grid_, stencil_, universe.allocation());
+  }
+
+  // Precompute the reverse-offset table (for matching send/recv blocks) and
+  // the per-rank neighbor lists.
+  const auto& offsets = stencil_.offsets();
+  reverse_offset_.assign(offsets.size(), -1);
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    Offset negated = offsets[i];
+    for (int& v : negated) v = -v;
+    const auto it = std::find(offsets.begin(), offsets.end(), negated);
+    if (it != offsets.end()) {
+      reverse_offset_[i] = static_cast<int>(std::distance(offsets.begin(), it));
+    }
+  }
+
+  neighbor_ranks_.assign(static_cast<std::size_t>(grid_.size()), {});
+  for (Rank r = 0; r < static_cast<Rank>(grid_.size()); ++r) {
+    const Coord coord = grid_.coord_of(remapping_.cell_of(r));
+    auto& list = neighbor_ranks_[static_cast<std::size_t>(r)];
+    list.assign(offsets.size(), Rank{-1});
+    Coord dest;
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+      if (grid_.translate(coord, offsets[i], dest)) {
+        list[i] = remapping_.rank_of(grid_.cell_of(dest));
+      }
+    }
+  }
+}
+
+CartStencilComm CartStencilComm::from_flat(Universe& universe, int ndims,
+                                           std::span<const int> dims,
+                                           std::span<const int> periods, bool reorder,
+                                           std::span<const int> stencil_flat,
+                                           Algorithm algorithm) {
+  GRIDMAP_CHECK(static_cast<int>(dims.size()) == ndims, "dims length mismatch");
+  GRIDMAP_CHECK(static_cast<int>(periods.size()) == ndims, "periods length mismatch");
+  Dims d(dims.begin(), dims.end());
+  std::vector<bool> p(periods.size());
+  for (std::size_t i = 0; i < periods.size(); ++i) p[i] = periods[i] != 0;
+  return CartStencilComm(universe, std::move(d), std::move(p), reorder,
+                         Stencil::from_flat(ndims, stencil_flat), algorithm);
+}
+
+std::optional<Rank> CartStencilComm::neighbor(Rank rank, int offset_index) const {
+  const Rank nb = neighbor_ranks_.at(static_cast<std::size_t>(rank))
+                      .at(static_cast<std::size_t>(offset_index));
+  if (nb < 0) return std::nullopt;
+  return nb;
+}
+
+MappingCost CartStencilComm::cost() const {
+  return evaluate_mapping(grid_, stencil_, remapping_, universe_->allocation());
+}
+
+double CartStencilComm::neighbor_alltoall(const std::vector<std::vector<double>>& send,
+                                          std::vector<std::vector<double>>& recv,
+                                          std::size_t count) const {
+  const std::size_t p = static_cast<std::size_t>(grid_.size());
+  const std::size_t k = stencil_.offsets().size();
+  GRIDMAP_CHECK(send.size() == p && recv.size() == p,
+                "send/recv need one buffer per rank");
+  for (std::size_t r = 0; r < p; ++r) {
+    GRIDMAP_CHECK(send[r].size() >= k * count && recv[r].size() >= k * count,
+                  "per-rank buffers must hold k * count elements");
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    GRIDMAP_CHECK(reverse_offset_[i] >= 0,
+                  "neighbor_alltoall requires a symmetric stencil");
+  }
+
+  // Move the data: block i of rank r goes to the neighbor along offset i,
+  // landing in that neighbor's block for the reverse offset.
+  for (std::size_t r = 0; r < p; ++r) {
+    const auto& list = neighbor_ranks_[r];
+    for (std::size_t i = 0; i < k; ++i) {
+      const Rank dst = list[i];
+      if (dst < 0) continue;
+      const std::size_t j = static_cast<std::size_t>(reverse_offset_[i]);
+      std::copy_n(send[r].begin() + static_cast<std::ptrdiff_t>(i * count), count,
+                  recv[static_cast<std::size_t>(dst)].begin() +
+                      static_cast<std::ptrdiff_t>(j * count));
+    }
+  }
+
+  // Advance the simulated clock by the modeled exchange time.
+  const std::vector<NodeId> node_of_cell = remapping_.node_of_cell(universe_->allocation());
+  const TrafficMatrix traffic = traffic_matrix(grid_, stencil_, node_of_cell,
+                                               universe_->allocation().num_nodes());
+  const double seconds =
+      exchange_time(universe_->machine(), traffic,
+                    static_cast<std::int64_t>(count * sizeof(double)),
+                    stencil_.k(), /*use_fluid=*/true);
+  universe_->advance(seconds);
+  return seconds;
+}
+
+}  // namespace gridmap::vmpi

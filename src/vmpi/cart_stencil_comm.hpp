@@ -1,0 +1,80 @@
+// CartStencilComm — the paper's Listing 1 interface:
+//
+//   int MPIX_Cart_stencil_comm(MPI_Comm oldcomm, const int ndims,
+//       const int dims[], const int periods[], const int reorder,
+//       const int stencil[], const int k, MPI_Comm *cartcomm);
+//
+// as a C++ class over the vmpi substrate. Constructing the communicator runs
+// the selected reordering algorithm (or keeps ranks blocked when reorder is
+// false) and precomputes the stencil neighbor lists; neighbor_alltoall moves
+// real data between the per-rank buffers and advances the simulated clock by
+// the modeled exchange time.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "core/grid.hpp"
+#include "core/metrics.hpp"
+#include "core/remapping.hpp"
+#include "core/stencil.hpp"
+#include "netsim/exchange.hpp"
+#include "vmpi/universe.hpp"
+
+namespace gridmap::vmpi {
+
+class CartStencilComm {
+ public:
+  /// `reorder == false` keeps the blocked mapping regardless of `algorithm`.
+  CartStencilComm(Universe& universe, Dims dims, std::vector<bool> periods, bool reorder,
+                  Stencil stencil, Algorithm algorithm = Algorithm::kHyperplane);
+
+  /// Listing-1 compatible factory: flattened stencil of k offsets.
+  static CartStencilComm from_flat(Universe& universe, int ndims,
+                                   std::span<const int> dims, std::span<const int> periods,
+                                   bool reorder, std::span<const int> stencil_flat,
+                                   Algorithm algorithm = Algorithm::kHyperplane);
+
+  const CartesianGrid& grid() const noexcept { return grid_; }
+  const Stencil& stencil() const noexcept { return stencil_; }
+  const Remapping& remapping() const noexcept { return remapping_; }
+  Universe& universe() const noexcept { return *universe_; }
+  int size() const noexcept { return static_cast<int>(grid_.size()); }
+
+  /// Grid coordinate of a rank (MPI_Cart_coords equivalent).
+  Coord coordinates(Rank rank) const { return grid_.coord_of(remapping_.cell_of(rank)); }
+
+  /// Neighbor rank of `rank` for stencil offset index `i`, or nullopt when
+  /// the offset leaves a non-periodic boundary (MPI_PROC_NULL).
+  std::optional<Rank> neighbor(Rank rank, int offset_index) const;
+
+  /// All resolved neighbors of a rank, in stencil offset order.
+  const std::vector<Rank>& neighbor_list(Rank rank) const {
+    return neighbor_ranks_.at(static_cast<std::size_t>(rank));
+  }
+
+  /// Mapping quality of this communicator (Jsum/Jmax).
+  MappingCost cost() const;
+
+  /// MPI_Neighbor_alltoall over the stencil: every rank sends
+  /// `count` doubles to each neighbor (block i of `send[r]` goes towards
+  /// stencil offset i). Blocks for out-of-grid neighbors are ignored on send
+  /// and left untouched on receive. Requires a symmetric stencil (each
+  /// offset's negation present). Returns the simulated exchange seconds and
+  /// advances the universe clock.
+  double neighbor_alltoall(const std::vector<std::vector<double>>& send,
+                           std::vector<std::vector<double>>& recv,
+                           std::size_t count) const;
+
+ private:
+  Universe* universe_;
+  CartesianGrid grid_;
+  Stencil stencil_;
+  Remapping remapping_;
+  std::vector<int> reverse_offset_;             // index of -offset per offset
+  std::vector<std::vector<Rank>> neighbor_ranks_;  // -1 for PROC_NULL
+};
+
+}  // namespace gridmap::vmpi

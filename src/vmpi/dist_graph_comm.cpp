@@ -1,0 +1,130 @@
+#include "vmpi/dist_graph_comm.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "netsim/exchange.hpp"
+
+namespace gridmap::vmpi {
+
+DistGraphComm::DistGraphComm(Universe& universe, std::vector<std::vector<Rank>> targets)
+    : universe_(&universe), targets_(std::move(targets)) {
+  GRIDMAP_CHECK(static_cast<std::int64_t>(targets_.size()) == universe.allocation().total(),
+                "adjacency list size must match the universe's process count");
+  const std::size_t p = targets_.size();
+  sources_.assign(p, {});
+  for (std::size_t r = 0; r < p; ++r) {
+    for (const Rank dst : targets_[r]) {
+      GRIDMAP_CHECK(dst >= 0 && static_cast<std::size_t>(dst) < p,
+                    "neighbor rank out of range");
+      sources_[static_cast<std::size_t>(dst)].push_back(static_cast<Rank>(r));
+    }
+  }
+  recv_slot_.assign(p, {});
+  std::vector<std::size_t> cursor(p, 0);
+  for (std::size_t r = 0; r < p; ++r) {
+    recv_slot_[r].reserve(targets_[r].size());
+    for (const Rank dst : targets_[r]) {
+      // Sources were appended in sender-rank order, so the next unclaimed
+      // slot at `dst` belonging to sender r is found by scanning; senders
+      // appear once per edge, in order, so a per-destination cursor works.
+      const auto& sources = sources_[static_cast<std::size_t>(dst)];
+      std::size_t& c = cursor[static_cast<std::size_t>(dst)];
+      while (c < sources.size() && sources[c] != static_cast<Rank>(r)) ++c;
+      GRIDMAP_CHECK(c < sources.size(), "internal error: receive slot not found");
+      recv_slot_[r].push_back(static_cast<int>(c));
+      ++c;
+    }
+  }
+  node_of_rank_ = universe.allocation().node_of_all_ranks();
+}
+
+DistGraphComm DistGraphComm::from_cart_stencil(const CartStencilComm& cart) {
+  std::vector<std::vector<Rank>> targets(static_cast<std::size_t>(cart.size()));
+  for (Rank r = 0; r < cart.size(); ++r) {
+    for (const Rank nb : cart.neighbor_list(r)) {
+      if (nb >= 0) targets[static_cast<std::size_t>(r)].push_back(nb);
+    }
+  }
+  return DistGraphComm(cart.universe(), std::move(targets));
+}
+
+double DistGraphComm::neighbor_alltoall(const std::vector<std::vector<double>>& send,
+                                        std::vector<std::vector<double>>& recv,
+                                        std::size_t count) const {
+  std::vector<std::vector<std::size_t>> send_counts(targets_.size());
+  for (std::size_t r = 0; r < targets_.size(); ++r) {
+    send_counts[r].assign(targets_[r].size(), count);
+  }
+  std::vector<std::vector<std::size_t>> recv_counts;
+  return neighbor_alltoallv(send, send_counts, recv, recv_counts);
+}
+
+double DistGraphComm::neighbor_alltoallv(
+    const std::vector<std::vector<double>>& send,
+    const std::vector<std::vector<std::size_t>>& send_counts,
+    std::vector<std::vector<double>>& recv,
+    std::vector<std::vector<std::size_t>>& recv_counts) const {
+  const std::size_t p = targets_.size();
+  GRIDMAP_CHECK(send.size() == p && send_counts.size() == p,
+                "send buffers must cover every rank");
+
+  // Compute the receive layout from the senders' counts.
+  recv_counts.assign(p, {});
+  for (std::size_t r = 0; r < p; ++r) {
+    recv_counts[r].assign(sources_[r].size(), 0);
+  }
+  for (std::size_t r = 0; r < p; ++r) {
+    GRIDMAP_CHECK(send_counts[r].size() == targets_[r].size(),
+                  "send_counts must have one entry per out-neighbor");
+    for (std::size_t j = 0; j < targets_[r].size(); ++j) {
+      recv_counts[static_cast<std::size_t>(targets_[r][j])]
+                 [static_cast<std::size_t>(recv_slot_[r][j])] = send_counts[r][j];
+    }
+  }
+  recv.assign(p, {});
+  std::vector<std::vector<std::size_t>> recv_offsets(p);
+  for (std::size_t r = 0; r < p; ++r) {
+    recv_offsets[r].assign(recv_counts[r].size(), 0);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < recv_counts[r].size(); ++i) {
+      recv_offsets[r][i] = total;
+      total += recv_counts[r][i];
+    }
+    recv[r].assign(total, 0.0);
+  }
+
+  // Move the data and build the node-level flows for the time model.
+  std::vector<NodeFlow> flows;
+  flows.reserve(p * 4);
+  int max_degree = 0;
+  for (std::size_t r = 0; r < p; ++r) {
+    max_degree = std::max(max_degree, static_cast<int>(targets_[r].size()));
+    std::size_t send_offset = 0;
+    const std::size_t expected = std::accumulate(send_counts[r].begin(),
+                                                 send_counts[r].end(), std::size_t{0});
+    GRIDMAP_CHECK(send[r].size() >= expected, "send buffer too small");
+    for (std::size_t j = 0; j < targets_[r].size(); ++j) {
+      const Rank dst = targets_[r][j];
+      const std::size_t c = send_counts[r][j];
+      std::copy_n(send[r].begin() + static_cast<std::ptrdiff_t>(send_offset), c,
+                  recv[static_cast<std::size_t>(dst)].begin() +
+                      static_cast<std::ptrdiff_t>(
+                          recv_offsets[static_cast<std::size_t>(dst)]
+                                      [static_cast<std::size_t>(recv_slot_[r][j])]));
+      send_offset += c;
+      if (c > 0) {
+        flows.push_back(NodeFlow{node_of_rank_[r],
+                                 node_of_rank_[static_cast<std::size_t>(dst)],
+                                 static_cast<double>(c * sizeof(double))});
+      }
+    }
+  }
+
+  const double seconds = exchange_time_flows(
+      universe_->machine(), flows, universe_->allocation().num_nodes(), max_degree);
+  universe_->advance(seconds);
+  return seconds;
+}
+
+}  // namespace gridmap::vmpi

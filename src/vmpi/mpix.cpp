@@ -1,0 +1,41 @@
+#include "vmpi/mpix.hpp"
+
+#include <stdexcept>
+
+namespace gridmap::vmpi {
+
+int MPIX_Cart_stencil_comm(Universe& oldcomm, int ndims, const int dims[],
+                           const int periods[], int reorder, const int stencil[], int k,
+                           std::unique_ptr<CartStencilComm>* cartcomm,
+                           Algorithm algorithm) {
+  if (cartcomm == nullptr || dims == nullptr || periods == nullptr || ndims < 1 ||
+      k < 0 || (k > 0 && stencil == nullptr)) {
+    return GRIDMAP_ERR_ARG;
+  }
+  try {
+    const std::span<const int> dims_span(dims, static_cast<std::size_t>(ndims));
+    const std::span<const int> periods_span(periods, static_cast<std::size_t>(ndims));
+    const std::span<const int> stencil_span(
+        stencil, static_cast<std::size_t>(k) * static_cast<std::size_t>(ndims));
+
+    std::int64_t size = 1;
+    for (const int d : dims_span) {
+      if (d < 1) return GRIDMAP_ERR_ARG;
+      size *= d;
+    }
+    if (size != oldcomm.allocation().total()) return GRIDMAP_ERR_SIZE;
+
+    Stencil parsed = Stencil::from_flat(ndims, stencil_span);
+    Dims dim_vec(dims_span.begin(), dims_span.end());
+    std::vector<bool> period_vec(static_cast<std::size_t>(ndims));
+    for (int i = 0; i < ndims; ++i) period_vec[static_cast<std::size_t>(i)] = periods[i] != 0;
+    *cartcomm = std::make_unique<CartStencilComm>(oldcomm, std::move(dim_vec),
+                                                  std::move(period_vec), reorder != 0,
+                                                  std::move(parsed), algorithm);
+    return GRIDMAP_SUCCESS;
+  } catch (const std::invalid_argument&) {
+    return GRIDMAP_ERR_STENCIL;
+  }
+}
+
+}  // namespace gridmap::vmpi

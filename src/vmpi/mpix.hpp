@@ -1,0 +1,33 @@
+// MPIX_Cart_stencil_comm — the exact interface of the paper's Listing 1,
+// adapted to the vmpi substrate (MPI_Comm handles become Universe /
+// CartStencilComm objects):
+//
+//   int MPIX_Cart_stencil_comm(MPI_Comm oldcomm, const int ndims,
+//       const int dims[], const int periods[], const int reorder,
+//       const int stencil[], const int k, MPI_Comm *cartcomm);
+//
+// Returns GRIDMAP_SUCCESS (0) or an MPI-style error code.
+#pragma once
+
+#include <memory>
+
+#include "vmpi/cart_stencil_comm.hpp"
+
+namespace gridmap::vmpi {
+
+enum MpixError {
+  GRIDMAP_SUCCESS = 0,
+  GRIDMAP_ERR_ARG = 1,       ///< bad dims/periods/k
+  GRIDMAP_ERR_STENCIL = 2,   ///< malformed stencil offsets
+  GRIDMAP_ERR_SIZE = 3,      ///< grid size != communicator size
+};
+
+/// `stencil` holds k * ndims entries (offset i at [i*ndims, (i+1)*ndims)).
+/// The reordering algorithm used when `reorder != 0` defaults to Hyperplane,
+/// matching the library's MPI_Cart_create drop-in behaviour.
+int MPIX_Cart_stencil_comm(Universe& oldcomm, int ndims, const int dims[],
+                           const int periods[], int reorder, const int stencil[], int k,
+                           std::unique_ptr<CartStencilComm>* cartcomm,
+                           Algorithm algorithm = Algorithm::kHyperplane);
+
+}  // namespace gridmap::vmpi

@@ -1,0 +1,38 @@
+// vmpi: an in-process virtual-MPI substrate. A Universe hosts p simulated
+// processes placed on compute nodes by a NodeAllocation; communication moves
+// real bytes between per-rank buffers while a machine model advances the
+// simulated clock. This is the layer on which the paper's Listing-1
+// interface (MPIX_Cart_stencil_comm) is provided.
+#pragma once
+
+#include "core/allocation.hpp"
+#include "netsim/machine.hpp"
+
+namespace gridmap::vmpi {
+
+class Universe {
+ public:
+  Universe(NodeAllocation allocation, MachineModel machine)
+      : allocation_(std::move(allocation)), machine_(std::move(machine)) {}
+
+  int size() const noexcept { return static_cast<int>(allocation_.total()); }
+  const NodeAllocation& allocation() const noexcept { return allocation_; }
+  const MachineModel& machine() const noexcept { return machine_; }
+
+  /// Simulated wall-clock seconds spent in communication so far.
+  double clock() const noexcept { return clock_; }
+  void advance(double seconds) {
+    GRIDMAP_CHECK(seconds >= 0.0, "cannot advance the clock backwards");
+    clock_ += seconds;
+  }
+
+  /// Simulated barrier: advances by the machine's base overhead.
+  void barrier() { advance(machine_.base_overhead); }
+
+ private:
+  NodeAllocation allocation_;
+  MachineModel machine_;
+  double clock_ = 0.0;
+};
+
+}  // namespace gridmap::vmpi

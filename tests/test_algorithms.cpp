@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "core/algorithms.hpp"
+
+namespace gridmap {
+namespace {
+
+TEST(Algorithms, RegistryCoversAll) {
+  const std::vector<Algorithm> all = all_algorithms();
+  EXPECT_EQ(all.size(), 7u);
+  for (const Algorithm a : all) {
+    const auto mapper = make_mapper(a);
+    ASSERT_NE(mapper, nullptr);
+    EXPECT_EQ(mapper->name(), to_string(a));
+  }
+}
+
+TEST(Algorithms, NamesRoundTrip) {
+  for (const Algorithm a : all_algorithms()) {
+    EXPECT_EQ(algorithm_from_string(to_string(a)), a);
+  }
+}
+
+TEST(Algorithms, ParserAcceptsAliases) {
+  EXPECT_EQ(algorithm_from_string("hyperplane"), Algorithm::kHyperplane);
+  EXPECT_EQ(algorithm_from_string("KDTree"), Algorithm::kKdTree);
+  EXPECT_EQ(algorithm_from_string("k-d tree"), Algorithm::kKdTree);
+  EXPECT_EQ(algorithm_from_string("stencil strips"), Algorithm::kStencilStrips);
+  EXPECT_EQ(algorithm_from_string("strips"), Algorithm::kStencilStrips);
+  EXPECT_EQ(algorithm_from_string("viem"), Algorithm::kViemStar);
+  EXPECT_EQ(algorithm_from_string("standard"), Algorithm::kBlocked);
+}
+
+TEST(Algorithms, ParserRejectsUnknown) {
+  EXPECT_THROW(algorithm_from_string("simulated annealing"), std::invalid_argument);
+}
+
+TEST(Algorithms, ReorderingSubsetExcludesBaselines) {
+  const std::vector<Algorithm> reorder = reordering_algorithms();
+  for (const Algorithm a : reorder) {
+    EXPECT_NE(a, Algorithm::kBlocked);
+    EXPECT_NE(a, Algorithm::kRandom);
+  }
+}
+
+}  // namespace
+}  // namespace gridmap

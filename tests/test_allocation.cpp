@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "core/allocation.hpp"
+
+namespace gridmap {
+namespace {
+
+TEST(Allocation, HomogeneousBasics) {
+  const NodeAllocation a = NodeAllocation::homogeneous(4, 12);
+  EXPECT_EQ(a.num_nodes(), 4);
+  EXPECT_EQ(a.total(), 48);
+  EXPECT_TRUE(a.homogeneous());
+  EXPECT_EQ(a.uniform_size(), 12);
+  for (NodeId n = 0; n < 4; ++n) EXPECT_EQ(a.size(n), 12);
+}
+
+TEST(Allocation, HeterogeneousBasics) {
+  const NodeAllocation a({3, 4, 5});
+  EXPECT_EQ(a.num_nodes(), 3);
+  EXPECT_EQ(a.total(), 12);
+  EXPECT_FALSE(a.homogeneous());
+  EXPECT_THROW(a.uniform_size(), std::invalid_argument);
+}
+
+TEST(Allocation, RepresentativeSizes) {
+  const NodeAllocation a({3, 4, 5});
+  EXPECT_EQ(a.representative_size(NodeSizeRep::kMin), 3);
+  EXPECT_EQ(a.representative_size(NodeSizeRep::kMax), 5);
+  EXPECT_EQ(a.representative_size(NodeSizeRep::kMean), 4);
+}
+
+TEST(Allocation, MeanRoundsToNearest) {
+  const NodeAllocation a({3, 3, 5});  // mean 11/3 = 3.67 -> 4
+  EXPECT_EQ(a.representative_size(NodeSizeRep::kMean), 4);
+  const NodeAllocation b({3, 3, 4});  // mean 10/3 = 3.33 -> 3
+  EXPECT_EQ(b.representative_size(NodeSizeRep::kMean), 3);
+}
+
+TEST(Allocation, NodeOfRankBlockedLayout) {
+  const NodeAllocation a({2, 3, 1});
+  EXPECT_EQ(a.node_of_rank(0), 0);
+  EXPECT_EQ(a.node_of_rank(1), 0);
+  EXPECT_EQ(a.node_of_rank(2), 1);
+  EXPECT_EQ(a.node_of_rank(4), 1);
+  EXPECT_EQ(a.node_of_rank(5), 2);
+  EXPECT_THROW(a.node_of_rank(6), std::invalid_argument);
+  EXPECT_THROW(a.node_of_rank(-1), std::invalid_argument);
+}
+
+TEST(Allocation, FirstRank) {
+  const NodeAllocation a({2, 3, 1});
+  EXPECT_EQ(a.first_rank(0), 0);
+  EXPECT_EQ(a.first_rank(1), 2);
+  EXPECT_EQ(a.first_rank(2), 5);
+}
+
+TEST(Allocation, NodeOfAllRanksMatchesPointQueries) {
+  const NodeAllocation a({5, 1, 7, 3});
+  const std::vector<NodeId> all = a.node_of_all_ranks();
+  ASSERT_EQ(static_cast<std::int64_t>(all.size()), a.total());
+  for (Rank r = 0; r < a.total(); ++r) {
+    EXPECT_EQ(all[static_cast<std::size_t>(r)], a.node_of_rank(r));
+  }
+}
+
+TEST(Allocation, RejectsEmptyAndNonPositive) {
+  EXPECT_THROW(NodeAllocation({}), std::invalid_argument);
+  EXPECT_THROW(NodeAllocation({3, 0}), std::invalid_argument);
+  EXPECT_THROW(NodeAllocation::homogeneous(0, 4), std::invalid_argument);
+  EXPECT_THROW(NodeAllocation::homogeneous(4, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridmap

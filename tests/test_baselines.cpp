@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/blocked.hpp"
+#include "baselines/random_mapper.hpp"
+#include "core/metrics.hpp"
+
+namespace gridmap {
+namespace {
+
+TEST(Blocked, IsIdentity) {
+  const CartesianGrid g({6, 4});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 6);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const BlockedMapper mapper;
+  const Remapping m = mapper.remap(g, s, alloc);
+  EXPECT_EQ(m, Remapping::identity(g));
+}
+
+TEST(Blocked, NewCoordinateMatchesRowMajor) {
+  const CartesianGrid g({3, 5});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(3, 5);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const BlockedMapper mapper;
+  EXPECT_EQ(mapper.new_coordinate(g, s, alloc, 0), (Coord{0, 0}));
+  EXPECT_EQ(mapper.new_coordinate(g, s, alloc, 7), (Coord{1, 2}));
+  EXPECT_EQ(mapper.new_coordinate(g, s, alloc, 14), (Coord{2, 4}));
+}
+
+TEST(RandomMapperTest, IsDeterministicPerSeed) {
+  const CartesianGrid g({6, 6});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(6, 6);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const RandomMapper a(42);
+  const RandomMapper b(42);
+  const RandomMapper c(43);
+  EXPECT_EQ(a.remap(g, s, alloc), b.remap(g, s, alloc));
+  EXPECT_NE(a.remap(g, s, alloc), c.remap(g, s, alloc));
+}
+
+TEST(RandomMapperTest, IsAPermutation) {
+  const CartesianGrid g({9, 4});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 9);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const RandomMapper mapper(7);
+  const Remapping m = mapper.remap(g, s, alloc);
+  std::set<Cell> seen(m.cell_of_rank().begin(), m.cell_of_rank().end());
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), g.size());
+}
+
+TEST(RandomMapperTest, TypicallyWorseThanBlocked) {
+  // On the paper's instances a random placement scatters neighbors across
+  // nodes, so it should not beat the blocked mapping.
+  const CartesianGrid g({50, 48});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(50, 48);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const RandomMapper mapper(1);
+  const BlockedMapper blocked;
+  const MappingCost r = evaluate_mapping(g, s, mapper.remap(g, s, alloc), alloc);
+  const MappingCost b = evaluate_mapping(g, s, blocked.remap(g, s, alloc), alloc);
+  EXPECT_GT(r.jsum, b.jsum);
+}
+
+}  // namespace
+}  // namespace gridmap

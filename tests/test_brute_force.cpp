@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "core/algorithms.hpp"
+#include "core/brute_force.hpp"
+
+namespace gridmap {
+namespace {
+
+TEST(BruteForce, OptimalChainPartition) {
+  // 1-d chain of 8 over 2 nodes: optimum is two halves, one cut, Jsum = 2.
+  const CartesianGrid g({8});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(2, 4);
+  const Stencil s = Stencil::nearest_neighbor(1);
+  const BruteForceResult r = brute_force_optimal(g, s, alloc);
+  EXPECT_EQ(r.cost.jsum, 2);
+  EXPECT_EQ(r.cost.jmax, 1);
+}
+
+TEST(BruteForce, OptimalSquareQuadrants) {
+  // 4x4 over 4 nodes of 4: optimal is 2x2 quadrants, cut = 16 directed.
+  const CartesianGrid g({4, 4});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 4);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const BruteForceResult r = brute_force_optimal(g, s, alloc);
+  EXPECT_EQ(r.cost.jsum, 16);
+}
+
+TEST(BruteForce, ComponentStencilZeroCutWhenColumnsFit) {
+  // Component stencil on 4x2: communication along dim0 only; nodes of size 4
+  // can own whole columns -> zero inter-node edges.
+  const CartesianGrid g({4, 2});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(2, 4);
+  const Stencil s = Stencil::component(2);
+  const BruteForceResult r = brute_force_optimal(g, s, alloc);
+  EXPECT_EQ(r.cost.jsum, 0);
+}
+
+TEST(BruteForce, HeterogeneousCapacitiesRespected) {
+  const CartesianGrid g({6});
+  const NodeAllocation alloc({2, 4});
+  const Stencil s = Stencil::nearest_neighbor(1);
+  const BruteForceResult r = brute_force_optimal(g, s, alloc);
+  int count0 = 0;
+  for (const NodeId n : r.node_of_cell) count0 += (n == 0);
+  EXPECT_EQ(count0, 2);
+  EXPECT_EQ(r.cost.jsum, 2);
+}
+
+TEST(BruteForce, RejectsLargeInstances) {
+  const CartesianGrid g({6, 6});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(6, 6);
+  EXPECT_THROW(brute_force_optimal(g, Stencil::nearest_neighbor(2), alloc),
+               std::invalid_argument);
+}
+
+class HeuristicVsOptimal
+    : public ::testing::TestWithParam<std::tuple<Dims, int, Algorithm>> {};
+
+TEST_P(HeuristicVsOptimal, NeverBeatsOptimalAndStaysValid) {
+  const auto& [dims, nodes, algorithm] = GetParam();
+  const CartesianGrid g(dims);
+  const int ppn = static_cast<int>(g.size()) / nodes;
+  const NodeAllocation alloc = NodeAllocation::homogeneous(nodes, ppn);
+  const Stencil s = Stencil::nearest_neighbor(static_cast<int>(dims.size()));
+
+  const BruteForceResult optimal = brute_force_optimal(g, s, alloc);
+  const auto mapper = make_mapper(algorithm);
+  if (!mapper->applicable(g, s, alloc)) GTEST_SKIP();
+  const MappingCost heuristic =
+      evaluate_mapping(g, s, mapper->remap(g, s, alloc), alloc);
+  EXPECT_GE(heuristic.jsum, optimal.cost.jsum)
+      << to_string(algorithm) << " claims to beat the exact optimum";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TinyInstances, HeuristicVsOptimal,
+    ::testing::Combine(::testing::Values(Dims{4, 4}, Dims{8, 2}, Dims{12}, Dims{2, 2, 4}),
+                       ::testing::Values(2, 4),
+                       ::testing::Values(Algorithm::kBlocked, Algorithm::kHyperplane,
+                                         Algorithm::kKdTree, Algorithm::kStencilStrips,
+                                         Algorithm::kViemStar)));
+
+}  // namespace
+}  // namespace gridmap

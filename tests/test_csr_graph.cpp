@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "graph/cartesian_graph.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace gridmap {
+namespace {
+
+TEST(CsrGraph, BuildsTriangle) {
+  const CsrGraph g = CsrGraph::from_edges(3, {{0, 1, 1}, {1, 2, 2}, {0, 2, 3}});
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_arcs(), 6);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(2), 2);
+}
+
+TEST(CsrGraph, MergesParallelEdges) {
+  const CsrGraph g = CsrGraph::from_edges(2, {{0, 1, 1}, {1, 0, 1}, {0, 1, 3}});
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.edge_weights(0)[0], 5);
+}
+
+TEST(CsrGraph, RejectsSelfLoopsAndBadEndpoints) {
+  EXPECT_THROW(CsrGraph::from_edges(2, {{0, 0, 1}}), std::invalid_argument);
+  EXPECT_THROW(CsrGraph::from_edges(2, {{0, 2, 1}}), std::invalid_argument);
+  EXPECT_THROW(CsrGraph::from_edges(2, {{0, 1, 0}}), std::invalid_argument);
+}
+
+TEST(CsrGraph, VertexWeightsDefaultToOne) {
+  const CsrGraph g = CsrGraph::from_edges(3, {{0, 1, 1}});
+  EXPECT_EQ(g.vertex_weight(2), 1);
+  EXPECT_EQ(g.total_vertex_weight(), 3);
+}
+
+TEST(CsrGraph, CutCountsWeights) {
+  const CsrGraph g = CsrGraph::from_edges(4, {{0, 1, 2}, {1, 2, 3}, {2, 3, 4}, {3, 0, 5}});
+  EXPECT_EQ(g.cut({0, 0, 1, 1}), 3 + 5);
+  EXPECT_EQ(g.cut({0, 0, 0, 0}), 0);
+  EXPECT_EQ(g.cut({0, 1, 0, 1}), 2 + 3 + 4 + 5);
+}
+
+TEST(CartesianGraph, EdgeWeightsAreDirectedCounts) {
+  // Symmetric stencils put weight 2 (both directions) on each adjacency.
+  const CartesianGrid grid({3, 3});
+  const CsrGraph g = build_cartesian_graph(grid, Stencil::nearest_neighbor(2));
+  EXPECT_EQ(g.num_vertices(), 9);
+  for (int v = 0; v < 9; ++v) {
+    for (const std::int64_t w : g.edge_weights(v)) EXPECT_EQ(w, 2);
+  }
+  // Total arcs weight = directed edge count.
+  std::int64_t total = 0;
+  for (int v = 0; v < 9; ++v) {
+    for (const std::int64_t w : g.edge_weights(v)) total += w;
+  }
+  EXPECT_EQ(total / 2, grid.count_directed_edges(Stencil::nearest_neighbor(2)));
+}
+
+TEST(CartesianGraph, CutEqualsJsum) {
+  const CartesianGrid grid({6, 4});
+  const Stencil s = Stencil::nearest_neighbor_with_hops(2);
+  const CsrGraph g = build_cartesian_graph(grid, s);
+  // Row-blocked partition of 4 nodes x 6 cells.
+  std::vector<int> part(24);
+  for (int c = 0; c < 24; ++c) part[static_cast<std::size_t>(c)] = c / 6;
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 6);
+  std::vector<NodeId> node_of_cell(part.begin(), part.end());
+  const MappingCost cost = evaluate_mapping(grid, s, node_of_cell, 4);
+  EXPECT_EQ(g.cut(part), cost.jsum);
+}
+
+TEST(CartesianGraph, PeriodicWrapEdgesPresent) {
+  const CartesianGrid grid({4, 4}, {true, true});
+  const CsrGraph g = build_cartesian_graph(grid, Stencil::nearest_neighbor(2));
+  for (int v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(g.degree(v), 4);
+}
+
+}  // namespace
+}  // namespace gridmap

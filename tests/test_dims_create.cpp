@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/dims_create.hpp"
+
+namespace gridmap {
+namespace {
+
+TEST(DimsCreate, PaperGrid2400) {
+  // The paper's N=50, ppn=48 instance: 2400 processes -> 50 x 48.
+  EXPECT_EQ(dims_create(2400, 2), (Dims{50, 48}));
+}
+
+TEST(DimsCreate, PaperGrid4800) {
+  // The paper's N=100, ppn=48 instance: 4800 processes -> 75 x 64.
+  EXPECT_EQ(dims_create(4800, 2), (Dims{75, 64}));
+}
+
+TEST(DimsCreate, PerfectSquaresAndCubes) {
+  EXPECT_EQ(dims_create(36, 2), (Dims{6, 6}));
+  EXPECT_EQ(dims_create(64, 3), (Dims{4, 4, 4}));
+  EXPECT_EQ(dims_create(27, 3), (Dims{3, 3, 3}));
+}
+
+TEST(DimsCreate, NonIncreasingOrder) {
+  for (const std::int64_t p : {12, 30, 100, 360, 1000, 2310}) {
+    for (const int d : {2, 3, 4}) {
+      const Dims dims = dims_create(p, d);
+      ASSERT_EQ(static_cast<int>(dims.size()), d);
+      EXPECT_EQ(product(dims), p);
+      for (std::size_t i = 1; i < dims.size(); ++i) {
+        EXPECT_GE(dims[i - 1], dims[i]) << "p=" << p << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(DimsCreate, PrimeFallsBackToPx1) {
+  EXPECT_EQ(dims_create(17, 2), (Dims{17, 1}));
+  EXPECT_EQ(dims_create(13, 3), (Dims{13, 1, 1}));
+}
+
+TEST(DimsCreate, One) {
+  EXPECT_EQ(dims_create(1, 3), (Dims{1, 1, 1}));
+}
+
+TEST(DimsCreate, SingleDimension) {
+  EXPECT_EQ(dims_create(42, 1), (Dims{42}));
+}
+
+TEST(DimsCreate, RespectsFixedEntries) {
+  EXPECT_EQ(dims_create(24, 3, {0, 2, 0}), (Dims{4, 2, 3}));
+  EXPECT_EQ(dims_create(24, 2, {24, 0}), (Dims{24, 1}));
+}
+
+TEST(DimsCreate, RejectsIndivisibleFixedEntries) {
+  EXPECT_THROW(dims_create(10, 2, {3, 0}), std::invalid_argument);
+}
+
+TEST(DimsCreate, BalanceIsOptimalForKnownCases) {
+  EXPECT_EQ(dims_create(48, 2), (Dims{8, 6}));
+  EXPECT_EQ(dims_create(48, 3), (Dims{4, 4, 3}));
+  EXPECT_EQ(dims_create(100, 2), (Dims{10, 10}));
+  EXPECT_EQ(dims_create(60, 3), (Dims{5, 4, 3}));
+}
+
+TEST(Divisors, KnownValues) {
+  EXPECT_EQ(divisors(1), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(divisors(12), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(divisors(49), (std::vector<std::int64_t>{1, 7, 49}));
+}
+
+TEST(PrimeFactors, KnownValues) {
+  EXPECT_TRUE(prime_factors(1).empty());
+  EXPECT_EQ(prime_factors(48), (std::vector<std::int64_t>{2, 2, 2, 2, 3}));
+  EXPECT_EQ(prime_factors(97), (std::vector<std::int64_t>{97}));
+  EXPECT_EQ(prime_factors(2310), (std::vector<std::int64_t>{2, 3, 5, 7, 11}));
+}
+
+class DimsCreateSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(DimsCreateSweep, ProductAndOrderInvariants) {
+  const std::int64_t p = GetParam();
+  for (int d = 1; d <= 4; ++d) {
+    const Dims dims = dims_create(p, d);
+    EXPECT_EQ(product(dims), p);
+    EXPECT_TRUE(std::is_sorted(dims.rbegin(), dims.rend()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallCounts, DimsCreateSweep,
+                         ::testing::Values(2, 3, 4, 6, 8, 16, 18, 24, 36, 60, 96, 120,
+                                           128, 210, 256, 300, 480, 512, 1009, 1024,
+                                           2400, 4800));
+
+}  // namespace
+}  // namespace gridmap

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "vmpi/dist_graph_comm.hpp"
+
+namespace gridmap {
+namespace {
+
+using vmpi::CartStencilComm;
+using vmpi::DistGraphComm;
+using vmpi::Universe;
+
+TEST(DistGraph, DerivesInNeighbors) {
+  Universe u(NodeAllocation::homogeneous(2, 2), vsc4());
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 0 (a little DAG plus a back edge).
+  const DistGraphComm comm(u, {{1, 2}, {3}, {3}, {0}});
+  EXPECT_EQ(comm.in_neighbors(0), (std::vector<Rank>{3}));
+  EXPECT_EQ(comm.in_neighbors(1), (std::vector<Rank>{0}));
+  EXPECT_EQ(comm.in_neighbors(3), (std::vector<Rank>{1, 2}));
+  EXPECT_TRUE(comm.in_neighbors(2).size() == 1 && comm.in_neighbors(2)[0] == 0);
+}
+
+TEST(DistGraph, AlltoallDeliversBlocks) {
+  Universe u(NodeAllocation::homogeneous(2, 2), vsc4());
+  const DistGraphComm comm(u, {{1, 2}, {3}, {3}, {0}});
+  std::vector<std::vector<double>> send(4);
+  send[0] = {10.0, 20.0};  // to 1, to 2
+  send[1] = {13.0};        // to 3
+  send[2] = {23.0};        // to 3
+  send[3] = {30.0};        // to 0
+  std::vector<std::vector<double>> recv;
+  const double seconds = comm.neighbor_alltoall(send, recv, 1);
+  EXPECT_GT(seconds, 0.0);
+  EXPECT_EQ(recv[0], (std::vector<double>{30.0}));
+  EXPECT_EQ(recv[1], (std::vector<double>{10.0}));
+  EXPECT_EQ(recv[2], (std::vector<double>{20.0}));
+  EXPECT_EQ(recv[3], (std::vector<double>{13.0, 23.0}));  // in-neighbor order 1, 2
+}
+
+TEST(DistGraph, AlltoallvVariableCounts) {
+  Universe u(NodeAllocation::homogeneous(2, 2), vsc4());
+  const DistGraphComm comm(u, {{1}, {0}, {}, {}});
+  std::vector<std::vector<double>> send(4);
+  send[0] = {1.0, 2.0, 3.0};  // 3 values to rank 1
+  send[1] = {9.0};            // 1 value to rank 0
+  std::vector<std::vector<std::size_t>> send_counts = {{3}, {1}, {}, {}};
+  std::vector<std::vector<double>> recv;
+  std::vector<std::vector<std::size_t>> recv_counts;
+  comm.neighbor_alltoallv(send, send_counts, recv, recv_counts);
+  EXPECT_EQ(recv[0], (std::vector<double>{9.0}));
+  EXPECT_EQ(recv[1], (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(recv_counts[1], (std::vector<std::size_t>{3}));
+  EXPECT_TRUE(recv[2].empty());
+}
+
+TEST(DistGraph, FromCartStencilMatchesNeighborLists) {
+  Universe u(NodeAllocation::homogeneous(4, 4), vsc4());
+  const CartStencilComm cart(u, {4, 4}, {false, false}, true,
+                             Stencil::nearest_neighbor(2), Algorithm::kKdTree);
+  const DistGraphComm graph = DistGraphComm::from_cart_stencil(cart);
+  for (Rank r = 0; r < cart.size(); ++r) {
+    std::vector<Rank> expected;
+    for (const Rank nb : cart.neighbor_list(r)) {
+      if (nb >= 0) expected.push_back(nb);
+    }
+    EXPECT_EQ(graph.out_neighbors(r), expected) << "rank " << r;
+  }
+}
+
+TEST(DistGraph, ExchangeTimeTracksMappingQuality) {
+  // Same graph, two placements: the reordered one must simulate faster for
+  // large messages.
+  const Stencil s = Stencil::nearest_neighbor(2);
+  double blocked_time = 0.0;
+  double reordered_time = 0.0;
+  for (const bool reorder : {false, true}) {
+    Universe u(NodeAllocation::homogeneous(10, 10), vsc4());
+    const CartStencilComm cart(u, {10, 10}, {false, false}, reorder, s,
+                               Algorithm::kHyperplane);
+    const DistGraphComm graph = DistGraphComm::from_cart_stencil(cart);
+    std::vector<std::vector<double>> send(100);
+    std::vector<std::vector<std::size_t>> send_counts(100);
+    for (Rank r = 0; r < 100; ++r) {
+      const std::size_t deg = graph.out_neighbors(r).size();
+      send[static_cast<std::size_t>(r)].assign(deg * 8192, 1.0);
+      send_counts[static_cast<std::size_t>(r)].assign(deg, 8192);
+    }
+    std::vector<std::vector<double>> recv;
+    std::vector<std::vector<std::size_t>> recv_counts;
+    const double t = graph.neighbor_alltoallv(send, send_counts, recv, recv_counts);
+    (reorder ? reordered_time : blocked_time) = t;
+  }
+  EXPECT_LT(reordered_time, blocked_time);
+}
+
+TEST(DistGraph, RejectsBadAdjacency) {
+  Universe u(NodeAllocation::homogeneous(2, 2), vsc4());
+  EXPECT_THROW(DistGraphComm(u, {{4}, {}, {}, {}}), std::invalid_argument);
+  EXPECT_THROW(DistGraphComm(u, {{0}, {}}), std::invalid_argument);
+}
+
+TEST(DistGraph, RejectsShortSendBuffer) {
+  Universe u(NodeAllocation::homogeneous(2, 2), vsc4());
+  const DistGraphComm comm(u, {{1}, {}, {}, {}});
+  std::vector<std::vector<double>> send(4);
+  send[0] = {1.0};  // needs 2
+  std::vector<std::vector<std::size_t>> send_counts = {{2}, {}, {}, {}};
+  std::vector<std::vector<double>> recv;
+  std::vector<std::vector<std::size_t>> recv_counts;
+  EXPECT_THROW(comm.neighbor_alltoallv(send, send_counts, recv, recv_counts),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridmap

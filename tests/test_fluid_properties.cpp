@@ -1,0 +1,133 @@
+// Physical invariants of the max-min-fair fluid simulator, swept over
+// randomized workloads: work conservation, monotonicity, and lower bounds.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/hyperplane.hpp"
+#include "netsim/fluid.hpp"
+
+namespace gridmap {
+namespace {
+
+struct RandomWorkload {
+  std::vector<FluidResource> resources;
+  std::vector<FluidFlowClass> classes;
+};
+
+RandomWorkload make_workload(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> resource_count(1, 6);
+  std::uniform_int_distribution<int> class_count(1, 12);
+  std::uniform_real_distribution<double> capacity(10.0, 1000.0);
+  std::uniform_real_distribution<double> bytes(1.0, 5000.0);
+  std::uniform_int_distribution<std::int64_t> flows(1, 20);
+
+  RandomWorkload w;
+  const int nr = resource_count(rng);
+  for (int r = 0; r < nr; ++r) w.resources.push_back({capacity(rng)});
+  const int nc = class_count(rng);
+  std::uniform_int_distribution<int> pick(0, nr - 1);
+  for (int c = 0; c < nc; ++c) {
+    FluidFlowClass fc;
+    fc.count = flows(rng);
+    fc.bytes = bytes(rng);
+    // 1-3 distinct resources per class.
+    std::uniform_int_distribution<int> nres(1, std::min(3, nr));
+    const int k = nres(rng);
+    for (int i = 0; i < k; ++i) {
+      const int r = pick(rng);
+      if (std::find(fc.resources.begin(), fc.resources.end(), r) == fc.resources.end()) {
+        fc.resources.push_back(r);
+      }
+    }
+    w.classes.push_back(std::move(fc));
+  }
+  return w;
+}
+
+class FluidProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FluidProperties, MakespanRespectsPerResourceLowerBound) {
+  const RandomWorkload w = make_workload(GetParam());
+  const FluidResult result = simulate_fluid(w.resources, w.classes);
+  // Each resource must process all bytes routed through it, so the makespan
+  // is at least load/capacity for every resource.
+  for (std::size_t r = 0; r < w.resources.size(); ++r) {
+    double load = 0.0;
+    for (const FluidFlowClass& c : w.classes) {
+      if (std::find(c.resources.begin(), c.resources.end(), static_cast<int>(r)) !=
+          c.resources.end()) {
+        load += static_cast<double>(c.count) * c.bytes;
+      }
+    }
+    EXPECT_GE(result.makespan, load / w.resources[r].capacity - 1e-6);
+  }
+}
+
+TEST_P(FluidProperties, ClassCompletionsBoundedByMakespan) {
+  const RandomWorkload w = make_workload(GetParam() ^ 0xabcdef);
+  const FluidResult result = simulate_fluid(w.resources, w.classes);
+  double latest = 0.0;
+  for (std::size_t c = 0; c < w.classes.size(); ++c) {
+    const double t = result.class_completion[c];
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, result.makespan + 1e-9);
+    latest = std::max(latest, t);
+    // A class running alone on its bottleneck resource cannot be faster than
+    // its own bytes at full capacity of its slowest resource.
+    double best_capacity = std::numeric_limits<double>::infinity();
+    for (const int r : w.classes[c].resources) {
+      best_capacity = std::min(best_capacity,
+                               w.resources[static_cast<std::size_t>(r)].capacity);
+    }
+    if (w.classes[c].count > 0 && w.classes[c].bytes > 0) {
+      EXPECT_GE(t, w.classes[c].bytes / best_capacity - 1e-9);
+    }
+  }
+  EXPECT_NEAR(latest, result.makespan, 1e-9);
+}
+
+TEST_P(FluidProperties, AddingFlowsNeverSpeedsThingsUp) {
+  RandomWorkload w = make_workload(GetParam() ^ 0x5a5a5a);
+  const FluidResult before = simulate_fluid(w.resources, w.classes);
+  FluidFlowClass extra;
+  extra.count = 5;
+  extra.bytes = 100.0;
+  extra.resources = {0};
+  w.classes.push_back(extra);
+  const FluidResult after = simulate_fluid(w.resources, w.classes);
+  EXPECT_GE(after.makespan, before.makespan - 1e-9);
+  // Existing classes cannot finish earlier with more contention.
+  for (std::size_t c = 0; c + 1 < w.classes.size(); ++c) {
+    EXPECT_GE(after.class_completion[c], before.class_completion[c] - 1e-6);
+  }
+}
+
+TEST_P(FluidProperties, ScalingCapacitiesScalesTimeInversely) {
+  const RandomWorkload w = make_workload(GetParam() ^ 0x777777);
+  std::vector<FluidResource> doubled = w.resources;
+  for (FluidResource& r : doubled) r.capacity *= 2.0;
+  const FluidResult slow = simulate_fluid(w.resources, w.classes);
+  const FluidResult fast = simulate_fluid(doubled, w.classes);
+  EXPECT_NEAR(fast.makespan, slow.makespan / 2.0, 1e-6 * slow.makespan + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorkloads, FluidProperties,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
+
+TEST(HyperplaneHeterogeneous, RepresentativeSizeVariantsAllValid) {
+  const CartesianGrid grid({9, 8});
+  const NodeAllocation alloc({16, 24, 32});
+  const Stencil s = Stencil::nearest_neighbor(2);
+  for (const NodeSizeRep rep : {NodeSizeRep::kMean, NodeSizeRep::kMin, NodeSizeRep::kMax}) {
+    HyperplaneMapper::Options o;
+    o.rep = rep;
+    const HyperplaneMapper mapper(o);
+    const Remapping m = mapper.remap(grid, s, alloc);  // validates bijection
+    EXPECT_EQ(m.size(), 72);
+  }
+}
+
+}  // namespace
+}  // namespace gridmap

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "core/grid.hpp"
+
+namespace gridmap {
+namespace {
+
+TEST(Grid, SizeIsProductOfDims) {
+  const CartesianGrid g({5, 4});
+  EXPECT_EQ(g.size(), 20);
+  EXPECT_EQ(g.ndims(), 2);
+}
+
+TEST(Grid, RowMajorLastDimFastest) {
+  const CartesianGrid g({3, 4});
+  EXPECT_EQ(g.cell_of({0, 0}), 0);
+  EXPECT_EQ(g.cell_of({0, 1}), 1);
+  EXPECT_EQ(g.cell_of({1, 0}), 4);
+  EXPECT_EQ(g.cell_of({2, 3}), 11);
+}
+
+TEST(Grid, CoordCellRoundTrip) {
+  const CartesianGrid g({4, 3, 5});
+  for (Cell c = 0; c < g.size(); ++c) {
+    EXPECT_EQ(g.cell_of(g.coord_of(c)), c);
+  }
+}
+
+TEST(Grid, RejectsOutOfBoundsCoord) {
+  const CartesianGrid g({3, 3});
+  EXPECT_THROW(g.cell_of({3, 0}), std::invalid_argument);
+  EXPECT_THROW(g.cell_of({0, -1}), std::invalid_argument);
+  EXPECT_THROW(g.coord_of(9), std::invalid_argument);
+  EXPECT_THROW(g.coord_of(-1), std::invalid_argument);
+}
+
+TEST(Grid, TranslateNonPeriodicStopsAtBoundary) {
+  const CartesianGrid g({3, 3});
+  Coord out;
+  EXPECT_TRUE(g.translate({1, 1}, {1, 0}, out));
+  EXPECT_EQ(out, (Coord{2, 1}));
+  EXPECT_FALSE(g.translate({2, 1}, {1, 0}, out));
+  EXPECT_FALSE(g.translate({0, 0}, {0, -1}, out));
+}
+
+TEST(Grid, TranslatePeriodicWraps) {
+  const CartesianGrid g({3, 3}, {true, false});
+  Coord out;
+  EXPECT_TRUE(g.translate({2, 1}, {1, 0}, out));
+  EXPECT_EQ(out, (Coord{0, 1}));
+  EXPECT_TRUE(g.translate({0, 1}, {-1, 0}, out));
+  EXPECT_EQ(out, (Coord{2, 1}));
+  EXPECT_FALSE(g.translate({0, 0}, {0, -1}, out));
+}
+
+TEST(Grid, NeighborsInteriorCellHasAllStencilTargets) {
+  const CartesianGrid g({5, 5});
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const auto nbs = g.neighbors(g.cell_of({2, 2}), s);
+  EXPECT_EQ(nbs.size(), 4u);
+}
+
+TEST(Grid, NeighborsCornerCellLosesOutOfBoundTargets) {
+  const CartesianGrid g({5, 5});
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const auto nbs = g.neighbors(g.cell_of({0, 0}), s);
+  EXPECT_EQ(nbs.size(), 2u);
+}
+
+TEST(Grid, CountDirectedEdgesMatchesEnumeration) {
+  for (const Dims& dims : {Dims{5, 4}, Dims{3, 3, 3}, Dims{7, 2}}) {
+    const CartesianGrid g(dims);
+    for (const Stencil& s :
+         {Stencil::nearest_neighbor(static_cast<int>(dims.size())),
+          Stencil::component(static_cast<int>(dims.size())),
+          Stencil::nearest_neighbor_with_hops(static_cast<int>(dims.size()))}) {
+      std::int64_t enumerated = 0;
+      for (Cell c = 0; c < g.size(); ++c) {
+        enumerated += static_cast<std::int64_t>(g.neighbors(c, s).size());
+      }
+      EXPECT_EQ(g.count_directed_edges(s), enumerated)
+          << "dims size " << dims.size() << " stencil " << s.to_string();
+    }
+  }
+}
+
+TEST(Grid, CountDirectedEdgesPeriodic) {
+  const CartesianGrid g({4, 4}, {true, true});
+  const Stencil s = Stencil::nearest_neighbor(2);
+  // Fully periodic: every cell has all 4 neighbors.
+  EXPECT_EQ(g.count_directed_edges(s), 4 * 16);
+}
+
+TEST(Grid, RejectsStencilDimensionMismatch) {
+  const CartesianGrid g({4, 4});
+  const Stencil s = Stencil::nearest_neighbor(3);
+  EXPECT_THROW(g.neighbors(0, s), std::invalid_argument);
+}
+
+TEST(Grid, OneDimensionalGrid) {
+  const CartesianGrid g({7});
+  const Stencil s = Stencil::nearest_neighbor(1);
+  EXPECT_EQ(g.size(), 7);
+  EXPECT_EQ(g.count_directed_edges(s), 2 * 6);
+}
+
+}  // namespace
+}  // namespace gridmap

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "core/hierarchical.hpp"
+#include "core/hyperplane.hpp"
+#include "core/stencil_strips.hpp"
+
+namespace gridmap {
+namespace {
+
+TEST(Hierarchical, SocketAllocationRefines) {
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 12);
+  const NodeAllocation sockets = socket_allocation(alloc, 2);
+  EXPECT_EQ(sockets.num_nodes(), 8);
+  EXPECT_EQ(sockets.total(), alloc.total());
+  for (NodeId s = 0; s < 8; ++s) EXPECT_EQ(sockets.size(s), 6);
+  // Socket s of node i holds pseudo-node 2i + s: ranks stay blocked.
+  EXPECT_EQ(sockets.node_of_rank(0) / 2, alloc.node_of_rank(0));
+  EXPECT_EQ(sockets.node_of_rank(11) / 2, alloc.node_of_rank(11));
+}
+
+TEST(Hierarchical, SocketAllocationRejectsIndivisibleNodes) {
+  const NodeAllocation alloc({12, 13});
+  EXPECT_THROW(socket_allocation(alloc, 2), std::invalid_argument);
+}
+
+TEST(Hierarchical, EvaluateReportsBothLevels) {
+  const CartesianGrid grid({8, 6});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 12);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const HierarchicalCost cost =
+      evaluate_hierarchical(grid, s, Remapping::identity(grid), alloc, 2);
+  // Socket level refines node level: every inter-node edge is also
+  // inter-socket.
+  EXPECT_GE(cost.socket_level.jsum, cost.node_level.jsum);
+  EXPECT_GT(cost.socket_level.jsum, 0);
+}
+
+TEST(Hierarchical, SocketAwareHyperplaneReducesSocketTraffic) {
+  const CartesianGrid grid({24, 16});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(8, 48);
+  const Stencil s = Stencil::nearest_neighbor(2);
+
+  const HyperplaneMapper plain;
+  const HierarchicalMapper aware(std::make_unique<HyperplaneMapper>(), 2);
+  ASSERT_TRUE(aware.applicable(grid, s, alloc));
+
+  const HierarchicalCost plain_cost =
+      evaluate_hierarchical(grid, s, plain.remap(grid, s, alloc), alloc, 2);
+  const HierarchicalCost aware_cost =
+      evaluate_hierarchical(grid, s, aware.remap(grid, s, alloc), alloc, 2);
+
+  // The refinement lowers cross-socket traffic...
+  EXPECT_LT(aware_cost.socket_level.jsum, plain_cost.socket_level.jsum);
+  // ...without giving up much at the node level (divisible splits nest).
+  EXPECT_LE(aware_cost.node_level.jsum,
+            plain_cost.node_level.jsum + plain_cost.node_level.jsum / 4);
+}
+
+TEST(Hierarchical, NameMentionsInnerAlgorithm) {
+  const HierarchicalMapper aware(std::make_unique<StencilStripsMapper>(), 2);
+  EXPECT_EQ(aware.name(), "Stencil Strips (socket-aware)");
+}
+
+TEST(Hierarchical, NotApplicableWithOddNodeSizes) {
+  const CartesianGrid grid({7, 7});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(7, 7);
+  const HierarchicalMapper aware(std::make_unique<HyperplaneMapper>(), 2);
+  EXPECT_FALSE(aware.applicable(grid, Stencil::nearest_neighbor(2), alloc));
+}
+
+TEST(Hierarchical, SingleSocketIsIdentityRefinement) {
+  const CartesianGrid grid({8, 6});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 12);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const HyperplaneMapper plain;
+  const HierarchicalMapper aware(std::make_unique<HyperplaneMapper>(), 1);
+  EXPECT_EQ(plain.remap(grid, s, alloc), aware.remap(grid, s, alloc));
+}
+
+}  // namespace
+}  // namespace gridmap

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "baselines/blocked.hpp"
+#include "core/hyperplane.hpp"
+#include "core/metrics.hpp"
+
+namespace gridmap {
+namespace {
+
+TEST(Hyperplane, FindSplitExistsWheneverTheoremV1Applies) {
+  // Theorem V.1: whenever prod(D) = C*n with C >= 2, a split into two
+  // n-divisible sub-grids exists.
+  const HyperplaneMapper mapper;
+  const Stencil s = Stencil::nearest_neighbor(2);
+  for (const int n : {2, 3, 4, 6, 8, 12, 48}) {
+    for (const Dims& dims : {Dims{8, 6}, Dims{12, 12}, Dims{50, 48}, Dims{24, 10}}) {
+      const std::int64_t size = product(dims);
+      if (size % n != 0 || size / n < 2) continue;
+      const auto split = mapper.find_split(dims, s, n);
+      ASSERT_GE(split.dim, 0) << "no split for dims and n=" << n;
+      const std::int64_t lhs = size / dims[static_cast<std::size_t>(split.dim)] * split.lhs;
+      EXPECT_EQ(lhs % n, 0);
+      EXPECT_EQ((size - lhs) % n, 0);
+    }
+  }
+}
+
+TEST(Hyperplane, SplitBalanceRatioBoundTheoremV2) {
+  // Theorem V.2: 1/2 <= |g'|/|g''| <= 1.
+  const HyperplaneMapper mapper;
+  const Stencil s = Stencil::nearest_neighbor(3);
+  for (const Dims& dims : {Dims{6, 6, 4}, Dims{9, 8, 6}, Dims{10, 9, 8}, Dims{12, 5, 4}}) {
+    for (const int n : {2, 3, 4, 6, 12}) {
+      const std::int64_t size = product(dims);
+      if (size % n != 0 || size / n < 2) continue;
+      const auto split = mapper.find_split(dims, s, n);
+      ASSERT_GE(split.dim, 0);
+      const std::int64_t lhs = size / dims[static_cast<std::size_t>(split.dim)] * split.lhs;
+      const std::int64_t rhs = size - lhs;
+      const double ratio = static_cast<double>(std::min(lhs, rhs)) /
+                           static_cast<double>(std::max(lhs, rhs));
+      EXPECT_GE(ratio, 0.5 - 1e-12) << "dims split too imbalanced";
+    }
+  }
+}
+
+TEST(Hyperplane, PrefersOrthogonalDimension) {
+  // Hops stencil communicates heavily along dim 0, so the cut should go
+  // through dim 1 (perpendicular hyperplane) even though dim 0 is larger.
+  const HyperplaneMapper mapper;
+  const Stencil hops = Stencil::nearest_neighbor_with_hops(2);
+  const auto split = mapper.find_split({16, 12}, hops, 4);
+  EXPECT_EQ(split.dim, 1);
+}
+
+TEST(Hyperplane, TieBrokenByLargerDimension) {
+  const HyperplaneMapper mapper;
+  const Stencil nn = Stencil::nearest_neighbor(2);
+  const auto split = mapper.find_split({8, 12}, nn, 4);
+  EXPECT_EQ(split.dim, 1);  // equal cos^2 scores; dim 1 is larger
+}
+
+TEST(Hyperplane, SkewedGridBaseCaseAvoidsSlabPartitions) {
+  // The paper's example: a [2, n] grid with large odd n. Cutting the
+  // dimension of size 2 yields two [1, n] slabs with n outgoing edges each;
+  // the base case instead produces partitions with 3 outgoing edges.
+  const int n = 49;
+  const CartesianGrid g({2, n});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(2, n);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const HyperplaneMapper mapper;
+  const MappingCost cost = evaluate_mapping(g, s, mapper.remap(g, s, alloc), alloc);
+  EXPECT_EQ(cost.jmax, 3);
+  EXPECT_EQ(cost.jsum, 6);
+
+  // Ablation: without the base case the mapper is forced into the slab cut.
+  HyperplaneMapper::Options no_base;
+  no_base.use_base_case = false;
+  const HyperplaneMapper ablated(no_base);
+  const MappingCost worse = evaluate_mapping(g, s, ablated.remap(g, s, alloc), alloc);
+  EXPECT_GT(worse.jsum, cost.jsum);
+}
+
+TEST(Hyperplane, ProducesValidPermutation) {
+  const CartesianGrid g({10, 6});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(5, 12);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const HyperplaneMapper mapper;
+  const Remapping m = mapper.remap(g, s, alloc);  // from_cells validates bijection
+  EXPECT_EQ(m.size(), g.size());
+}
+
+TEST(Hyperplane, BeatsBlockedOnPaperInstances) {
+  const CartesianGrid g({50, 48});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(50, 48);
+  const HyperplaneMapper mapper;
+  const BlockedMapper blocked;
+  for (const Stencil& s : {Stencil::nearest_neighbor(2), Stencil::component(2),
+                           Stencil::nearest_neighbor_with_hops(2)}) {
+    const MappingCost hp = evaluate_mapping(g, s, mapper.remap(g, s, alloc), alloc);
+    const MappingCost bl = evaluate_mapping(g, s, blocked.remap(g, s, alloc), alloc);
+    EXPECT_LT(hp.jsum, bl.jsum) << s.to_string();
+    EXPECT_LT(hp.jmax, bl.jmax) << s.to_string();
+  }
+}
+
+TEST(Hyperplane, HandlesHeterogeneousAllocation) {
+  // 36 cells over nodes of sizes {10, 12, 14}: must still be a permutation.
+  const CartesianGrid g({6, 6});
+  const NodeAllocation alloc({10, 12, 14});
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const HyperplaneMapper mapper;
+  const Remapping m = mapper.remap(g, s, alloc);
+  const MappingCost cost = evaluate_mapping(g, s, m, alloc);
+  EXPECT_GT(cost.jsum, 0);
+  EXPECT_LE(cost.jsum, g.count_directed_edges(s));
+}
+
+TEST(Hyperplane, SingleNodeGrid) {
+  const CartesianGrid g({4, 4});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(1, 16);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const HyperplaneMapper mapper;
+  const MappingCost cost = evaluate_mapping(g, s, mapper.remap(g, s, alloc), alloc);
+  EXPECT_EQ(cost.jsum, 0);
+}
+
+TEST(Hyperplane, OneDimensionalChain) {
+  const CartesianGrid g({12});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(3, 4);
+  const Stencil s = Stencil::nearest_neighbor(1);
+  const HyperplaneMapper mapper;
+  const MappingCost cost = evaluate_mapping(g, s, mapper.remap(g, s, alloc), alloc);
+  // Optimal: contiguous chunks -> 2 cuts x 2 directions.
+  EXPECT_EQ(cost.jsum, 4);
+  EXPECT_EQ(cost.jmax, 2);
+}
+
+TEST(Hyperplane, EmptyStencilStillValid) {
+  const CartesianGrid g({4, 4});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 4);
+  const Stencil s = Stencil::component(1 + 1);  // communicates along dim 0 only
+  const HyperplaneMapper mapper;
+  const Remapping m = mapper.remap(g, s, alloc);
+  EXPECT_EQ(m.size(), 16);
+}
+
+}  // namespace
+}  // namespace gridmap

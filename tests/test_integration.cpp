@@ -1,0 +1,127 @@
+// End-to-end integration: grid construction -> mapping -> traffic ->
+// simulated exchange -> statistics, i.e. the full pipeline every benchmark
+// binary uses, checked for cross-module consistency.
+#include <gtest/gtest.h>
+
+#include "core/algorithms.hpp"
+#include "core/dims_create.hpp"
+#include "core/metrics.hpp"
+#include "netsim/exchange.hpp"
+#include "stats/stats.hpp"
+#include "vmpi/dist_graph_comm.hpp"
+#include "vmpi/mpix.hpp"
+
+namespace gridmap {
+namespace {
+
+TEST(Integration, SpeedupOrderingFollowsTrafficOrdering) {
+  // For one fixed machine and large messages, the simulated time ordering of
+  // the mappings must be consistent with their bottleneck-traffic ordering:
+  // if A's per-node loads are all <= B's, A cannot simulate slower.
+  const NodeAllocation alloc = NodeAllocation::homogeneous(20, 24);
+  const CartesianGrid grid(dims_create(alloc.total(), 2));
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const MachineModel machine = vsc4();
+
+  struct Entry {
+    Algorithm algorithm;
+    MappingCost cost;
+    double seconds;
+  };
+  std::vector<Entry> entries;
+  for (const Algorithm a : {Algorithm::kBlocked, Algorithm::kHyperplane,
+                            Algorithm::kStencilStrips, Algorithm::kRandom}) {
+    const auto mapper = make_mapper(a);
+    const Remapping m = mapper->remap(grid, s, alloc);
+    const std::vector<NodeId> node_of_cell = m.node_of_cell(alloc);
+    const TrafficMatrix traffic = traffic_matrix(grid, s, node_of_cell, alloc.num_nodes());
+    entries.push_back({a, evaluate_mapping(grid, s, node_of_cell, alloc.num_nodes()),
+                       exchange_time(machine, traffic, 262144, s.k(), true)});
+  }
+  for (const Entry& a : entries) {
+    for (const Entry& b : entries) {
+      if (a.cost.jmax <= b.cost.jmax && a.cost.jsum <= b.cost.jsum) {
+        EXPECT_LE(a.seconds, b.seconds * 1.25)
+            << to_string(a.algorithm) << " vs " << to_string(b.algorithm);
+      }
+    }
+  }
+}
+
+TEST(Integration, MpixCommMatchesStandaloneMapping) {
+  // The communicator built through the Listing-1 shim must induce exactly
+  // the same mapping cost as calling the mapper directly.
+  const NodeAllocation alloc = NodeAllocation::homogeneous(10, 12);
+  const Dims dims = dims_create(alloc.total(), 2);
+  const Stencil s = Stencil::nearest_neighbor_with_hops(2);
+
+  vmpi::Universe universe(alloc, supermuc_ng());
+  const std::vector<int> dims_c(dims.begin(), dims.end());
+  const std::vector<int> periods(2, 0);
+  const std::vector<int> flat = s.flat();
+  std::unique_ptr<vmpi::CartStencilComm> comm;
+  ASSERT_EQ(vmpi::MPIX_Cart_stencil_comm(universe, 2, dims_c.data(), periods.data(), 1,
+                                         flat.data(), s.k(), &comm,
+                                         Algorithm::kStencilStrips),
+            vmpi::GRIDMAP_SUCCESS);
+
+  const CartesianGrid grid(dims);
+  const auto mapper = make_mapper(Algorithm::kStencilStrips);
+  const MappingCost direct = evaluate_mapping(grid, s, mapper->remap(grid, s, alloc), alloc);
+  EXPECT_EQ(comm->cost().jsum, direct.jsum);
+  EXPECT_EQ(comm->cost().jmax, direct.jmax);
+}
+
+TEST(Integration, DistGraphAlltoallMatchesCartAlltoallTiming) {
+  // Uniform counts through the dist-graph communicator and through the
+  // Cartesian communicator model the same traffic, so the simulated times
+  // agree to within the models' latency terms.
+  const NodeAllocation alloc = NodeAllocation::homogeneous(8, 8);
+  const Dims dims = dims_create(alloc.total(), 2);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  vmpi::Universe u1(alloc, vsc4());
+  vmpi::Universe u2(alloc, vsc4());
+  const vmpi::CartStencilComm cart(u1, dims, {false, false}, true, s,
+                                   Algorithm::kHyperplane);
+  const vmpi::CartStencilComm cart2(u2, dims, {false, false}, true, s,
+                                    Algorithm::kHyperplane);
+  const vmpi::DistGraphComm graph = vmpi::DistGraphComm::from_cart_stencil(cart2);
+
+  const std::size_t count = 4096;
+  const int p = cart.size();
+  std::vector<std::vector<double>> send_cart(
+      static_cast<std::size_t>(p), std::vector<double>(4 * count, 1.0));
+  std::vector<std::vector<double>> recv_cart = send_cart;
+  const double t_cart = cart.neighbor_alltoall(send_cart, recv_cart, count);
+
+  std::vector<std::vector<double>> send_graph(static_cast<std::size_t>(p));
+  for (Rank r = 0; r < p; ++r) {
+    send_graph[static_cast<std::size_t>(r)].assign(
+        graph.out_neighbors(r).size() * count, 1.0);
+  }
+  std::vector<std::vector<double>> recv_graph;
+  const double t_graph = graph.neighbor_alltoall(send_graph, recv_graph, count);
+
+  EXPECT_NEAR(t_cart, t_graph, 0.15 * t_cart);
+}
+
+TEST(Integration, StatsPipelineOnSimulatedSamples) {
+  const NodeAllocation alloc = NodeAllocation::homogeneous(6, 8);
+  const CartesianGrid grid(dims_create(alloc.total(), 2));
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const Remapping m = make_mapper(Algorithm::kKdTree)->remap(grid, s, alloc);
+  ExchangeConfig cfg;
+  cfg.message_bytes = 65536;
+  cfg.repetitions = 200;
+  const std::vector<double> samples =
+      simulate_neighbor_alltoall(juwels(), grid, s, m, alloc, cfg);
+  const std::vector<double> kept = remove_outliers_iqr(samples);
+  const ConfidenceInterval ci = mean_ci95(kept);
+  EXPECT_GT(ci.lower, 0.0);
+  EXPECT_LT(ci.upper, 1.0);            // sub-second for this tiny exchange
+  EXPECT_LT(ci.half_width(), ci.center);  // CI is meaningfully tight
+  EXPECT_LE(median(kept), quantile(kept, 0.95));
+}
+
+}  // namespace
+}  // namespace gridmap

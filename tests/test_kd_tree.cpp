@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "core/kd_tree.hpp"
+#include "core/metrics.hpp"
+
+namespace gridmap {
+namespace {
+
+TEST(KdTree, SplitIndexAvoidsCommunicatingDimension) {
+  const KdTreeMapper mapper;
+  // f = [6, 2] for the hops stencil: dim 1 scores 12/2 = 6 > 16/6 = 2.67.
+  const std::vector<int> f = Stencil::nearest_neighbor_with_hops(2).crossing_counts();
+  EXPECT_EQ(mapper.find_split_index({16, 12}, f), 1);
+}
+
+TEST(KdTree, ZeroCrossingDimensionWinsAlways) {
+  const KdTreeMapper mapper;
+  const std::vector<int> f = Stencil::component(2).crossing_counts();  // [2, 0]
+  EXPECT_EQ(mapper.find_split_index({100, 2}, f), 1);
+}
+
+TEST(KdTree, SizeOneDimensionsAreSkipped) {
+  const KdTreeMapper mapper;
+  const std::vector<int> f = {2, 0};
+  EXPECT_EQ(mapper.find_split_index({100, 1}, f), 0);
+  EXPECT_EQ(mapper.find_split_index({1, 1}, f), -1);
+}
+
+TEST(KdTree, UnweightedAblationPicksLargestDimension) {
+  KdTreeMapper::Options o;
+  o.weighted = false;
+  const KdTreeMapper mapper(o);
+  const std::vector<int> f = Stencil::nearest_neighbor_with_hops(2).crossing_counts();
+  EXPECT_EQ(mapper.find_split_index({16, 12}, f), 0);
+}
+
+TEST(KdTree, ProducesValidPermutation) {
+  const CartesianGrid g({7, 9});  // odd sizes exercise floor/ceil halving
+  const NodeAllocation alloc = NodeAllocation::homogeneous(7, 9);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const KdTreeMapper mapper;
+  const Remapping m = mapper.remap(g, s, alloc);
+  EXPECT_EQ(m.size(), 63);
+}
+
+TEST(KdTree, ObliviousToNodeSize) {
+  // The k-d tree recursion never reads the allocation, so the permutation is
+  // identical for different node groupings of the same total.
+  const CartesianGrid g({8, 6});
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const KdTreeMapper mapper;
+  const Remapping a = mapper.remap(g, s, NodeAllocation::homogeneous(4, 12));
+  const Remapping b = mapper.remap(g, s, NodeAllocation::homogeneous(6, 8));
+  EXPECT_EQ(a.cell_of_rank(), b.cell_of_rank());
+}
+
+TEST(KdTree, FindsOptimalComponentStencilMapping) {
+  // Paper Section VI-D: on the component stencil the k-d tree finds the
+  // optimal mapping with 2 outgoing edges per node.
+  const CartesianGrid g({50, 48});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(50, 48);
+  const Stencil s = Stencil::component(2);
+  const KdTreeMapper mapper;
+  const MappingCost cost = evaluate_mapping(g, s, mapper.remap(g, s, alloc), alloc);
+  EXPECT_EQ(cost.jsum, 96);
+  EXPECT_EQ(cost.jmax, 2);
+}
+
+TEST(KdTree, ConsecutiveRanksStayClose) {
+  // Recursive halving assigns consecutive rank blocks to adjacent sub-grids;
+  // with N=4 nodes on an 8x8 grid each node's cells form a 4x4 quadrant.
+  const CartesianGrid g({8, 8});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 16);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const KdTreeMapper mapper;
+  const MappingCost cost = evaluate_mapping(g, s, mapper.remap(g, s, alloc), alloc);
+  // Perfect quadrants: cut = 2 internal boundaries x 8 cells x 2 directions;
+  // each quadrant has 4 + 4 outgoing edges.
+  EXPECT_EQ(cost.jsum, 32);
+  EXPECT_EQ(cost.jmax, 8);
+}
+
+TEST(KdTree, OneCellGrid) {
+  const CartesianGrid g({1, 1});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(1, 1);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const KdTreeMapper mapper;
+  EXPECT_EQ(mapper.new_coordinate(g, s, alloc, 0), (Coord{0, 0}));
+}
+
+TEST(KdTree, ThreeDimensionalValidity) {
+  const CartesianGrid g({5, 4, 3});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(10, 6);
+  const Stencil s = Stencil::nearest_neighbor(3);
+  const KdTreeMapper mapper;
+  const Remapping m = mapper.remap(g, s, alloc);
+  EXPECT_EQ(m.size(), 60);
+}
+
+}  // namespace
+}  // namespace gridmap

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "baselines/blocked.hpp"
+#include "core/metrics.hpp"
+
+namespace gridmap {
+namespace {
+
+TEST(Metrics, BlockedRowAssignment2d) {
+  // 4x3 grid, nearest neighbor, 4 nodes of 3 -> each node owns one row.
+  const CartesianGrid g({4, 3});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 3);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const MappingCost cost = evaluate_mapping(g, s, Remapping::identity(g), alloc);
+  // 3 row boundaries x 3 cells x 2 directions.
+  EXPECT_EQ(cost.jsum, 18);
+  // Interior rows send 3 up + 3 down.
+  EXPECT_EQ(cost.jmax, 6);
+  EXPECT_EQ(cost.out_edges, (std::vector<std::int64_t>{3, 6, 6, 3}));
+}
+
+TEST(Metrics, IntraPlusInterEqualsTotalEdges) {
+  const CartesianGrid g({6, 6});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 9);
+  for (const Stencil& s : {Stencil::nearest_neighbor(2), Stencil::component(2),
+                           Stencil::nearest_neighbor_with_hops(2)}) {
+    const MappingCost cost = evaluate_mapping(g, s, Remapping::identity(g), alloc);
+    std::int64_t intra = 0;
+    for (const std::int64_t v : cost.intra_edges) intra += v;
+    EXPECT_EQ(intra + cost.jsum, g.count_directed_edges(s));
+  }
+}
+
+TEST(Metrics, JsumIsSymmetricForSymmetricStencils) {
+  // For symmetric stencils, total out-edges equal total in-edges, so Jsum is
+  // even.
+  const CartesianGrid g({5, 5});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(5, 5);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const MappingCost cost = evaluate_mapping(g, s, Remapping::identity(g), alloc);
+  EXPECT_EQ(cost.jsum % 2, 0);
+}
+
+TEST(Metrics, SingleNodeHasNoInterNodeTraffic) {
+  const CartesianGrid g({4, 4});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(1, 16);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const MappingCost cost = evaluate_mapping(g, s, Remapping::identity(g), alloc);
+  EXPECT_EQ(cost.jsum, 0);
+  EXPECT_EQ(cost.jmax, 0);
+  EXPECT_EQ(cost.intra_edges[0], g.count_directed_edges(s));
+}
+
+TEST(Metrics, BottleneckIdentifiesWorstNode) {
+  const CartesianGrid g({4, 3});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 3);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const MappingCost cost = evaluate_mapping(g, s, Remapping::identity(g), alloc);
+  EXPECT_TRUE(cost.bottleneck == 1 || cost.bottleneck == 2);
+  EXPECT_EQ(cost.out_edges[static_cast<std::size_t>(cost.bottleneck)], cost.jmax);
+}
+
+TEST(Metrics, AsymmetricStencilCountsDirectedEdges) {
+  // One-sided stencil {+1_0}: edges only "downwards"; Jsum counts each once.
+  const CartesianGrid g({4, 1});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 1);
+  const Stencil s = Stencil::from_offsets({{1, 0}});
+  const MappingCost cost = evaluate_mapping(g, s, Remapping::identity(g), alloc);
+  EXPECT_EQ(cost.jsum, 3);
+  EXPECT_EQ(cost.jmax, 1);
+}
+
+TEST(TrafficMatrixTest, TotalsMatchJsum) {
+  const CartesianGrid g({6, 4});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 6);
+  const Stencil s = Stencil::nearest_neighbor_with_hops(2);
+  const Remapping m = Remapping::identity(g);
+  const std::vector<NodeId> node_of_cell = m.node_of_cell(alloc);
+  const MappingCost cost = evaluate_mapping(g, s, node_of_cell, alloc.num_nodes());
+  const TrafficMatrix traffic = traffic_matrix(g, s, node_of_cell, alloc.num_nodes());
+  EXPECT_EQ(traffic.total(), cost.jsum);
+  for (NodeId n = 0; n < alloc.num_nodes(); ++n) {
+    EXPECT_EQ(traffic.out_degree_bytes(n), cost.out_edges[static_cast<std::size_t>(n)]);
+  }
+}
+
+TEST(TrafficMatrixTest, SymmetricStencilSymmetricMatrix) {
+  const CartesianGrid g({6, 4});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(3, 8);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const std::vector<NodeId> node_of_cell = Remapping::identity(g).node_of_cell(alloc);
+  const TrafficMatrix traffic = traffic_matrix(g, s, node_of_cell, alloc.num_nodes());
+  for (NodeId a = 0; a < 3; ++a) {
+    for (NodeId b = 0; b < 3; ++b) {
+      EXPECT_EQ(traffic.at(a, b), traffic.at(b, a));
+    }
+  }
+}
+
+TEST(RankFlows, CountsAndEndpointsConsistent) {
+  const CartesianGrid g({4, 4});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 4);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const Remapping m = Remapping::identity(g);
+  const std::vector<RankFlow> flows = rank_flows(g, s, m, alloc);
+  EXPECT_EQ(static_cast<std::int64_t>(flows.size()), g.count_directed_edges(s));
+  std::int64_t inter = 0;
+  for (const RankFlow& f : flows) {
+    EXPECT_EQ(f.src_node, alloc.node_of_rank(f.src));
+    EXPECT_EQ(f.dst_node, alloc.node_of_rank(f.dst));
+    if (f.src_node != f.dst_node) ++inter;
+  }
+  const MappingCost cost = evaluate_mapping(g, s, m, alloc);
+  EXPECT_EQ(inter, cost.jsum);
+}
+
+}  // namespace
+}  // namespace gridmap

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "vmpi/mpix.hpp"
+
+namespace gridmap {
+namespace {
+
+using vmpi::CartStencilComm;
+using vmpi::Universe;
+
+TEST(Mpix, CreatesReorderedCommunicator) {
+  Universe universe(NodeAllocation::homogeneous(4, 9), vsc4());
+  const int dims[] = {6, 6};
+  const int periods[] = {0, 0};
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const std::vector<int> flat = s.flat();
+  std::unique_ptr<CartStencilComm> comm;
+  const int rc = vmpi::MPIX_Cart_stencil_comm(universe, 2, dims, periods, 1, flat.data(),
+                                              s.k(), &comm);
+  ASSERT_EQ(rc, vmpi::GRIDMAP_SUCCESS);
+  ASSERT_NE(comm, nullptr);
+  EXPECT_EQ(comm->size(), 36);
+  EXPECT_EQ(comm->stencil(), s);
+}
+
+TEST(Mpix, NoReorderKeepsBlocked) {
+  Universe universe(NodeAllocation::homogeneous(4, 9), vsc4());
+  const int dims[] = {6, 6};
+  const int periods[] = {0, 0};
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const std::vector<int> flat = s.flat();
+  std::unique_ptr<CartStencilComm> comm;
+  ASSERT_EQ(vmpi::MPIX_Cart_stencil_comm(universe, 2, dims, periods, 0, flat.data(),
+                                         s.k(), &comm),
+            vmpi::GRIDMAP_SUCCESS);
+  for (Rank r = 0; r < comm->size(); ++r) {
+    EXPECT_EQ(comm->coordinates(r), comm->grid().coord_of(r));
+  }
+}
+
+TEST(Mpix, RejectsNullArguments) {
+  Universe universe(NodeAllocation::homogeneous(2, 2), vsc4());
+  const int dims[] = {2, 2};
+  const int periods[] = {0, 0};
+  const int stencil[] = {1, 0};
+  std::unique_ptr<CartStencilComm> comm;
+  EXPECT_EQ(vmpi::MPIX_Cart_stencil_comm(universe, 2, nullptr, periods, 0, stencil, 1, &comm),
+            vmpi::GRIDMAP_ERR_ARG);
+  EXPECT_EQ(vmpi::MPIX_Cart_stencil_comm(universe, 2, dims, nullptr, 0, stencil, 1, &comm),
+            vmpi::GRIDMAP_ERR_ARG);
+  EXPECT_EQ(vmpi::MPIX_Cart_stencil_comm(universe, 2, dims, periods, 0, stencil, 1, nullptr),
+            vmpi::GRIDMAP_ERR_ARG);
+  EXPECT_EQ(vmpi::MPIX_Cart_stencil_comm(universe, 2, dims, periods, 0, nullptr, 1, &comm),
+            vmpi::GRIDMAP_ERR_ARG);
+}
+
+TEST(Mpix, RejectsSizeMismatch) {
+  Universe universe(NodeAllocation::homogeneous(2, 2), vsc4());
+  const int dims[] = {3, 3};
+  const int periods[] = {0, 0};
+  const int stencil[] = {1, 0};
+  std::unique_ptr<CartStencilComm> comm;
+  EXPECT_EQ(vmpi::MPIX_Cart_stencil_comm(universe, 2, dims, periods, 0, stencil, 1, &comm),
+            vmpi::GRIDMAP_ERR_SIZE);
+}
+
+TEST(Mpix, RejectsMalformedStencil) {
+  Universe universe(NodeAllocation::homogeneous(2, 2), vsc4());
+  const int dims[] = {2, 2};
+  const int periods[] = {0, 0};
+  const int zero_offset[] = {0, 0};
+  std::unique_ptr<CartStencilComm> comm;
+  EXPECT_EQ(vmpi::MPIX_Cart_stencil_comm(universe, 2, dims, periods, 0, zero_offset, 1,
+                                         &comm),
+            vmpi::GRIDMAP_ERR_STENCIL);
+}
+
+TEST(Mpix, AlgorithmSelectionIsHonored) {
+  Universe universe(NodeAllocation::homogeneous(4, 9), vsc4());
+  const int dims[] = {6, 6};
+  const int periods[] = {0, 0};
+  const Stencil s = Stencil::component(2);
+  const std::vector<int> flat = s.flat();
+  std::unique_ptr<CartStencilComm> hyperplane;
+  std::unique_ptr<CartStencilComm> kdtree;
+  ASSERT_EQ(vmpi::MPIX_Cart_stencil_comm(universe, 2, dims, periods, 1, flat.data(), s.k(),
+                                         &hyperplane, Algorithm::kHyperplane),
+            vmpi::GRIDMAP_SUCCESS);
+  ASSERT_EQ(vmpi::MPIX_Cart_stencil_comm(universe, 2, dims, periods, 1, flat.data(), s.k(),
+                                         &kdtree, Algorithm::kKdTree),
+            vmpi::GRIDMAP_SUCCESS);
+  // Different algorithms give different (valid) mappings on this instance.
+  EXPECT_LE(kdtree->cost().jsum, hyperplane->cost().jsum);
+}
+
+}  // namespace
+}  // namespace gridmap

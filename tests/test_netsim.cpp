@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "baselines/blocked.hpp"
+#include "core/algorithms.hpp"
+#include "netsim/exchange.hpp"
+#include "netsim/fluid.hpp"
+#include "stats/stats.hpp"
+
+namespace gridmap {
+namespace {
+
+TEST(Fluid, SingleFlowSingleResource) {
+  const std::vector<FluidResource> resources = {{100.0}};
+  const std::vector<FluidFlowClass> classes = {{{0}, 1, 500.0}};
+  const FluidResult r = simulate_fluid(resources, classes);
+  EXPECT_NEAR(r.makespan, 5.0, 1e-9);
+}
+
+TEST(Fluid, FairSharingThenSpeedup) {
+  // Two flows share one resource; the shorter finishes at fair share, after
+  // which the longer gets the full capacity: 100+400 bytes at cap 100:
+  // t1 = 2.0 (both at 50); the long flow has 300 left at rate 100 -> t=5.
+  const std::vector<FluidResource> resources = {{100.0}};
+  const std::vector<FluidFlowClass> classes = {{{0}, 1, 100.0}, {{0}, 1, 400.0}};
+  const FluidResult r = simulate_fluid(resources, classes);
+  EXPECT_NEAR(r.class_completion[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.class_completion[1], 5.0, 1e-9);
+}
+
+TEST(Fluid, BottleneckChainMaxMin) {
+  // Class A uses resources {0,1}, class B only {1}. Resource 1 is shared:
+  // A is limited by resource 0 (cap 10), so B gets the rest of resource 1.
+  const std::vector<FluidResource> resources = {{10.0}, {100.0}};
+  const std::vector<FluidFlowClass> classes = {{{0, 1}, 1, 100.0}, {{1}, 1, 900.0}};
+  const FluidResult r = simulate_fluid(resources, classes);
+  EXPECT_NEAR(r.class_completion[0], 10.0, 1e-9);   // 100 bytes at rate 10
+  EXPECT_NEAR(r.class_completion[1], 10.0, 1e-9);   // 900 bytes at rate 90
+}
+
+TEST(Fluid, ClassCountsScaleLoad) {
+  const std::vector<FluidResource> resources = {{100.0}};
+  const std::vector<FluidFlowClass> classes = {{{0}, 10, 50.0}};
+  const FluidResult r = simulate_fluid(resources, classes);
+  EXPECT_NEAR(r.makespan, 5.0, 1e-9);  // 10 flows x 50 bytes / 100 B/s
+}
+
+TEST(Fluid, RejectsZeroCapacityRoute) {
+  const std::vector<FluidResource> resources = {{0.0}};
+  const std::vector<FluidFlowClass> classes = {{{0}, 1, 1.0}};
+  EXPECT_THROW(simulate_fluid(resources, classes), std::invalid_argument);
+}
+
+TEST(Exchange, AnalyticLowerBoundsFluid) {
+  // The analytic model takes the max over single resources; max-min fair
+  // sharing can only be slower or equal.
+  const CartesianGrid g({10, 8});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(5, 16);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const std::vector<NodeId> node_of_cell = Remapping::identity(g).node_of_cell(alloc);
+  const TrafficMatrix traffic = traffic_matrix(g, s, node_of_cell, 5);
+  const MachineModel machine = vsc4();
+  for (const std::int64_t bytes : {64LL, 4096LL, 262144LL}) {
+    const double analytic = exchange_time_analytic(machine, traffic, bytes, s.k());
+    const double fluid = exchange_time(machine, traffic, bytes, s.k(), true);
+    EXPECT_GE(fluid, analytic - 1e-12) << bytes;
+    EXPECT_LE(fluid, 4.0 * analytic) << bytes;  // and not absurdly slower
+  }
+}
+
+TEST(Exchange, TimeIncreasesWithMessageSize) {
+  const CartesianGrid g({10, 8});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(5, 16);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const std::vector<NodeId> node_of_cell = Remapping::identity(g).node_of_cell(alloc);
+  const TrafficMatrix traffic = traffic_matrix(g, s, node_of_cell, 5);
+  const MachineModel machine = vsc4();
+  double last = 0.0;
+  for (const std::int64_t bytes : {64LL, 1024LL, 16384LL, 262144LL}) {
+    const double t = exchange_time(machine, traffic, bytes, s.k(), true);
+    EXPECT_GT(t, last);
+    last = t;
+  }
+}
+
+TEST(Exchange, BetterMappingIsFasterAtLargeMessages) {
+  const CartesianGrid g({50, 48});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(50, 48);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const MachineModel machine = vsc4();
+  const auto time_for = [&](Algorithm a) {
+    const auto mapper = make_mapper(a);
+    const Remapping m = mapper->remap(g, s, alloc);
+    const TrafficMatrix traffic =
+        traffic_matrix(g, s, m.node_of_cell(alloc), alloc.num_nodes());
+    return exchange_time(machine, traffic, 524288, s.k(), true);
+  };
+  const double blocked = time_for(Algorithm::kBlocked);
+  const double hyperplane = time_for(Algorithm::kHyperplane);
+  const double random = time_for(Algorithm::kRandom);
+  EXPECT_LT(hyperplane, blocked);
+  EXPECT_GT(blocked / hyperplane, 1.8);  // paper: ~2.7x on VSC4
+  EXPECT_LT(blocked / hyperplane, 4.0);
+  EXPECT_GT(random, blocked);
+}
+
+TEST(Exchange, SamplesAreDeterministicPerSeed) {
+  const CartesianGrid g({8, 6});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 12);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const Remapping m = Remapping::identity(g);
+  ExchangeConfig cfg;
+  cfg.message_bytes = 4096;
+  cfg.repetitions = 32;
+  cfg.seed = 777;
+  const auto a = simulate_neighbor_alltoall(vsc4(), g, s, m, alloc, cfg);
+  const auto b = simulate_neighbor_alltoall(vsc4(), g, s, m, alloc, cfg);
+  EXPECT_EQ(a, b);
+  cfg.seed = 778;
+  const auto c = simulate_neighbor_alltoall(vsc4(), g, s, m, alloc, cfg);
+  EXPECT_NE(a, c);
+}
+
+TEST(Exchange, NoiseIsModerateAfterOutlierRemoval) {
+  const CartesianGrid g({8, 6});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 12);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const Remapping m = Remapping::identity(g);
+  ExchangeConfig cfg;
+  cfg.message_bytes = 65536;
+  cfg.repetitions = 200;
+  const auto samples = simulate_neighbor_alltoall(juwels(), g, s, m, alloc, cfg);
+  const auto kept = remove_outliers_iqr(samples);
+  EXPECT_LT(kept.size(), samples.size() + 1);
+  EXPECT_LT(stddev(kept) / mean(kept), 0.10);  // JUWELS is the noisiest model
+}
+
+TEST(MachineModels, PaperMachinesAreDistinct) {
+  const auto machines = paper_machines();
+  ASSERT_EQ(machines.size(), 3u);
+  EXPECT_EQ(machines[0].name, "VSC4");
+  EXPECT_EQ(machines[1].name, "SuperMUC-NG");
+  EXPECT_EQ(machines[2].name, "JUWELS");
+  for (const MachineModel& m : machines) {
+    EXPECT_GT(m.nic_bandwidth, 0.0);
+    EXPECT_GT(m.intra_node_bandwidth, m.nic_bandwidth);
+    EXPECT_GT(m.fabric_capacity(50), m.nic_bandwidth);
+  }
+}
+
+}  // namespace
+}  // namespace gridmap

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "baselines/nodecart.hpp"
+#include "core/metrics.hpp"
+
+namespace gridmap {
+namespace {
+
+TEST(Nodecart, BlockChoiceOnPaperInstanceN50) {
+  // 50x48 grid, n=48: feasible blocks are (1,48) and (2,24); the surface
+  // criterion picks (2,24).
+  const NodecartMapper mapper;
+  const auto block = mapper.within_node_block({50, 48}, 48);
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(*block, (Dims{2, 24}));
+}
+
+TEST(Nodecart, BlockChoiceOnPaperInstanceN100) {
+  // 75x64 grid, n=48: only c0=3 divides 75 with 48/c0 dividing 64 -> (3,16).
+  const NodecartMapper mapper;
+  const auto block = mapper.within_node_block({75, 64}, 48);
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(*block, (Dims{3, 16}));
+}
+
+TEST(Nodecart, PrefersCubicBlocks) {
+  const NodecartMapper mapper;
+  const auto block = mapper.within_node_block({8, 8}, 16);
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(*block, (Dims{4, 4}));
+}
+
+TEST(Nodecart, ReportsInfeasibleFactorization) {
+  const NodecartMapper mapper;
+  // n=5 does not divide any dimension of a 6x6 grid.
+  EXPECT_FALSE(mapper.within_node_block({6, 6}, 5).has_value());
+}
+
+TEST(Nodecart, NotApplicableToHeterogeneousAllocation) {
+  const CartesianGrid g({6, 6});
+  const NodeAllocation alloc({12, 12, 6, 6});
+  const NodecartMapper mapper;
+  EXPECT_FALSE(mapper.applicable(g, Stencil::nearest_neighbor(2), alloc));
+}
+
+TEST(Nodecart, BlockExistsWheneverNodeSizeDividesGrid) {
+  // With n | prod(dims) a compatible factorization always exists (the prime
+  // multiplicities of n fit into the dimensions'), so our exhaustive search
+  // must find one — Gropp's original restriction stems from fixing the block
+  // shape via MPI_Dims_create first, which we improve upon.
+  const NodecartMapper mapper;
+  for (const auto& [dims, n] : std::vector<std::pair<Dims, int>>{
+           {{5, 7}, 7}, {{5, 9}, 15}, {{50, 48}, 48}, {{6, 6, 3}, 27}, {{2, 18}, 4}}) {
+    const auto block = mapper.within_node_block(dims, n);
+    ASSERT_TRUE(block.has_value()) << "n=" << n;
+    std::int64_t prod = 1;
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      EXPECT_EQ(dims[i] % (*block)[i], 0);
+      prod *= (*block)[i];
+    }
+    EXPECT_EQ(prod, n);
+  }
+}
+
+TEST(Nodecart, PaperJsumOnBothInstances) {
+  const NodecartMapper mapper;
+  {
+    const CartesianGrid g({50, 48});
+    const NodeAllocation alloc = NodeAllocation::homogeneous(50, 48);
+    const Stencil s = Stencil::nearest_neighbor(2);
+    const MappingCost cost = evaluate_mapping(g, s, mapper.remap(g, s, alloc), alloc);
+    EXPECT_EQ(cost.jsum, 2404);  // paper Fig. 6
+    EXPECT_EQ(cost.jmax, 50);
+  }
+  {
+    const CartesianGrid g({75, 64});
+    const NodeAllocation alloc = NodeAllocation::homogeneous(100, 48);
+    const Stencil s = Stencil::nearest_neighbor(2);
+    const MappingCost cost = evaluate_mapping(g, s, mapper.remap(g, s, alloc), alloc);
+    EXPECT_EQ(cost.jsum, 3522);  // paper Fig. 7
+    EXPECT_EQ(cost.jmax, 38);
+  }
+}
+
+TEST(Nodecart, BlocksAreContiguousRectangles) {
+  // Every node's cells must form an axis-aligned c0 x c1 rectangle.
+  const CartesianGrid g({6, 8});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(6, 8);
+  const NodecartMapper mapper;
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const Remapping m = mapper.remap(g, s, alloc);
+  const std::vector<NodeId> node_of_cell = m.node_of_cell(alloc);
+  const auto block = *mapper.within_node_block({6, 8}, 8);
+  for (NodeId node = 0; node < alloc.num_nodes(); ++node) {
+    int min0 = 1 << 30, max0 = -1, min1 = 1 << 30, max1 = -1, count = 0;
+    for (Cell c = 0; c < g.size(); ++c) {
+      if (node_of_cell[static_cast<std::size_t>(c)] != node) continue;
+      const Coord coord = g.coord_of(c);
+      min0 = std::min(min0, coord[0]);
+      max0 = std::max(max0, coord[0]);
+      min1 = std::min(min1, coord[1]);
+      max1 = std::max(max1, coord[1]);
+      ++count;
+    }
+    EXPECT_EQ(count, 8);
+    EXPECT_EQ(max0 - min0 + 1, block[0]);
+    EXPECT_EQ(max1 - min1 + 1, block[1]);
+  }
+}
+
+TEST(Nodecart, ThrowsWhenForcedOnHeterogeneousAllocation) {
+  const CartesianGrid g({6, 6});
+  const NodeAllocation alloc({12, 12, 6, 6});
+  const NodecartMapper mapper;
+  EXPECT_THROW(mapper.remap(g, Stencil::nearest_neighbor(2), alloc),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridmap

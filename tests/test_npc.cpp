@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "npc/reduction.hpp"
+#include "npc/three_partition.hpp"
+
+namespace gridmap {
+namespace {
+
+TEST(ThreePartition, PaperExampleIsSolvable) {
+  // Figure 3 of the paper: I' = {6, 3, 3, 2, 2, 2}, subsets of sum 6.
+  const std::vector<std::int64_t> items = {6, 3, 3, 2, 2, 2};
+  const ThreePartitionSolution sol = solve_three_partition(items);
+  ASSERT_TRUE(sol.solvable);
+  std::array<std::int64_t, 3> sums = {0, 0, 0};
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    ASSERT_GE(sol.group[i], 0);
+    ASSERT_LT(sol.group[i], 3);
+    sums[static_cast<std::size_t>(sol.group[i])] += items[i];
+  }
+  EXPECT_EQ(sums[0], 6);
+  EXPECT_EQ(sums[1], 6);
+  EXPECT_EQ(sums[2], 6);
+}
+
+TEST(ThreePartition, SumNotDivisibleByThree) {
+  EXPECT_FALSE(solve_three_partition({3, 3, 2}).solvable);
+}
+
+TEST(ThreePartition, OversizedItemMakesItUnsolvable) {
+  // Sum = 9, target 3, but the 5 cannot fit into any subset.
+  EXPECT_FALSE(solve_three_partition({5, 1, 1, 1, 1}).solvable);
+}
+
+TEST(ThreePartition, TriviallySolvable) {
+  const ThreePartitionSolution sol = solve_three_partition({4, 4, 4});
+  ASSERT_TRUE(sol.solvable);
+  EXPECT_NE(sol.group[0], sol.group[1]);
+  EXPECT_NE(sol.group[1], sol.group[2]);
+  EXPECT_NE(sol.group[0], sol.group[2]);
+}
+
+TEST(ThreePartition, RejectsBadInput) {
+  EXPECT_THROW(solve_three_partition({}), std::invalid_argument);
+  EXPECT_THROW(solve_three_partition({3, -3, 3}), std::invalid_argument);
+}
+
+TEST(Reduction, BuildsPaperInstance) {
+  const std::vector<std::int64_t> items = {6, 3, 3, 2, 2, 2};
+  const GridPartitionInstance inst = reduce_three_partition(items);
+  EXPECT_EQ(inst.dims, (Dims{3, 6}));
+  EXPECT_EQ(inst.budget, 2 * 6 - 6);
+  EXPECT_EQ(inst.stencil.k(), 2);
+  EXPECT_EQ(static_cast<std::int64_t>(inst.capacities.size()), 6);
+  EXPECT_EQ(std::accumulate(inst.capacities.begin(), inst.capacities.end(), 0), 18);
+}
+
+TEST(Reduction, YesCertificateAchievesBudget) {
+  const std::vector<std::int64_t> items = {6, 3, 3, 2, 2, 2};
+  const GridPartitionInstance inst = reduce_three_partition(items);
+  const ThreePartitionSolution sol = solve_three_partition(items);
+  ASSERT_TRUE(sol.solvable);
+  const std::vector<NodeId> mapping = mapping_from_three_partition(inst, items, sol);
+  EXPECT_EQ(grid_partition_cost(inst, mapping), inst.budget);
+}
+
+TEST(Reduction, ForwardDirectionOnTinyInstances) {
+  // Solvable tiny instance: brute force confirms Jsum <= Q is reachable.
+  const std::vector<std::int64_t> yes_items = {2, 2, 2, 1, 1, 1};  // sum 9, target 3
+  const GridPartitionInstance yes_inst = reduce_three_partition(yes_items);
+  ASSERT_TRUE(solve_three_partition(yes_items).solvable);
+  EXPECT_TRUE(grid_partition_decision(yes_inst));
+}
+
+TEST(Reduction, BackwardDirectionOnTinyInstances) {
+  // Unsolvable instance: no mapping reaches the budget.
+  const std::vector<std::int64_t> no_items = {5, 1, 1, 1, 1};  // sum 9, 5 doesn't fit
+  ASSERT_FALSE(solve_three_partition(no_items).solvable);
+  const GridPartitionInstance no_inst = reduce_three_partition(no_items);
+  EXPECT_FALSE(grid_partition_decision(no_inst));
+}
+
+TEST(Reduction, RejectsIndivisibleSum) {
+  EXPECT_THROW(reduce_three_partition({3, 3, 2}), std::invalid_argument);
+  EXPECT_THROW(reduce_three_partition({3, 3}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridmap

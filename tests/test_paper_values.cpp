@@ -1,0 +1,175 @@
+// Pins every machine-independent number the paper states exactly: the
+// sorted-score columns of Figures 6 and 7 (Jsum and Jmax per algorithm).
+// Blocked, Hyperplane, k-d Tree, Nodecart and the component-stencil optima
+// reproduce the paper bit-exactly; Stencil Strips matches exactly on the
+// hops and component stencils and within 1-3 % on nearest-neighbor (the
+// paper's strip rounding is underspecified); our VieM reimplementation is
+// checked against quality bands.
+#include <gtest/gtest.h>
+
+#include "core/algorithms.hpp"
+#include "core/metrics.hpp"
+
+namespace gridmap {
+namespace {
+
+struct PaperScore {
+  Algorithm algorithm;
+  std::int64_t jsum;
+  std::int64_t jmax;
+  bool exact;  // our implementation reproduces the value bit-exactly
+};
+
+struct PaperInstance {
+  const char* label;
+  Dims dims;
+  int nodes;
+  int ppn;
+  Stencil stencil;
+  std::vector<PaperScore> scores;
+};
+
+std::vector<PaperInstance> paper_instances() {
+  return {
+      // Figure 6 (N=50, 50x48), left column.
+      {"fig6-nearest-neighbor",
+       {50, 48},
+       50,
+       48,
+       Stencil::nearest_neighbor(2),
+       {
+           {Algorithm::kBlocked, 4704, 96, true},
+           {Algorithm::kHyperplane, 1328, 38, true},
+           {Algorithm::kKdTree, 1732, 46, true},
+           {Algorithm::kStencilStrips, 1244, 28, false},  // ours: 1252/28
+           {Algorithm::kNodecart, 2404, 50, true},
+       }},
+      {"fig6-hops",
+       {50, 48},
+       50,
+       48,
+       Stencil::nearest_neighbor_with_hops(2),
+       {
+           {Algorithm::kBlocked, 13824, 288, true},
+           {Algorithm::kHyperplane, 3268, 108, true},
+           {Algorithm::kKdTree, 4364, 114, true},
+           {Algorithm::kStencilStrips, 3868, 88, true},
+           {Algorithm::kNodecart, 11524, 242, true},
+       }},
+      {"fig6-component",
+       {50, 48},
+       50,
+       48,
+       Stencil::component(2),
+       {
+           {Algorithm::kBlocked, 4704, 96, true},
+           {Algorithm::kHyperplane, 288, 16, true},
+           {Algorithm::kKdTree, 96, 2, true},
+           {Algorithm::kStencilStrips, 96, 2, true},
+           {Algorithm::kNodecart, 2304, 48, true},
+       }},
+      // Figure 7 (N=100, 75x64), left column.
+      {"fig7-nearest-neighbor",
+       {75, 64},
+       100,
+       48,
+       Stencil::nearest_neighbor(2),
+       {
+           {Algorithm::kBlocked, 9622, 98, true},
+           {Algorithm::kHyperplane, 2802, 38, true},
+           {Algorithm::kKdTree, 3490, 46, true},
+           {Algorithm::kStencilStrips, 2654, 30, false},  // ours: 2714/30
+           {Algorithm::kNodecart, 3522, 38, true},
+       }},
+      {"fig7-hops",
+       {75, 64},
+       100,
+       48,
+       Stencil::nearest_neighbor_with_hops(2),
+       {
+           {Algorithm::kBlocked, 28182, 290, true},
+           {Algorithm::kHyperplane, 7362, 198, true},
+           {Algorithm::kKdTree, 8834, 120, true},
+           {Algorithm::kStencilStrips, 7938, 88, true},
+           {Algorithm::kNodecart, 18882, 198, true},
+       }},
+      {"fig7-component",
+       {75, 64},
+       100,
+       48,
+       Stencil::component(2),
+       {
+           {Algorithm::kBlocked, 9472, 96, true},
+           {Algorithm::kHyperplane, 768, 32, true},
+           {Algorithm::kKdTree, 192, 2, true},
+           {Algorithm::kStencilStrips, 192, 2, true},
+           {Algorithm::kNodecart, 3072, 32, true},
+       }},
+  };
+}
+
+class PaperValues : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PaperValues, ScoresMatchFigure) {
+  const PaperInstance inst = paper_instances()[GetParam()];
+  const CartesianGrid grid(inst.dims);
+  const NodeAllocation alloc = NodeAllocation::homogeneous(inst.nodes, inst.ppn);
+  for (const PaperScore& expected : inst.scores) {
+    const auto mapper = make_mapper(expected.algorithm);
+    ASSERT_TRUE(mapper->applicable(grid, inst.stencil, alloc));
+    const MappingCost cost =
+        evaluate_mapping(grid, inst.stencil, mapper->remap(grid, inst.stencil, alloc), alloc);
+    if (expected.exact) {
+      EXPECT_EQ(cost.jsum, expected.jsum)
+          << inst.label << " " << to_string(expected.algorithm);
+      EXPECT_EQ(cost.jmax, expected.jmax)
+          << inst.label << " " << to_string(expected.algorithm);
+    } else {
+      // Within 5 % of the paper's Jsum, exact Jmax.
+      EXPECT_NEAR(static_cast<double>(cost.jsum), static_cast<double>(expected.jsum),
+                  0.05 * static_cast<double>(expected.jsum))
+          << inst.label << " " << to_string(expected.algorithm);
+      EXPECT_EQ(cost.jmax, expected.jmax)
+          << inst.label << " " << to_string(expected.algorithm);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig6And7, PaperValues, ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return std::string(paper_instances()[info.param].label)
+                               .substr(0, 4) +
+                                  std::to_string(info.param);
+                         });
+
+TEST(PaperValuesViem, QualityBandsOnFig6And7) {
+  // The paper reports VieM at 1342/36 (fig6 nn), 3160/88 (fig6 hops),
+  // 154/17 (fig6 comp), 2818/36, 6698/102, 224/7 (fig7). Our multilevel
+  // reimplementation must land in the same quality band: within 25 % of
+  // VieM's Jsum (or better) and far below blocked.
+  struct Band {
+    Dims dims;
+    int nodes;
+    Stencil stencil;
+    std::int64_t viem_jsum;
+    std::int64_t blocked_jsum;
+  };
+  const std::vector<Band> bands = {
+      {{50, 48}, 50, Stencil::nearest_neighbor(2), 1342, 4704},
+      {{50, 48}, 50, Stencil::component(2), 154, 4704},
+      {{75, 64}, 100, Stencil::nearest_neighbor(2), 2818, 9622},
+  };
+  for (const Band& band : bands) {
+    const CartesianGrid grid(band.dims);
+    const NodeAllocation alloc = NodeAllocation::homogeneous(band.nodes, 48);
+    const auto mapper = make_mapper(Algorithm::kViemStar);
+    const MappingCost cost =
+        evaluate_mapping(grid, band.stencil, mapper->remap(grid, band.stencil, alloc), alloc);
+    EXPECT_LE(cost.jsum, static_cast<std::int64_t>(1.25 * band.viem_jsum))
+        << band.viem_jsum;
+    EXPECT_LT(cost.jsum, band.blocked_jsum / 2);
+  }
+}
+
+}  // namespace
+}  // namespace gridmap

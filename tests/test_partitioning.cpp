@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "graph/bisection.hpp"
+#include "graph/cartesian_graph.hpp"
+#include "graph/coarsen.hpp"
+#include "graph/fm_refine.hpp"
+
+namespace gridmap {
+namespace {
+
+CsrGraph grid_graph(int a, int b) {
+  return build_cartesian_graph(CartesianGrid({a, b}), Stencil::nearest_neighbor(2));
+}
+
+TEST(Coarsen, PreservesTotalVertexWeight) {
+  const CsrGraph g = grid_graph(8, 8);
+  const CoarseLevel level = coarsen_once(g, 1);
+  EXPECT_EQ(level.graph.total_vertex_weight(), g.total_vertex_weight());
+  EXPECT_LT(level.graph.num_vertices(), g.num_vertices());
+  EXPECT_GE(level.graph.num_vertices(), g.num_vertices() / 2);
+}
+
+TEST(Coarsen, FineToCoarseIsSurjective) {
+  const CsrGraph g = grid_graph(6, 6);
+  const CoarseLevel level = coarsen_once(g, 2);
+  std::vector<bool> hit(static_cast<std::size_t>(level.graph.num_vertices()), false);
+  for (const int c : level.fine_to_coarse) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, level.graph.num_vertices());
+    hit[static_cast<std::size_t>(c)] = true;
+  }
+  for (const bool b : hit) EXPECT_TRUE(b);
+}
+
+TEST(Coarsen, CutIsPreservedUnderProjection) {
+  // Any coarse partition, projected to the fine graph, has the same cut.
+  const CsrGraph g = grid_graph(8, 6);
+  const CoarseLevel level = coarsen_once(g, 3);
+  std::vector<int> coarse_part(static_cast<std::size_t>(level.graph.num_vertices()));
+  for (int v = 0; v < level.graph.num_vertices(); ++v) {
+    coarse_part[static_cast<std::size_t>(v)] = v % 2;
+  }
+  std::vector<int> fine_part(static_cast<std::size_t>(g.num_vertices()));
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    fine_part[static_cast<std::size_t>(v)] =
+        coarse_part[static_cast<std::size_t>(level.fine_to_coarse[static_cast<std::size_t>(v)])];
+  }
+  EXPECT_EQ(level.graph.cut(coarse_part), g.cut(fine_part));
+}
+
+TEST(Coarsen, HierarchyShrinksMonotonically) {
+  const CsrGraph g = grid_graph(16, 16);
+  const auto hierarchy = coarsen_hierarchy(g, 30, 7);
+  ASSERT_FALSE(hierarchy.empty());
+  int prev = g.num_vertices();
+  for (const CoarseLevel& level : hierarchy) {
+    EXPECT_LT(level.graph.num_vertices(), prev);
+    prev = level.graph.num_vertices();
+  }
+}
+
+TEST(FmRefine, NeverIncreasesCut) {
+  const CsrGraph g = grid_graph(8, 8);
+  std::vector<int> part(64);
+  for (int v = 0; v < 64; ++v) part[static_cast<std::size_t>(v)] = (v % 4 < 2) ? 0 : 1;
+  const std::int64_t before = g.cut(part);
+  FmOptions options;
+  const std::int64_t gain = fm_refine(g, part, 32, options);
+  EXPECT_GE(gain, 0);
+  EXPECT_EQ(g.cut(part), before - gain);
+}
+
+TEST(FmRefine, KeepsExactBalanceWithZeroSlack) {
+  const CsrGraph g = grid_graph(8, 8);
+  std::vector<int> part(64);
+  for (int v = 0; v < 64; ++v) part[static_cast<std::size_t>(v)] = (v % 4 < 2) ? 0 : 1;
+  FmOptions options;
+  options.slack = 0;
+  fm_refine(g, part, 32, options);
+  int weight0 = 0;
+  for (const int p : part) weight0 += (p == 0);
+  EXPECT_EQ(weight0, 32);
+}
+
+TEST(FmRefine, FindsObviousImprovement) {
+  // Interleaved columns on a grid: FM should get close to the straight cut.
+  const CsrGraph g = grid_graph(8, 8);
+  std::vector<int> part(64);
+  for (int v = 0; v < 64; ++v) part[static_cast<std::size_t>(v)] = v % 2;
+  FmOptions options;
+  options.max_passes = 12;
+  fm_refine(g, part, 32, options);
+  EXPECT_LE(g.cut(part), 40);  // interleaving starts at >100
+}
+
+TEST(RebalanceExact, RestoresTarget) {
+  const CsrGraph g = grid_graph(6, 6);
+  std::vector<int> part(36, 0);
+  for (int v = 20; v < 36; ++v) part[static_cast<std::size_t>(v)] = 1;  // 20/16 imbalance
+  rebalance_exact(g, part, 18);
+  int weight0 = 0;
+  for (const int p : part) weight0 += (p == 0);
+  EXPECT_EQ(weight0, 18);
+}
+
+TEST(Bisection, ExactBalanceAndReasonableCut) {
+  const CsrGraph g = grid_graph(12, 12);
+  BisectionOptions options;
+  options.target0 = 72;
+  options.seed = 5;
+  const std::vector<int> part = multilevel_bisection(g, options);
+  int weight0 = 0;
+  for (const int p : part) weight0 += (p == 0);
+  EXPECT_EQ(weight0, 72);
+  // The optimal straight cut is 12 edges x weight 2 = 24; allow slack.
+  EXPECT_LE(g.cut(part), 40);
+}
+
+TEST(Bisection, UnevenTargets) {
+  const CsrGraph g = grid_graph(10, 6);
+  BisectionOptions options;
+  options.target0 = 18;  // 18 vs 42 split
+  const std::vector<int> part = multilevel_bisection(g, options);
+  int weight0 = 0;
+  for (const int p : part) weight0 += (p == 0);
+  EXPECT_EQ(weight0, 18);
+}
+
+TEST(GrowRegion, ReachesExactTargetWithUnitWeights) {
+  const CsrGraph g = grid_graph(6, 6);
+  const std::vector<int> part = grow_region(g, 0, 12);
+  int weight0 = 0;
+  for (const int p : part) weight0 += (p == 0);
+  EXPECT_EQ(weight0, 12);
+}
+
+TEST(GrowRegion, GrowsConnectedRegionOnGrid) {
+  const CsrGraph g = grid_graph(8, 8);
+  const std::vector<int> part = grow_region(g, 0, 16);
+  // A 16-cell region grown from a corner of an 8x8 grid should have cut
+  // weight well below the worst case (16 scattered cells -> 4 * 16 * 2).
+  EXPECT_LE(g.cut(part), 40);
+}
+
+}  // namespace
+}  // namespace gridmap

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/remapping.hpp"
+
+namespace gridmap {
+namespace {
+
+TEST(Remapping, IdentityMapsRankToSameCell) {
+  const CartesianGrid g({3, 4});
+  const Remapping m = Remapping::identity(g);
+  for (Rank r = 0; r < g.size(); ++r) {
+    EXPECT_EQ(m.cell_of(r), static_cast<Cell>(r));
+    EXPECT_EQ(m.rank_of(static_cast<Cell>(r)), r);
+  }
+}
+
+TEST(Remapping, FromCellsBuildsInverse) {
+  const CartesianGrid g({2, 2});
+  const Remapping m = Remapping::from_cells(g, {3, 2, 1, 0});
+  EXPECT_EQ(m.cell_of(0), 3);
+  EXPECT_EQ(m.rank_of(3), 0);
+  EXPECT_EQ(m.cell_of(2), 1);
+  EXPECT_EQ(m.rank_of(1), 2);
+}
+
+TEST(Remapping, FromCellsRejectsDuplicates) {
+  const CartesianGrid g({2, 2});
+  EXPECT_THROW(Remapping::from_cells(g, {0, 0, 1, 2}), std::invalid_argument);
+}
+
+TEST(Remapping, FromCellsRejectsOutOfRange) {
+  const CartesianGrid g({2, 2});
+  EXPECT_THROW(Remapping::from_cells(g, {0, 1, 2, 4}), std::invalid_argument);
+  EXPECT_THROW(Remapping::from_cells(g, {0, 1, 2}), std::invalid_argument);
+}
+
+TEST(Remapping, NodeOfCellIdentityIsBlockedOwnership) {
+  const CartesianGrid g({2, 4});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(2, 4);
+  const std::vector<NodeId> nodes = Remapping::identity(g).node_of_cell(alloc);
+  const std::vector<NodeId> expected = {0, 0, 0, 0, 1, 1, 1, 1};
+  EXPECT_EQ(nodes, expected);
+}
+
+TEST(Remapping, NodeOfCellFollowsPermutation) {
+  const CartesianGrid g({2, 2});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(2, 2);
+  // Ranks 0,1 (node 0) at cells 3 and 1; ranks 2,3 (node 1) at cells 0 and 2.
+  const Remapping m = Remapping::from_cells(g, {3, 1, 0, 2});
+  const std::vector<NodeId> nodes = m.node_of_cell(alloc);
+  EXPECT_EQ(nodes, (std::vector<NodeId>{1, 0, 1, 0}));
+}
+
+TEST(Remapping, NodeOfCellHeterogeneous) {
+  const CartesianGrid g({5});
+  const NodeAllocation alloc({2, 3});
+  const Remapping m = Remapping::from_cells(g, {4, 3, 2, 1, 0});
+  // Ranks 0,1 on node 0 occupy cells 4,3; ranks 2,3,4 on node 1 occupy 2,1,0.
+  EXPECT_EQ(m.node_of_cell(alloc), (std::vector<NodeId>{1, 1, 1, 0, 0}));
+}
+
+TEST(Remapping, NodeOfCellRejectsMismatchedAllocation) {
+  const CartesianGrid g({2, 2});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(3, 2);
+  EXPECT_THROW(Remapping::identity(g).node_of_cell(alloc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridmap

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/table.hpp"
+
+namespace gridmap {
+namespace {
+
+TEST(TableTest, RendersAlignedAscii) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta-long", "23456"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha     | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| beta-long | 23456 |"), std::string::npos);
+}
+
+TEST(TableTest, RejectsWrongRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, NumericRowFormatting) {
+  Table t({"label", "x", "y"});
+  t.add_row("row", {1.23456, 2.0}, 2);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("1.23"), std::string::npos);
+  EXPECT_NE(os.str().find("2.00"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, FormatCi) {
+  EXPECT_EQ(Table::format_ci(1.2345, 0.056, 3), "1.234 +-0.056");
+  EXPECT_EQ(Table::format_ci(10.0, 0.5, 1), "10.0 +-0.5");
+}
+
+TEST(BarChartTest, ScalesToWidest) {
+  BarChart chart("title", 10);
+  chart.add("big", 100.0);
+  chart.add("half", 50.0);
+  std::ostringstream os;
+  chart.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("##########"), std::string::npos);  // full width
+  EXPECT_NE(out.find("#####\n"), std::string::npos);     // half width
+}
+
+TEST(BarChartTest, RejectsNegativeValues) {
+  BarChart chart("t");
+  EXPECT_THROW(chart.add("x", -1.0), std::invalid_argument);
+}
+
+TEST(BarChartTest, AllZeroValues) {
+  BarChart chart("t");
+  chart.add("x", 0.0);
+  std::ostringstream os;
+  chart.print(os);
+  EXPECT_NE(os.str().find("0.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridmap

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/sfc.hpp"
+#include "core/algorithms.hpp"
+#include "core/metrics.hpp"
+
+namespace gridmap {
+namespace {
+
+TEST(Sfc, HilbertIndexIsBijectiveOnSquare) {
+  std::set<std::uint64_t> seen;
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      seen.insert(SfcMapper::hilbert_index(3, x, y));
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 63u);
+}
+
+TEST(Sfc, HilbertConsecutiveIndicesAreGridNeighbors) {
+  // The defining property of the Hilbert curve: successive cells are
+  // adjacent (Manhattan distance 1).
+  const int order = 4;
+  std::vector<std::pair<int, int>> by_index(256);
+  for (int x = 0; x < 16; ++x) {
+    for (int y = 0; y < 16; ++y) {
+      by_index[SfcMapper::hilbert_index(order, x, y)] = {x, y};
+    }
+  }
+  for (std::size_t i = 1; i < by_index.size(); ++i) {
+    const int dist = std::abs(by_index[i].first - by_index[i - 1].first) +
+                     std::abs(by_index[i].second - by_index[i - 1].second);
+    EXPECT_EQ(dist, 1) << "discontinuity at " << i;
+  }
+}
+
+TEST(Sfc, MortonIndexKnownValues) {
+  EXPECT_EQ(SfcMapper::morton_index({0, 0}), 0u);
+  EXPECT_EQ(SfcMapper::morton_index({0, 1}), 2u);  // y is the later (higher) bit
+  EXPECT_EQ(SfcMapper::morton_index({1, 0}), 1u);
+  EXPECT_EQ(SfcMapper::morton_index({1, 1}), 3u);
+  EXPECT_EQ(SfcMapper::morton_index({2, 0}), 4u);
+}
+
+TEST(Sfc, RemapIsValidPermutation) {
+  const CartesianGrid grid({12, 10});  // non-power-of-two
+  const NodeAllocation alloc = NodeAllocation::homogeneous(6, 20);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  for (const SfcCurve curve : {SfcCurve::kHilbert, SfcCurve::kMorton}) {
+    const SfcMapper mapper(curve);
+    const Remapping m = mapper.remap(grid, s, alloc);
+    EXPECT_EQ(m.size(), 120);
+  }
+}
+
+TEST(Sfc, HilbertRequires2d) {
+  const CartesianGrid grid({4, 4, 4});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 16);
+  const Stencil s = Stencil::nearest_neighbor(3);
+  EXPECT_FALSE(SfcMapper(SfcCurve::kHilbert).applicable(grid, s, alloc));
+  EXPECT_TRUE(SfcMapper(SfcCurve::kMorton).applicable(grid, s, alloc));
+}
+
+TEST(Sfc, HilbertBeatsBlockedOnSquareGrids) {
+  const CartesianGrid grid({32, 32});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(16, 64);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const SfcMapper mapper(SfcCurve::kHilbert);
+  const MappingCost sfc = evaluate_mapping(grid, s, mapper.remap(grid, s, alloc), alloc);
+  const MappingCost blocked =
+      evaluate_mapping(grid, s, Remapping::identity(grid), alloc);
+  EXPECT_LT(sfc.jsum, blocked.jsum);
+}
+
+TEST(Sfc, StencilAwareAlgorithmsBeatSfcOnAnisotropicStencil) {
+  // The curve ignores the stencil; on the hops pattern the specialized
+  // algorithms must win.
+  const CartesianGrid grid({50, 48});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(50, 48);
+  const Stencil s = Stencil::nearest_neighbor_with_hops(2);
+  const SfcMapper sfc(SfcCurve::kHilbert);
+  const MappingCost sfc_cost =
+      evaluate_mapping(grid, s, sfc.remap(grid, s, alloc), alloc);
+  const auto hyperplane = make_mapper(Algorithm::kHyperplane);
+  const MappingCost hp_cost =
+      evaluate_mapping(grid, s, hyperplane->remap(grid, s, alloc), alloc);
+  EXPECT_LT(hp_cost.jsum, sfc_cost.jsum);
+}
+
+}  // namespace
+}  // namespace gridmap

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/stats.hpp"
+
+namespace gridmap {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(Stats, QuantileRejectsBadInput) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, IqrFilterDropsSpikes) {
+  std::vector<double> xs(50, 1.0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = 1.0 + 0.01 * static_cast<double>(i % 5);
+  }
+  xs.push_back(100.0);  // a spike
+  const std::vector<double> kept = remove_outliers_iqr(xs);
+  EXPECT_EQ(kept.size(), xs.size() - 1);
+  for (const double x : kept) EXPECT_LT(x, 2.0);
+}
+
+TEST(Stats, IqrFilterKeepsCleanData) {
+  const std::vector<double> xs = {1.0, 1.1, 0.9, 1.05, 0.95, 1.02};
+  EXPECT_EQ(remove_outliers_iqr(xs).size(), xs.size());
+}
+
+TEST(Stats, MeanCiShrinksWithSamples) {
+  std::vector<double> small;
+  std::vector<double> large;
+  for (int i = 0; i < 10; ++i) small.push_back(i % 2 ? 1.1 : 0.9);
+  for (int i = 0; i < 1000; ++i) large.push_back(i % 2 ? 1.1 : 0.9);
+  const ConfidenceInterval a = mean_ci95(small);
+  const ConfidenceInterval b = mean_ci95(large);
+  EXPECT_NEAR(a.center, 1.0, 1e-9);
+  EXPECT_NEAR(b.center, 1.0, 1e-9);
+  EXPECT_LT(b.half_width(), a.half_width());
+  EXPECT_LE(a.lower, a.center);
+  EXPECT_GE(a.upper, a.center);
+}
+
+TEST(Stats, MedianCiNotchFormula) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(static_cast<double>(i));
+  const ConfidenceInterval ci = median_ci95(xs);
+  EXPECT_DOUBLE_EQ(ci.center, 49.5);
+  // IQR = 49.5, half = 1.57 * 49.5 / 10.
+  EXPECT_NEAR(ci.half_width(), 1.57 * 49.5 / 10.0, 1e-9);
+}
+
+TEST(Stats, CiOverlapDetection) {
+  const ConfidenceInterval a{1.0, 0.9, 1.1};
+  const ConfidenceInterval b{1.05, 1.0, 1.2};
+  const ConfidenceInterval c{2.0, 1.9, 2.1};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+}  // namespace
+}  // namespace gridmap

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/stencil.hpp"
+
+namespace gridmap {
+namespace {
+
+TEST(Stencil, NearestNeighbor2d) {
+  const Stencil s = Stencil::nearest_neighbor(2);
+  EXPECT_EQ(s.ndims(), 2);
+  EXPECT_EQ(s.k(), 4);
+  const auto& offs = s.offsets();
+  EXPECT_NE(std::find(offs.begin(), offs.end(), Offset{1, 0}), offs.end());
+  EXPECT_NE(std::find(offs.begin(), offs.end(), Offset{-1, 0}), offs.end());
+  EXPECT_NE(std::find(offs.begin(), offs.end(), Offset{0, 1}), offs.end());
+  EXPECT_NE(std::find(offs.begin(), offs.end(), Offset{0, -1}), offs.end());
+}
+
+TEST(Stencil, NearestNeighborKGrowsLinearly) {
+  for (int d = 1; d <= 5; ++d) {
+    EXPECT_EQ(Stencil::nearest_neighbor(d).k(), 2 * d);
+  }
+}
+
+TEST(Stencil, ComponentOmitsLastDimension) {
+  const Stencil s = Stencil::component(2);
+  EXPECT_EQ(s.k(), 2);
+  for (const Offset& off : s.offsets()) {
+    EXPECT_EQ(off[1], 0) << "component stencil must not communicate along the last dim";
+  }
+}
+
+TEST(Stencil, ComponentIn1dIsEmpty) {
+  const Stencil s = Stencil::component(1);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.k(), 0);
+}
+
+TEST(Stencil, HopsAddsFourOffsetsAlongDim0) {
+  const Stencil s = Stencil::nearest_neighbor_with_hops(2);
+  EXPECT_EQ(s.k(), 8);
+  const auto& offs = s.offsets();
+  for (const int a : {2, 3, -2, -3}) {
+    EXPECT_NE(std::find(offs.begin(), offs.end(), Offset{a, 0}), offs.end());
+  }
+}
+
+TEST(Stencil, FromFlatRoundTrips) {
+  const Stencil s = Stencil::nearest_neighbor_with_hops(3, {2});
+  const std::vector<int> flat = s.flat();
+  EXPECT_EQ(flat.size(), static_cast<std::size_t>(s.k() * s.ndims()));
+  const Stencil t = Stencil::from_flat(3, flat);
+  EXPECT_EQ(s, t);
+}
+
+TEST(Stencil, FromFlatRejectsBadLength) {
+  const std::vector<int> flat = {1, 0, 0};
+  EXPECT_THROW(Stencil::from_flat(2, flat), std::invalid_argument);
+}
+
+TEST(Stencil, RejectsZeroOffset) {
+  EXPECT_THROW(Stencil::from_offsets({{0, 0}}), std::invalid_argument);
+}
+
+TEST(Stencil, RejectsDuplicateOffset) {
+  EXPECT_THROW(Stencil::from_offsets({{1, 0}, {1, 0}}), std::invalid_argument);
+}
+
+TEST(Stencil, RejectsMixedDimensionality) {
+  EXPECT_THROW(Stencil::from_offsets({{1, 0}, {1, 0, 0}}), std::invalid_argument);
+}
+
+TEST(Stencil, Cos2ScoresNearestNeighborAreUniform) {
+  const Stencil s = Stencil::nearest_neighbor(3);
+  const std::vector<double> scores = s.cos2_scores();
+  // Each axis-parallel offset contributes 1 to its own axis.
+  for (const double v : scores) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(Stencil, Cos2ScoresHopsBiasedTowardsDim0) {
+  const Stencil s = Stencil::nearest_neighbor_with_hops(2);
+  const std::vector<double> scores = s.cos2_scores();
+  EXPECT_GT(scores[0], scores[1]);
+  EXPECT_DOUBLE_EQ(scores[0], 6.0);  // 6 offsets parallel to dim 0
+  EXPECT_DOUBLE_EQ(scores[1], 2.0);
+}
+
+TEST(Stencil, Cos2ScoresDiagonalSplitsEvenly) {
+  const Stencil s = Stencil::from_offsets({{1, 1}, {-1, -1}});
+  const std::vector<double> scores = s.cos2_scores();
+  EXPECT_DOUBLE_EQ(scores[0], 1.0);
+  EXPECT_DOUBLE_EQ(scores[1], 1.0);
+}
+
+TEST(Stencil, CrossingCounts) {
+  const Stencil s = Stencil::nearest_neighbor_with_hops(2);
+  const std::vector<int> f = s.crossing_counts();
+  EXPECT_EQ(f[0], 6);
+  EXPECT_EQ(f[1], 2);
+
+  const Stencil c = Stencil::component(2);
+  const std::vector<int> fc = c.crossing_counts();
+  EXPECT_EQ(fc[0], 2);
+  EXPECT_EQ(fc[1], 0);
+}
+
+TEST(Stencil, ExtentsAndDistortion) {
+  const Stencil s = Stencil::nearest_neighbor_with_hops(2);  // hops 2,3 along dim0
+  const std::vector<int> ext = s.extents();
+  EXPECT_EQ(ext[0], 6);
+  EXPECT_EQ(ext[1], 2);
+  const std::vector<double> alpha = s.distortion_factors();
+  // V_b = 12, alpha_0 = 6/sqrt(12), alpha_1 = 2/sqrt(12).
+  EXPECT_NEAR(alpha[0], 6.0 / std::sqrt(12.0), 1e-12);
+  EXPECT_NEAR(alpha[1], 2.0 / std::sqrt(12.0), 1e-12);
+  EXPECT_NEAR(alpha[0] * alpha[1], 1.0, 1e-12);  // product of alphas = 1 in 2d
+}
+
+TEST(Stencil, DistortionZeroExtentDimension) {
+  const Stencil c = Stencil::component(2);
+  const std::vector<double> alpha = c.distortion_factors();
+  EXPECT_NEAR(alpha[0], 1.0, 1e-12);  // e=[2], V_b=2, d_b=1 -> 2/2
+  EXPECT_DOUBLE_EQ(alpha[1], 0.0);
+}
+
+TEST(Stencil, ToStringMentionsAllOffsets) {
+  const Stencil s = Stencil::component(2);
+  const std::string str = s.to_string();
+  EXPECT_NE(str.find("(1,0)"), std::string::npos);
+  EXPECT_NE(str.find("(-1,0)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridmap

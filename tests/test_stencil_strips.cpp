@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/stencil_strips.hpp"
+
+namespace gridmap {
+namespace {
+
+TEST(StencilStrips, LayoutTargetsSqrtNFor2dNearestNeighbor) {
+  const CartesianGrid g({50, 48});
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const StencilStripsMapper mapper;
+  const auto lay = mapper.layout(g, s, 48);
+  EXPECT_EQ(lay.along, 0);  // largest dimension
+  ASSERT_EQ(lay.strip_dims.size(), 1u);
+  EXPECT_EQ(lay.strip_dims[0], 1);
+  EXPECT_EQ(lay.widths[0], 7);  // round(sqrt(48)) = 7
+  EXPECT_EQ(lay.counts[0], 6);  // floor(48 / 7)
+}
+
+TEST(StencilStrips, LayoutDistortsForAnisotropicStencil) {
+  const CartesianGrid g({50, 48});
+  const Stencil s = Stencil::nearest_neighbor_with_hops(2);  // alpha_1 ~ 0.577
+  const StencilStripsMapper mapper;
+  const auto lay = mapper.layout(g, s, 48);
+  // sqrt(0.577 * 48) = 5.26 -> 5: narrower strips, longer node chunks along
+  // the hop dimension.
+  EXPECT_EQ(lay.widths[0], 5);
+}
+
+TEST(StencilStrips, LayoutWidthOneForZeroExtentDimension) {
+  const CartesianGrid g({50, 48});
+  const Stencil s = Stencil::component(2);  // no communication along dim 1
+  const StencilStripsMapper mapper;
+  const auto lay = mapper.layout(g, s, 48);
+  EXPECT_EQ(lay.widths[0], 1);
+  EXPECT_EQ(lay.counts[0], 48);
+}
+
+TEST(StencilStrips, OptimalComponentStencilMapping) {
+  const CartesianGrid g({50, 48});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(50, 48);
+  const Stencil s = Stencil::component(2);
+  const StencilStripsMapper mapper;
+  const MappingCost cost = evaluate_mapping(g, s, mapper.remap(g, s, alloc), alloc);
+  EXPECT_EQ(cost.jsum, 96);
+  EXPECT_EQ(cost.jmax, 2);
+}
+
+TEST(StencilStrips, ProducesValidPermutation) {
+  for (const Dims& dims : {Dims{50, 48}, Dims{13, 11}, Dims{9, 9, 9}, Dims{20, 1}}) {
+    const CartesianGrid g(dims);
+    const std::int64_t p = g.size();
+    // Pick some node count dividing p when possible; otherwise 1 node.
+    int nodes = 1;
+    for (const int candidate : {4, 3, 2}) {
+      if (p % candidate == 0) {
+        nodes = candidate;
+        break;
+      }
+    }
+    const NodeAllocation alloc =
+        NodeAllocation::homogeneous(nodes, static_cast<int>(p / nodes));
+    const Stencil s = Stencil::nearest_neighbor(static_cast<int>(dims.size()));
+    const StencilStripsMapper mapper;
+    const Remapping m = mapper.remap(g, s, alloc);  // validates bijection
+    EXPECT_EQ(m.size(), p);
+  }
+}
+
+TEST(StencilStrips, SnakeBeatsNonSnake) {
+  // Fig. 5: without the alternating assignment direction partitions split
+  // across strip boundaries become incoherent, increasing the cut.
+  const CartesianGrid g({50, 48});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(50, 48);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const StencilStripsMapper snake;
+  StencilStripsMapper::Options o;
+  o.snake = false;
+  const StencilStripsMapper straight(o);
+  const MappingCost with_snake = evaluate_mapping(g, s, snake.remap(g, s, alloc), alloc);
+  const MappingCost without = evaluate_mapping(g, s, straight.remap(g, s, alloc), alloc);
+  EXPECT_LT(with_snake.jsum, without.jsum);
+}
+
+TEST(StencilStrips, BalancedWidthsBeatLastAbsorbs) {
+  // The literal "last strip absorbs the remainder" rule creates one fat
+  // strip with worse bottleneck cost.
+  const CartesianGrid g({50, 48});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(50, 48);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const StencilStripsMapper balanced;
+  StencilStripsMapper::Options o;
+  o.balanced_widths = false;
+  const StencilStripsMapper literal(o);
+  const MappingCost b = evaluate_mapping(g, s, balanced.remap(g, s, alloc), alloc);
+  const MappingCost l = evaluate_mapping(g, s, literal.remap(g, s, alloc), alloc);
+  EXPECT_LE(b.jmax, l.jmax);
+  EXPECT_LT(b.jsum, l.jsum);
+}
+
+TEST(StencilStrips, NearSquareNodeRegionsOnPaperInstance) {
+  // Jmax should be close to the perimeter of a sqrt(n) x sqrt(n) block.
+  const CartesianGrid g({50, 48});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(50, 48);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const StencilStripsMapper mapper;
+  const MappingCost cost = evaluate_mapping(g, s, mapper.remap(g, s, alloc), alloc);
+  EXPECT_EQ(cost.jmax, 28);  // 2 * (8 + 6): the paper's measured value
+}
+
+TEST(StencilStrips, OneDimensionalGridIsContiguous) {
+  const CartesianGrid g({24});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 6);
+  const Stencil s = Stencil::nearest_neighbor(1);
+  const StencilStripsMapper mapper;
+  const MappingCost cost = evaluate_mapping(g, s, mapper.remap(g, s, alloc), alloc);
+  EXPECT_EQ(cost.jsum, 6);  // 3 cuts x 2 directions
+  EXPECT_EQ(cost.jmax, 2);
+}
+
+TEST(StencilStrips, HandlesHeterogeneousAllocation) {
+  const CartesianGrid g({8, 8});
+  const NodeAllocation alloc({20, 22, 22});
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const StencilStripsMapper mapper;
+  const Remapping m = mapper.remap(g, s, alloc);
+  EXPECT_EQ(m.size(), 64);
+}
+
+}  // namespace
+}  // namespace gridmap

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "vmpi/cart_stencil_comm.hpp"
+
+namespace gridmap {
+namespace {
+
+using vmpi::CartStencilComm;
+using vmpi::Universe;
+
+Universe make_universe(int nodes, int ppn) {
+  return Universe(NodeAllocation::homogeneous(nodes, ppn), vsc4());
+}
+
+TEST(Vmpi, UniverseClockAdvances) {
+  Universe u = make_universe(2, 4);
+  EXPECT_DOUBLE_EQ(u.clock(), 0.0);
+  u.advance(1.5);
+  EXPECT_DOUBLE_EQ(u.clock(), 1.5);
+  u.barrier();
+  EXPECT_GT(u.clock(), 1.5);
+  EXPECT_THROW(u.advance(-1.0), std::invalid_argument);
+}
+
+TEST(Vmpi, CommWithoutReorderIsBlocked) {
+  Universe u = make_universe(2, 4);
+  const CartStencilComm comm(u, {2, 4}, {false, false}, /*reorder=*/false,
+                             Stencil::nearest_neighbor(2));
+  for (Rank r = 0; r < comm.size(); ++r) {
+    EXPECT_EQ(comm.coordinates(r), comm.grid().coord_of(r));
+  }
+}
+
+TEST(Vmpi, ReorderImprovesCost) {
+  Universe u = make_universe(10, 10);
+  const CartStencilComm blocked(u, {10, 10}, {false, false}, false,
+                                Stencil::nearest_neighbor(2));
+  const CartStencilComm reordered(u, {10, 10}, {false, false}, true,
+                                  Stencil::nearest_neighbor(2), Algorithm::kHyperplane);
+  EXPECT_LT(reordered.cost().jsum, blocked.cost().jsum);
+}
+
+TEST(Vmpi, FromFlatMatchesTypedConstruction) {
+  Universe u = make_universe(2, 4);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const std::vector<int> flat = s.flat();
+  const std::vector<int> dims = {4, 2};
+  const std::vector<int> periods = {0, 1};
+  const CartStencilComm a = CartStencilComm::from_flat(u, 2, dims, periods, false, flat);
+  const CartStencilComm b(u, {4, 2}, {false, true}, false, s);
+  EXPECT_EQ(a.grid(), b.grid());
+  EXPECT_EQ(a.stencil(), b.stencil());
+}
+
+TEST(Vmpi, NeighborResolution) {
+  Universe u = make_universe(2, 4);
+  // Stencil order: +1_0, -1_0, +1_1, -1_1 on a 2x4 grid, blocked mapping.
+  const CartStencilComm comm(u, {2, 4}, {false, false}, false,
+                             Stencil::nearest_neighbor(2));
+  EXPECT_EQ(comm.neighbor(0, 0), std::optional<Rank>(4));  // (0,0)+ (1,0) -> rank 4
+  EXPECT_FALSE(comm.neighbor(0, 1).has_value());           // off the top
+  EXPECT_EQ(comm.neighbor(0, 2), std::optional<Rank>(1));
+  EXPECT_FALSE(comm.neighbor(0, 3).has_value());           // off the left
+}
+
+TEST(Vmpi, NeighborAlltoallMovesDataCorrectly) {
+  Universe u = make_universe(2, 4);
+  const CartStencilComm comm(u, {2, 4}, {false, false}, false,
+                             Stencil::nearest_neighbor(2));
+  const std::size_t count = 2;
+  const std::size_t k = 4;
+  std::vector<std::vector<double>> send(8, std::vector<double>(k * count));
+  std::vector<std::vector<double>> recv(8, std::vector<double>(k * count, -1.0));
+  // Rank r sends value 100*r + offset_index into each block.
+  for (Rank r = 0; r < 8; ++r) {
+    for (std::size_t i = 0; i < k; ++i) {
+      send[static_cast<std::size_t>(r)][i * count] = 100.0 * r + static_cast<double>(i);
+      send[static_cast<std::size_t>(r)][i * count + 1] = 0.5;
+    }
+  }
+  const double seconds = comm.neighbor_alltoall(send, recv, count);
+  EXPECT_GT(seconds, 0.0);
+  EXPECT_DOUBLE_EQ(u.clock(), seconds);
+
+  // Rank 0's block for offset +1_0 (index 0) was sent to rank 4 and must
+  // appear in rank 4's block for -1_0 (index 1).
+  EXPECT_DOUBLE_EQ(recv[4][1 * count], 0.0 * 100 + 0.0);
+  EXPECT_DOUBLE_EQ(recv[4][1 * count + 1], 0.5);
+  // Rank 5's block for -1_1 (index 3) lands at rank 4's +1_1 block (index 2).
+  EXPECT_DOUBLE_EQ(recv[4][2 * count], 100.0 * 5 + 3.0);
+  // Missing neighbors leave the buffer untouched.
+  EXPECT_DOUBLE_EQ(recv[0][1 * count], -1.0);  // rank 0 has no -1_0 neighbor
+}
+
+TEST(Vmpi, NeighborAlltoallChecksBufferSizes) {
+  Universe u = make_universe(2, 4);
+  const CartStencilComm comm(u, {2, 4}, {false, false}, false,
+                             Stencil::nearest_neighbor(2));
+  std::vector<std::vector<double>> send(8, std::vector<double>(2));
+  std::vector<std::vector<double>> recv(8, std::vector<double>(8));
+  EXPECT_THROW(comm.neighbor_alltoall(send, recv, 2), std::invalid_argument);
+}
+
+TEST(Vmpi, NeighborAlltoallRejectsAsymmetricStencil) {
+  Universe u = make_universe(2, 4);
+  const CartStencilComm comm(u, {2, 4}, {false, false}, false,
+                             Stencil::from_offsets({{0, 1}}));
+  std::vector<std::vector<double>> send(8, std::vector<double>(4));
+  std::vector<std::vector<double>> recv(8, std::vector<double>(4));
+  EXPECT_THROW(comm.neighbor_alltoall(send, recv, 4), std::invalid_argument);
+}
+
+TEST(Vmpi, PeriodicNeighborsWrap) {
+  Universe u = make_universe(2, 4);
+  const CartStencilComm comm(u, {2, 4}, {true, true}, false,
+                             Stencil::nearest_neighbor(2));
+  // Rank 0 at (0,0): -1_0 wraps to (1,0) = rank 4; -1_1 wraps to (0,3).
+  EXPECT_EQ(comm.neighbor(0, 1), std::optional<Rank>(4));
+  EXPECT_EQ(comm.neighbor(0, 3), std::optional<Rank>(3));
+}
+
+TEST(Vmpi, ExchangeTimeFasterWithReordering) {
+  Universe u1 = make_universe(10, 10);
+  Universe u2 = make_universe(10, 10);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  const CartStencilComm blocked(u1, {10, 10}, {false, false}, false, s);
+  const CartStencilComm reordered(u2, {10, 10}, {false, false}, true, s,
+                                  Algorithm::kStencilStrips);
+  const std::size_t count = 8192;
+  std::vector<std::vector<double>> send(100, std::vector<double>(4 * count, 1.0));
+  std::vector<std::vector<double>> recv(100, std::vector<double>(4 * count));
+  const double tb = blocked.neighbor_alltoall(send, recv, count);
+  const double tr = reordered.neighbor_alltoall(send, recv, count);
+  EXPECT_LT(tr, tb);
+}
+
+}  // namespace
+}  // namespace gridmap
