@@ -1,0 +1,145 @@
+// Portfolio-engine benchmark: sequential vs. parallel portfolio races and
+// plan-cache behaviour.
+//
+//   (1) For a set of instances, time PortfolioEngine::evaluate_all with 1
+//       thread vs. hardware threads and report the race speedup.
+//   (2) Replay a skewed (Zipf-like) stream of repeated instances through
+//       map() and report cache hit rate and the cached-vs-uncached latency.
+//
+// Plain chrono timing — runs everywhere, no Google Benchmark dependency.
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dims_create.hpp"
+#include "engine/portfolio.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace gridmap;
+using namespace gridmap::engine;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct NamedInstance {
+  std::string name;
+  Instance instance;
+};
+
+std::vector<NamedInstance> bench_instances() {
+  std::vector<NamedInstance> out;
+  const auto add = [&out](const std::string& name, Dims dims, Stencil stencil,
+                          NodeAllocation alloc) {
+    out.push_back({name, {CartesianGrid(std::move(dims)), std::move(stencil),
+                          std::move(alloc)}});
+  };
+  add("2d 32x48, 32x48ppn nn", {32, 48}, Stencil::nearest_neighbor(2),
+      NodeAllocation::homogeneous(32, 48));
+  add("2d 48x32 hops", {48, 32}, Stencil::nearest_neighbor_with_hops(2),
+      NodeAllocation::homogeneous(48, 32));
+  add("3d 16x12x8 nn", {16, 12, 8}, Stencil::nearest_neighbor(3),
+      NodeAllocation::homogeneous(32, 48));
+  add("2d 40x36 het", {40, 36}, Stencil::nearest_neighbor(2),
+      [] {
+        std::vector<int> sizes(36, 40);
+        for (std::size_t i = 0; i < sizes.size(); i += 2) sizes[i] = 48;
+        for (std::size_t i = 1; i < sizes.size(); i += 2) sizes[i] = 32;
+        return NodeAllocation(std::move(sizes));
+      }());
+  add("2d 24x20 component", {24, 20}, Stencil::component(2),
+      NodeAllocation::homogeneous(20, 24));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<NamedInstance> instances = bench_instances();
+
+  // ---- (1) sequential vs. parallel portfolio race ------------------------
+  EngineOptions seq_options;
+  seq_options.threads = 1;
+  PortfolioEngine sequential(MapperRegistry::with_default_backends(), seq_options);
+  // At least 4 workers so the pool path is exercised even on 1-core boxes
+  // (there the race measures pool overhead rather than speedup).
+  EngineOptions par_options;
+  par_options.threads =
+      std::max(4, static_cast<int>(std::thread::hardware_concurrency()));
+  PortfolioEngine parallel(MapperRegistry::with_default_backends(), par_options);
+
+  std::cout << "Portfolio race: " << sequential.registry().size() << " backends, "
+            << parallel.threads() << " worker threads\n\n";
+
+  Table race({"Instance", "sequential", "parallel", "speedup", "winner"});
+  double seq_total = 0.0, par_total = 0.0;
+  for (const NamedInstance& ni : instances) {
+    const auto& [grid, stencil, alloc] = ni.instance;
+
+    const auto t0 = Clock::now();
+    const auto seq_results = sequential.evaluate_all(grid, stencil, alloc);
+    const double seq_s = seconds_since(t0);
+
+    const auto t1 = Clock::now();
+    const auto par_results = parallel.evaluate_all(grid, stencil, alloc);
+    const double par_s = seconds_since(t1);
+
+    const int winner = PortfolioEngine::select_winner(Objective::kLexJmaxJsum, par_results);
+    seq_total += seq_s;
+    par_total += par_s;
+
+    std::ostringstream speedup;
+    speedup << std::fixed << std::setprecision(2) << seq_s / par_s << "x";
+    std::ostringstream seq_ms, par_ms;
+    seq_ms << std::fixed << std::setprecision(1) << seq_s * 1e3 << " ms";
+    par_ms << std::fixed << std::setprecision(1) << par_s * 1e3 << " ms";
+    race.add_row({ni.name, seq_ms.str(), par_ms.str(), speedup.str(),
+                  winner >= 0 ? par_results[static_cast<std::size_t>(winner)].name : "-"});
+  }
+  race.print(std::cout);
+  std::cout << "Overall speedup: " << std::fixed << std::setprecision(2)
+            << seq_total / par_total << "x (" << seq_total * 1e3 << " ms -> "
+            << par_total * 1e3 << " ms)\n\n";
+
+  // ---- (2) plan cache on a skewed request stream -------------------------
+  // Deterministic Zipf-ish stream: instance i appears ~1/(i+1) as often.
+  std::vector<std::size_t> stream;
+  for (std::size_t round = 0; round < 12; ++round) {
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      if (round % (i + 1) == 0) stream.push_back(i);
+    }
+  }
+
+  PortfolioEngine serving(MapperRegistry::with_default_backends(), {});
+  double cold_s = 0.0, warm_s = 0.0;
+  std::size_t cold_n = 0, warm_n = 0;
+  for (const std::size_t idx : stream) {
+    const auto& [grid, stencil, alloc] = instances[idx].instance;
+    const std::uint64_t runs_before = serving.mapper_runs();
+    const auto t = Clock::now();
+    (void)serving.map(grid, stencil, alloc);
+    const double s = seconds_since(t);
+    if (serving.mapper_runs() == runs_before) {
+      warm_s += s, ++warm_n;
+    } else {
+      cold_s += s, ++cold_n;
+    }
+  }
+  const CacheStats stats = serving.cache_stats();
+  std::cout << "Plan cache: " << stream.size() << " requests over " << instances.size()
+            << " instances\n  hits " << stats.hits << ", misses " << stats.misses
+            << ", hit rate " << std::setprecision(1) << stats.hit_rate() * 100 << "%\n"
+            << "  uncached mean " << std::setprecision(3) << cold_s / cold_n * 1e3
+            << " ms (" << cold_n << " calls), cached mean " << warm_s / warm_n * 1e6
+            << " us (" << warm_n << " calls)\n";
+  return 0;
+}

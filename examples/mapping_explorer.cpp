@@ -1,24 +1,31 @@
-// Mapping explorer: a small CLI to inspect what each algorithm does with a
-// given instance. Prints the node ownership of every grid cell (for 2-d
-// grids up to 64 columns), the Jsum/Jmax metrics and the per-node edge
-// loads.
+// Mapping explorer: inspect what the portfolio engine does with an
+// instance. Races every registered backend, prints a per-backend score
+// table (skipping inapplicable ones), the winner under the chosen
+// objective, the winner's node-ownership picture (for 2-d grids up to 64
+// columns) — and optionally saves the winning plan to a file and verifies
+// it round-trips.
 //
 // Usage:
-//   ./mapping_explorer [algorithm] [nodes] [ppn] [stencil] [ndims]
-//   ./mapping_explorer hyperplane 6 8 hops 2
-// Stencils: nn | hops | component. Algorithms: see core/algorithms.hpp.
+//   ./mapping_explorer [nodes] [ppn] [stencil] [ndims] [objective] [planfile]
+//   ./mapping_explorer 6 8 hops 2 jmax
+// Stencils: nn | hops | component. Objectives: jsum | jmax | lex.
 #include <cstdlib>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
 
-#include "core/algorithms.hpp"
 #include "core/dims_create.hpp"
 #include "core/metrics.hpp"
+#include "engine/plan_io.hpp"
+#include "engine/signature.hpp"
+#include "engine/portfolio.hpp"
 #include "report/table.hpp"
 
 namespace {
 
 using namespace gridmap;
+using namespace gridmap::engine;
 
 Stencil stencil_from_name(const std::string& name, int ndims) {
   if (name == "nn") return Stencil::nearest_neighbor(ndims);
@@ -33,35 +40,77 @@ char node_symbol(NodeId node) {
   return node < 62 ? symbols[node] : '#';
 }
 
+std::string format_seconds(double seconds) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(3) << seconds * 1e3 << " ms";
+  return out.str();
+}
+
 }  // namespace
 
-int main(int argc, char** argv) {
-  const std::string algorithm_name = argc > 1 ? argv[1] : "hyperplane";
-  const int nodes = argc > 2 ? std::atoi(argv[2]) : 6;
-  const int ppn = argc > 3 ? std::atoi(argv[3]) : 8;
-  const std::string stencil_name = argc > 4 ? argv[4] : "nn";
-  const int ndims = argc > 5 ? std::atoi(argv[5]) : 2;
+int main(int argc, char** argv) try {
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 6;
+  const int ppn = argc > 2 ? std::atoi(argv[2]) : 8;
+  const std::string stencil_name = argc > 3 ? argv[3] : "nn";
+  const int ndims = argc > 4 ? std::atoi(argv[4]) : 2;
+  const std::string objective_name = argc > 5 ? argv[5] : "lex";
+  const std::string plan_file = argc > 6 ? argv[6] : "";
 
-  const Algorithm algorithm = algorithm_from_string(algorithm_name);
   const NodeAllocation alloc = NodeAllocation::homogeneous(nodes, ppn);
   const CartesianGrid grid(dims_create(alloc.total(), ndims));
   const Stencil stencil = stencil_from_name(stencil_name, ndims);
 
+  EngineOptions options;
+  options.objective = objective_from_string(objective_name);
+  PortfolioEngine engine(MapperRegistry::with_default_backends(), options);
+
   std::cout << "Instance: grid";
   for (int i = 0; i < grid.ndims(); ++i) std::cout << (i ? "x" : " ") << grid.dim(i);
   std::cout << ", " << nodes << " nodes x " << ppn << " ppn, stencil "
-            << stencil.to_string() << "\n";
+            << stencil.to_string() << "\nPortfolio: " << engine.registry().size()
+            << " backends on " << engine.threads() << " threads, objective "
+            << to_string(engine.objective()) << "\n\n";
 
-  const auto mapper = make_mapper(algorithm);
-  if (!mapper->applicable(grid, stencil, alloc)) {
-    std::cout << to_string(algorithm) << " is not applicable to this instance.\n";
+  const auto results = engine.evaluate_all(grid, stencil, alloc);
+  const int winner = PortfolioEngine::select_winner(engine.objective(), results);
+
+  Table table({"Backend", "Jsum", "Jmax", "time", "note"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BackendResult& r = results[i];
+    std::string note;
+    if (!r.applicable) {
+      note = r.failed ? "error: " + r.error : "not applicable";
+    } else if (r.failed) {
+      note = "error: " + r.error;
+    } else if (static_cast<int>(i) == winner) {
+      note = "<- winner";
+    }
+    const bool usable = r.applicable && !r.failed;
+    table.add_row({r.name, usable ? std::to_string(r.cost.jsum) : "-",
+                   usable ? std::to_string(r.cost.jmax) : "-",
+                   usable ? format_seconds(r.seconds) : "-", note});
+  }
+  table.print(std::cout);
+
+  if (winner < 0) {
+    std::cout << "\nNo backend is applicable to this instance.\n";
     return 1;
   }
-  const Remapping remapping = mapper->remap(grid, stencil, alloc);
-  const std::vector<NodeId> node_of_cell = remapping.node_of_cell(alloc);
+
+  // Build the plan from the race we already ran (map() would re-race).
+  const BackendResult& best = results[static_cast<std::size_t>(winner)];
+  MappingPlan plan;
+  plan.signature = instance_signature(grid, stencil, alloc, engine.objective());
+  plan.mapper = best.name;
+  plan.objective = engine.objective();
+  plan.jsum = best.cost.jsum;
+  plan.jmax = best.cost.jmax;
+  plan.cell_of_rank = best.remapping->cell_of_rank();
+
+  const std::vector<NodeId> node_of_cell = best.remapping->node_of_cell(alloc);
 
   if (grid.ndims() == 2 && grid.dim(1) <= 64 && grid.dim(0) <= 64) {
-    std::cout << "\nNode ownership (" << to_string(algorithm) << "):\n";
+    std::cout << "\nNode ownership (" << plan.mapper << "):\n";
     for (int i = 0; i < grid.dim(0); ++i) {
       std::cout << "  ";
       for (int j = 0; j < grid.dim(1); ++j) {
@@ -72,20 +121,28 @@ int main(int argc, char** argv) {
     }
   }
 
-  const MappingCost cost = evaluate_mapping(grid, stencil, node_of_cell, nodes);
   const MappingCost blocked =
       evaluate_mapping(grid, stencil, Remapping::identity(grid), alloc);
-  std::cout << "\nJsum = " << cost.jsum << " (blocked: " << blocked.jsum << ", reduction "
-            << static_cast<double>(cost.jsum) / static_cast<double>(blocked.jsum)
-            << ")\nJmax = " << cost.jmax << " (blocked: " << blocked.jmax
-            << "), bottleneck node " << cost.bottleneck << "\n\n";
-
-  Table table({"Node", "outgoing inter-node edges", "intra-node edges"});
-  for (NodeId n = 0; n < nodes; ++n) {
-    table.add_row({std::to_string(n),
-                   std::to_string(cost.out_edges[static_cast<std::size_t>(n)]),
-                   std::to_string(cost.intra_edges[static_cast<std::size_t>(n)])});
+  std::cout << "\nWinner: " << plan.mapper << "\nJsum = " << plan.jsum
+            << " (blocked: " << blocked.jsum;
+  if (blocked.jsum > 0) {
+    std::cout << ", reduction "
+              << static_cast<double>(plan.jsum) / static_cast<double>(blocked.jsum);
   }
-  table.print(std::cout);
+  std::cout << ")\nJmax = " << plan.jmax << " (blocked: " << blocked.jmax << ")\n";
+
+  if (!plan_file.empty()) {
+    save_plan(plan_file, plan);
+    const MappingPlan reloaded = load_plan(plan_file);
+    std::cout << "\nPlan saved to " << plan_file << " ("
+              << (reloaded == plan ? "round-trip verified" : "ROUND-TRIP MISMATCH")
+              << ")\n";
+    if (reloaded != plan) return 1;
+  }
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what()
+            << "\nusage: mapping_explorer [nodes] [ppn] [nn|hops|component] [ndims] "
+               "[jsum|jmax|lex] [planfile]\n";
+  return 2;
 }

@@ -8,10 +8,10 @@ Coord BlockedMapper::new_coordinate(const CartesianGrid& grid, const Stencil& /*
   return grid.coord_of(static_cast<Cell>(rank));
 }
 
-Remapping BlockedMapper::remap(const CartesianGrid& grid, const Stencil& /*stencil*/,
+Remapping BlockedMapper::remap(const CartesianGrid& grid, const Stencil& stencil,
                                const NodeAllocation& alloc) const {
-  GRIDMAP_CHECK(grid.size() == alloc.total(),
-                "allocation total must equal number of grid positions");
+  GRIDMAP_CHECK(applicable(grid, stencil, alloc),
+                "mapper not applicable to this instance");
   return Remapping::identity(grid);
 }
 

@@ -6,10 +6,10 @@
 
 namespace gridmap {
 
-Remapping RandomMapper::remap(const CartesianGrid& grid, const Stencil& /*stencil*/,
+Remapping RandomMapper::remap(const CartesianGrid& grid, const Stencil& stencil,
                               const NodeAllocation& alloc) const {
-  GRIDMAP_CHECK(grid.size() == alloc.total(),
-                "allocation total must equal number of grid positions");
+  GRIDMAP_CHECK(applicable(grid, stencil, alloc),
+                "mapper not applicable to this instance");
   std::vector<Cell> cells(static_cast<std::size_t>(grid.size()));
   std::iota(cells.begin(), cells.end(), Cell{0});
   std::mt19937_64 rng(seed_);

@@ -66,4 +66,17 @@ std::vector<NodeId> NodeAllocation::node_of_all_ranks() const {
   return nodes;
 }
 
+std::string NodeAllocation::canonical_signature() const {
+  if (homogeneous()) {
+    return "a[" + std::to_string(num_nodes()) + "*" + std::to_string(sizes_.front()) + "]";
+  }
+  std::string s = "a[";
+  for (std::size_t i = 0; i < sizes_.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(sizes_[i]);
+  }
+  s += "]";
+  return s;
+}
+
 }  // namespace gridmap

@@ -4,6 +4,7 @@
 // rank occupies.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/types.hpp"
@@ -45,6 +46,11 @@ class NodeAllocation {
 
   /// node_of_rank materialized for all ranks.
   std::vector<NodeId> node_of_all_ranks() const;
+
+  /// Canonical textual form of the per-node sizes; homogeneous allocations
+  /// compress to "a[N*n]", e.g. "a[6*8]", heterogeneous ones list every
+  /// size, e.g. "a[8,4,8]". Engine plan-cache keys.
+  std::string canonical_signature() const;
 
   friend bool operator==(const NodeAllocation&, const NodeAllocation&) = default;
 

@@ -89,4 +89,16 @@ std::int64_t CartesianGrid::count_directed_edges(const Stencil& stencil) const {
   return total;
 }
 
+std::string CartesianGrid::canonical_signature() const {
+  std::string s = "g[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) s += "x";
+    s += std::to_string(dims_[i]);
+  }
+  s += ";p=";
+  for (const bool p : periodic_) s += p ? '1' : '0';
+  s += "]";
+  return s;
+}
+
 }  // namespace gridmap

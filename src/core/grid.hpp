@@ -2,6 +2,7 @@
 // (paper Section II). Supports optional per-dimension periodicity.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/stencil.hpp"
@@ -44,6 +45,10 @@ class CartesianGrid {
 
   /// Total number of directed communication edges induced by the stencil.
   std::int64_t count_directed_edges(const Stencil& stencil) const;
+
+  /// Canonical textual form of extents + periodicity, e.g. "g[5x4;p=10]".
+  /// Equal grids produce equal signatures; used for engine plan-cache keys.
+  std::string canonical_signature() const;
 
   friend bool operator==(const CartesianGrid&, const CartesianGrid&) = default;
 

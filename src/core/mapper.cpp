@@ -9,8 +9,8 @@ bool Mapper::applicable(const CartesianGrid& grid, const Stencil& stencil,
 
 Remapping DistributedMapper::remap(const CartesianGrid& grid, const Stencil& stencil,
                                    const NodeAllocation& alloc) const {
-  GRIDMAP_CHECK(grid.size() == alloc.total(),
-                "allocation total must equal number of grid positions");
+  GRIDMAP_CHECK(applicable(grid, stencil, alloc),
+                "mapper not applicable to this instance");
   std::vector<Cell> cells(static_cast<std::size_t>(grid.size()));
   for (Rank r = 0; r < static_cast<Rank>(grid.size()); ++r) {
     cells[static_cast<std::size_t>(r)] =

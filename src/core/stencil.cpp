@@ -166,4 +166,20 @@ std::string Stencil::to_string() const {
   return s;
 }
 
+std::string Stencil::canonical_signature() const {
+  std::vector<Offset> sorted = offsets_;
+  std::sort(sorted.begin(), sorted.end());
+  std::string s = "s[";
+  for (const Offset& off : sorted) {
+    s += "(";
+    for (std::size_t j = 0; j < off.size(); ++j) {
+      if (j > 0) s += ",";
+      s += std::to_string(off[j]);
+    }
+    s += ")";
+  }
+  s += "]";
+  return s;
+}
+
 }  // namespace gridmap

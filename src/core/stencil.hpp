@@ -66,6 +66,11 @@ class Stencil {
   /// Human-readable form, e.g. "{(1,0),(-1,0),(0,1),(0,-1)}".
   std::string to_string() const;
 
+  /// Canonical textual form with offsets sorted lexicographically, so two
+  /// stencils with the same offset set in different order produce the same
+  /// signature, e.g. "s[(-1,0)(0,-1)(0,1)(1,0)]". Engine plan-cache keys.
+  std::string canonical_signature() const;
+
   friend bool operator==(const Stencil&, const Stencil&) = default;
 
  private:

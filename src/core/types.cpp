@@ -18,4 +18,13 @@ std::int64_t product(const Dims& dims) {
   return p;
 }
 
+std::uint64_t fnv1a_hash(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 }  // namespace gridmap

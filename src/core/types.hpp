@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace gridmap {
@@ -32,5 +33,9 @@ using Offset = std::vector<int>;
 
 /// Product of dimension sizes as a 64-bit integer (overflow-checked).
 std::int64_t product(const Dims& dims);
+
+/// FNV-1a hash of a byte string; the stable 64-bit hash used for canonical
+/// instance signatures (engine plan-cache keys, plan files).
+std::uint64_t fnv1a_hash(std::string_view bytes) noexcept;
 
 }  // namespace gridmap

@@ -1,0 +1,34 @@
+// MappingPlan: the persisted outcome of a portfolio race — which backend won
+// an instance, at what cost, and the full rank->cell assignment. Plans are
+// what the cache stores and what plan_io serializes, so re-running a known
+// instance never re-executes a mapper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/grid.hpp"
+#include "core/remapping.hpp"
+#include "core/types.hpp"
+#include "engine/objective.hpp"
+
+namespace gridmap::engine {
+
+struct MappingPlan {
+  std::string signature;            ///< canonical instance signature (incl. objective)
+  std::string mapper;               ///< registry name of the winning backend
+  Objective objective = Objective::kLexJmaxJsum;
+  std::int64_t jsum = 0;
+  std::int64_t jmax = 0;
+  std::vector<Cell> cell_of_rank;   ///< the winning assignment, rank-indexed
+
+  /// Rebuilds the Remapping against the grid the plan was computed for
+  /// (validates the stored cells form a bijection).
+  Remapping to_remapping(const CartesianGrid& grid) const {
+    return Remapping::from_cells(grid, cell_of_rank);
+  }
+
+  friend bool operator==(const MappingPlan&, const MappingPlan&) = default;
+};
+
+}  // namespace gridmap::engine

@@ -1,0 +1,102 @@
+#include "engine/plan_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/types.hpp"
+
+namespace gridmap::engine {
+
+namespace {
+
+constexpr std::string_view kHeader = "gridmap-plan v1";
+
+/// Reads "<key> <rest-of-line>" and returns the rest; throws on key mismatch.
+std::string expect_field(std::istream& in, std::string_view key) {
+  std::string line;
+  GRIDMAP_CHECK(static_cast<bool>(std::getline(in, line)),
+                "plan truncated before field: " + std::string(key));
+  if (line == key) return "";  // field present but empty (e.g. zero cells)
+  const std::size_t space = line.find(' ');
+  GRIDMAP_CHECK(space != std::string::npos && line.substr(0, space) == key,
+                "expected plan field '" + std::string(key) + "', got: " + line);
+  return line.substr(space + 1);
+}
+
+std::int64_t to_int64(const std::string& text, std::string_view what) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t value = std::stoll(text, &used);
+    GRIDMAP_CHECK(used == text.size(), "trailing junk in " + std::string(what));
+    return value;
+  } catch (const std::invalid_argument&) {
+    throw_invalid("not an integer in " + std::string(what) + ": " + text);
+  } catch (const std::out_of_range&) {
+    throw_invalid("integer out of range in " + std::string(what) + ": " + text);
+  }
+}
+
+}  // namespace
+
+std::string serialize_plan(const MappingPlan& plan) {
+  std::string out(kHeader);
+  out += "\nsignature " + plan.signature;
+  out += "\nobjective " + std::string(to_string(plan.objective));
+  out += "\nmapper " + plan.mapper;
+  out += "\njsum " + std::to_string(plan.jsum);
+  out += "\njmax " + std::to_string(plan.jmax);
+  out += "\nranks " + std::to_string(plan.cell_of_rank.size());
+  out += "\ncells";
+  for (const Cell c : plan.cell_of_rank) out += " " + std::to_string(c);
+  out += "\nend\n";
+  return out;
+}
+
+MappingPlan parse_plan(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  GRIDMAP_CHECK(static_cast<bool>(std::getline(in, line)) && line == kHeader,
+                "not a gridmap plan (bad header)");
+
+  MappingPlan plan;
+  plan.signature = expect_field(in, "signature");
+  plan.objective = objective_from_string(expect_field(in, "objective"));
+  plan.mapper = expect_field(in, "mapper");
+  GRIDMAP_CHECK(!plan.mapper.empty(), "plan mapper name is empty");
+  plan.jsum = to_int64(expect_field(in, "jsum"), "jsum");
+  plan.jmax = to_int64(expect_field(in, "jmax"), "jmax");
+  const std::int64_t ranks = to_int64(expect_field(in, "ranks"), "ranks");
+  GRIDMAP_CHECK(ranks >= 0, "negative rank count in plan");
+
+  std::istringstream cells(expect_field(in, "cells"));
+  plan.cell_of_rank.reserve(static_cast<std::size_t>(ranks));
+  std::int64_t cell = 0;
+  while (cells >> cell) plan.cell_of_rank.push_back(cell);
+  GRIDMAP_CHECK(cells.eof(), "malformed cell list in plan");
+  GRIDMAP_CHECK(static_cast<std::int64_t>(plan.cell_of_rank.size()) == ranks,
+                "plan cell count does not match declared rank count");
+
+  GRIDMAP_CHECK(static_cast<bool>(std::getline(in, line)) && line == "end",
+                "plan missing end marker");
+  while (std::getline(in, line)) {
+    GRIDMAP_CHECK(line.empty(), "trailing data after plan end marker");
+  }
+  return plan;
+}
+
+void save_plan(const std::string& path, const MappingPlan& plan) {
+  std::ofstream out(path, std::ios::binary);
+  GRIDMAP_CHECK(out.is_open(), "cannot open plan file for writing: " + path);
+  out << serialize_plan(plan);
+  GRIDMAP_CHECK(static_cast<bool>(out), "failed writing plan file: " + path);
+}
+
+MappingPlan load_plan(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GRIDMAP_CHECK(in.is_open(), "cannot open plan file for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_plan(buffer.str());
+}
+
+}  // namespace gridmap::engine

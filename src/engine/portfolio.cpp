@@ -1,0 +1,130 @@
+#include "engine/portfolio.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "core/types.hpp"
+#include "engine/signature.hpp"
+
+namespace gridmap::engine {
+
+namespace {
+
+int resolve_threads(int requested) {
+  if (requested != 0) return std::max(1, requested);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+PortfolioEngine::PortfolioEngine(MapperRegistry registry, EngineOptions options)
+    : registry_(std::move(registry)),
+      options_(options),
+      cache_(options.cache_capacity) {
+  GRIDMAP_CHECK(registry_.size() > 0, "portfolio engine needs at least one backend");
+  const int threads = resolve_threads(options_.threads);
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+int PortfolioEngine::threads() const noexcept { return pool_ ? pool_->size() : 1; }
+
+std::uint64_t PortfolioEngine::mapper_runs() const noexcept {
+  return mapper_runs_.load(std::memory_order_relaxed);
+}
+
+BackendResult PortfolioEngine::run_backend(const std::string& name, const CartesianGrid& grid,
+                                           const Stencil& stencil,
+                                           const NodeAllocation& alloc) {
+  BackendResult result;
+  result.name = name;
+  try {
+    const std::unique_ptr<Mapper> mapper = registry_.create(name);
+    if (!mapper->applicable(grid, stencil, alloc)) return result;  // skipped
+    result.applicable = true;
+    const auto start = std::chrono::steady_clock::now();
+    mapper_runs_.fetch_add(1, std::memory_order_relaxed);
+    Remapping remapping = mapper->remap(grid, stencil, alloc);
+    result.cost = evaluate_mapping(grid, stencil, remapping, alloc);
+    result.remapping = std::move(remapping);
+    result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  } catch (const std::exception& e) {
+    result.failed = true;
+    result.remapping.reset();
+    result.error = e.what();
+  }
+  return result;
+}
+
+std::vector<BackendResult> PortfolioEngine::evaluate_all(const CartesianGrid& grid,
+                                                         const Stencil& stencil,
+                                                         const NodeAllocation& alloc) {
+  const std::vector<std::string>& names = registry_.names();
+  std::vector<BackendResult> results;
+  results.reserve(names.size());
+  if (!pool_) {
+    for (const std::string& name : names) {
+      results.push_back(run_backend(name, grid, stencil, alloc));
+    }
+    return results;
+  }
+  std::vector<std::future<BackendResult>> futures;
+  futures.reserve(names.size());
+  for (const std::string& name : names) {
+    futures.push_back(pool_->submit(
+        [this, &name, &grid, &stencil, &alloc] { return run_backend(name, grid, stencil, alloc); }));
+  }
+  for (std::future<BackendResult>& f : futures) results.push_back(f.get());
+  return results;
+}
+
+int PortfolioEngine::select_winner(Objective objective,
+                                   const std::vector<BackendResult>& results) {
+  int winner = -1;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BackendResult& r = results[i];
+    if (!r.applicable || r.failed || !r.remapping.has_value()) continue;
+    if (winner < 0 ||
+        better(objective, r.cost, results[static_cast<std::size_t>(winner)].cost)) {
+      winner = static_cast<int>(i);
+    }
+  }
+  return winner;
+}
+
+std::shared_ptr<const MappingPlan> PortfolioEngine::map(const CartesianGrid& grid,
+                                                        const Stencil& stencil,
+                                                        const NodeAllocation& alloc) {
+  const std::string signature =
+      instance_signature(grid, stencil, alloc, options_.objective);
+  if (std::shared_ptr<const MappingPlan> cached = cache_.get(signature)) return cached;
+
+  const std::vector<BackendResult> results = evaluate_all(grid, stencil, alloc);
+  const int winner = select_winner(options_.objective, results);
+  GRIDMAP_CHECK(winner >= 0, "no applicable backend for instance: " + signature);
+
+  const BackendResult& best = results[static_cast<std::size_t>(winner)];
+  auto plan = std::make_shared<MappingPlan>();
+  plan->signature = signature;
+  plan->mapper = best.name;
+  plan->objective = options_.objective;
+  plan->jsum = best.cost.jsum;
+  plan->jmax = best.cost.jmax;
+  plan->cell_of_rank = best.remapping->cell_of_rank();
+  cache_.put(signature, plan);
+  return plan;
+}
+
+std::vector<std::shared_ptr<const MappingPlan>> PortfolioEngine::map_all(
+    const std::vector<Instance>& instances) {
+  std::vector<std::shared_ptr<const MappingPlan>> plans;
+  plans.reserve(instances.size());
+  for (const Instance& instance : instances) {
+    plans.push_back(map(instance.grid, instance.stencil, instance.alloc));
+  }
+  return plans;
+}
+
+}  // namespace gridmap::engine

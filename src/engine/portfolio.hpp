@@ -1,0 +1,100 @@
+// PortfolioEngine: races every registered mapping backend on an instance,
+// scores the results with evaluate_mapping, and selects a winner under a
+// configurable objective — the component that automates the paper's
+// per-instance "which algorithm wins on Jsum/Jmax?" comparison (Section VI)
+// and caches the answer.
+//
+// Determinism: backends are scored independently (each mapper here is
+// deterministic for fixed inputs/seeds) and the winner is reduced in
+// registration order with strict-improvement comparison, so the parallel
+// race selects exactly the same winner as a sequential loop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "engine/objective.hpp"
+#include "engine/plan.hpp"
+#include "engine/plan_cache.hpp"
+#include "engine/registry.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace gridmap::engine {
+
+/// One mapping problem; the unit of map()/map_all().
+struct Instance {
+  CartesianGrid grid;
+  Stencil stencil;
+  NodeAllocation alloc;
+};
+
+/// Outcome of one backend on one instance.
+struct BackendResult {
+  std::string name;            ///< registry name
+  bool applicable = false;     ///< Mapper::applicable said yes
+  bool failed = false;         ///< remap/evaluate threw (error holds what())
+  std::string error;
+  MappingCost cost;            ///< valid iff applicable && !failed
+  std::optional<Remapping> remapping;
+  double seconds = 0.0;        ///< wall time of remap + evaluate
+};
+
+struct EngineOptions {
+  Objective objective = Objective::kLexJmaxJsum;
+  /// Worker threads for the portfolio race; <= 1 evaluates sequentially on
+  /// the calling thread, 0 picks std::thread::hardware_concurrency().
+  int threads = 0;
+  /// LRU plan-cache capacity in plans; 0 disables caching.
+  std::size_t cache_capacity = 256;
+};
+
+class PortfolioEngine {
+ public:
+  explicit PortfolioEngine(MapperRegistry registry, EngineOptions options = {});
+
+  /// Races all applicable backends (cache-aware) and returns the winning
+  /// plan. Throws when no backend is applicable to the instance.
+  std::shared_ptr<const MappingPlan> map(const CartesianGrid& grid, const Stencil& stencil,
+                                         const NodeAllocation& alloc);
+
+  /// Batch variant: maps every instance, reusing the pool and the cache.
+  std::vector<std::shared_ptr<const MappingPlan>> map_all(const std::vector<Instance>& instances);
+
+  /// Runs every backend (no cache) and reports per-backend outcomes in
+  /// registration order. Inapplicable backends are skipped, throwing
+  /// backends recorded as failed — the race never crashes on a backend.
+  std::vector<BackendResult> evaluate_all(const CartesianGrid& grid, const Stencil& stencil,
+                                          const NodeAllocation& alloc);
+
+  /// Index into `results` of the winner under `objective`: the first (in
+  /// registration order) usable result that no later result strictly beats.
+  /// Returns -1 when no result is usable.
+  static int select_winner(Objective objective, const std::vector<BackendResult>& results);
+
+  const MapperRegistry& registry() const noexcept { return registry_; }
+  Objective objective() const noexcept { return options_.objective; }
+  int threads() const noexcept;
+
+  CacheStats cache_stats() const { return cache_.stats(); }
+  void clear_cache() { cache_.clear(); }
+
+  /// Total individual mapper executions so far (cache hits run none).
+  std::uint64_t mapper_runs() const noexcept;
+
+ private:
+  BackendResult run_backend(const std::string& name, const CartesianGrid& grid,
+                            const Stencil& stencil, const NodeAllocation& alloc);
+
+  MapperRegistry registry_;
+  EngineOptions options_;
+  PlanCache cache_;
+  std::unique_ptr<ThreadPool> pool_;  // null when sequential
+  std::atomic<std::uint64_t> mapper_runs_{0};
+};
+
+}  // namespace gridmap::engine

@@ -1,0 +1,64 @@
+#include "engine/registry.hpp"
+
+#include <algorithm>
+
+#include "baselines/blocked.hpp"
+#include "baselines/nodecart.hpp"
+#include "baselines/random_mapper.hpp"
+#include "baselines/sfc.hpp"
+#include "core/hierarchical.hpp"
+#include "core/hyperplane.hpp"
+#include "core/kd_tree.hpp"
+#include "core/stencil_strips.hpp"
+#include "core/types.hpp"
+#include "gmap/gmap.hpp"
+
+namespace gridmap::engine {
+
+void MapperRegistry::add(std::string name, MapperFactory factory) {
+  GRIDMAP_CHECK(!name.empty(), "backend name must not be empty");
+  GRIDMAP_CHECK(factory != nullptr, "backend factory must not be null");
+  GRIDMAP_CHECK(!contains(name), "duplicate backend name: " + name);
+  names_.push_back(std::move(name));
+  factories_.push_back(std::move(factory));
+}
+
+bool MapperRegistry::contains(std::string_view name) const {
+  return std::find(names_.begin(), names_.end(), name) != names_.end();
+}
+
+std::unique_ptr<Mapper> MapperRegistry::create(std::string_view name) const {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  GRIDMAP_CHECK(it != names_.end(), "unknown backend name: " + std::string(name));
+  return factories_[static_cast<std::size_t>(it - names_.begin())]();
+}
+
+MapperRegistry MapperRegistry::with_default_backends() {
+  MapperRegistry r;
+  r.add("blocked", [] { return std::make_unique<BlockedMapper>(); });
+  r.add("hyperplane", [] { return std::make_unique<HyperplaneMapper>(); });
+  r.add("kdtree", [] { return std::make_unique<KdTreeMapper>(); });
+  r.add("strips", [] { return std::make_unique<StencilStripsMapper>(); });
+  r.add("nodecart", [] { return std::make_unique<NodecartMapper>(); });
+  // The serving configuration of the VieM-style mapper: one multilevel run,
+  // few local-search sweeps. The quality-first setting the paper benchmarks
+  // is orders of magnitude slower and would dominate every portfolio race.
+  r.add("viem", [] { return std::make_unique<GeneralGraphMapper>(GmapOptions::fast()); });
+  r.add("hilbert", [] { return std::make_unique<SfcMapper>(SfcCurve::kHilbert); });
+  r.add("morton", [] { return std::make_unique<SfcMapper>(SfcCurve::kMorton); });
+  r.add("random", [] { return std::make_unique<RandomMapper>(); });
+  // Socket-aware hierarchical refinements (two sockets per node, matching
+  // the paper's evaluation machines).
+  r.add("hyperplane+sockets", [] {
+    return std::make_unique<HierarchicalMapper>(std::make_unique<HyperplaneMapper>(), 2);
+  });
+  r.add("kdtree+sockets", [] {
+    return std::make_unique<HierarchicalMapper>(std::make_unique<KdTreeMapper>(), 2);
+  });
+  r.add("strips+sockets", [] {
+    return std::make_unique<HierarchicalMapper>(std::make_unique<StencilStripsMapper>(), 2);
+  });
+  return r;
+}
+
+}  // namespace gridmap::engine

@@ -1,0 +1,45 @@
+// MapperRegistry: name -> factory registration for mapping backends, so the
+// portfolio engine (and any future serving layer) discovers algorithms by
+// name instead of hard-coding the paper's line-up. Factories, not instances:
+// mappers are created per use, so concurrent evaluations never share state.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mapper.hpp"
+
+namespace gridmap::engine {
+
+using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
+
+class MapperRegistry {
+ public:
+  /// Registers a backend under `name`. Throws on duplicate or empty names
+  /// and on null factories. Registration order is preserved and is the
+  /// engine's deterministic tie-break order.
+  void add(std::string name, MapperFactory factory);
+
+  bool contains(std::string_view name) const;
+
+  /// Instantiates the backend; throws on unknown names.
+  std::unique_ptr<Mapper> create(std::string_view name) const;
+
+  /// Backend names in registration order.
+  const std::vector<std::string>& names() const noexcept { return names_; }
+
+  std::size_t size() const noexcept { return names_.size(); }
+
+  /// Every mapper in the repository: blocked, hyperplane, kdtree, strips,
+  /// nodecart, viem, hilbert, morton, random, plus socket-aware hierarchical
+  /// refinements of the paper's three algorithms.
+  static MapperRegistry with_default_backends();
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<MapperFactory> factories_;
+};
+
+}  // namespace gridmap::engine

@@ -1,0 +1,24 @@
+#include "engine/signature.hpp"
+
+#include "core/types.hpp"
+
+namespace gridmap::engine {
+
+std::string instance_signature(const CartesianGrid& grid, const Stencil& stencil,
+                               const NodeAllocation& alloc, Objective objective) {
+  std::string s = grid.canonical_signature();
+  s += "|";
+  s += stencil.canonical_signature();
+  s += "|";
+  s += alloc.canonical_signature();
+  s += "|o=";
+  s += to_string(objective);
+  return s;
+}
+
+std::uint64_t instance_hash(const CartesianGrid& grid, const Stencil& stencil,
+                            const NodeAllocation& alloc, Objective objective) {
+  return fnv1a_hash(instance_signature(grid, stencil, alloc, objective));
+}
+
+}  // namespace gridmap::engine

@@ -1,0 +1,25 @@
+// Canonical instance signatures: the cache/plan identity of a mapping
+// problem. Two problems with equal signatures are the same instance for the
+// engine — same grid extents and periodicity, same stencil offset set, same
+// node allocation, same selection objective.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/allocation.hpp"
+#include "core/grid.hpp"
+#include "core/stencil.hpp"
+#include "engine/objective.hpp"
+
+namespace gridmap::engine {
+
+/// E.g. "g[6x8;p=00]|s[(-1,0)(0,-1)(0,1)(1,0)]|a[6*8]|o=jmax-then-jsum".
+std::string instance_signature(const CartesianGrid& grid, const Stencil& stencil,
+                               const NodeAllocation& alloc, Objective objective);
+
+/// FNV-1a hash of instance_signature; stable across runs and platforms.
+std::uint64_t instance_hash(const CartesianGrid& grid, const Stencil& stencil,
+                            const NodeAllocation& alloc, Objective objective);
+
+}  // namespace gridmap::engine

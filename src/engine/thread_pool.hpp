@@ -1,0 +1,56 @@
+// A fixed-size worker pool for the portfolio engine. Deliberately minimal:
+// FIFO queue, no work stealing — portfolio races submit a handful of
+// coarse-grained tasks (one mapper run each), so scheduling finesse buys
+// nothing. Shared across map() calls so batch APIs reuse warm threads.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace gridmap::engine {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(int threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// Schedules `task` and returns a future for its result. Exceptions thrown
+  /// by the task surface when the future is awaited.
+  template <class F>
+  std::future<std::invoke_result_t<F>> submit(F task) {
+    using R = std::invoke_result_t<F>;
+    auto packaged = std::make_shared<std::packaged_task<R()>>(std::move(task));
+    std::future<R> result = packaged->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push([packaged] { (*packaged)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gridmap::engine

@@ -163,8 +163,8 @@ std::vector<int> GeneralGraphMapper::map_graph(const CsrGraph& graph,
 
 Remapping GeneralGraphMapper::remap(const CartesianGrid& grid, const Stencil& stencil,
                                     const NodeAllocation& alloc) const {
-  GRIDMAP_CHECK(grid.size() == alloc.total(),
-                "allocation total must equal number of grid positions");
+  GRIDMAP_CHECK(applicable(grid, stencil, alloc),
+                "mapper not applicable to this instance");
   const CsrGraph graph = build_cartesian_graph(grid, stencil);
   const std::vector<int> node_of_cell = map_graph(graph, alloc.sizes());
 

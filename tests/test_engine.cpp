@@ -1,0 +1,359 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/blocked.hpp"
+#include "baselines/nodecart.hpp"
+#include "engine/plan_cache.hpp"
+#include "engine/plan_io.hpp"
+#include "engine/portfolio.hpp"
+#include "engine/registry.hpp"
+#include "engine/signature.hpp"
+
+namespace gridmap::engine {
+namespace {
+
+Stencil nn(int ndims) { return Stencil::nearest_neighbor(ndims); }
+
+std::shared_ptr<const MappingPlan> make_plan(const std::string& signature) {
+  auto plan = std::make_shared<MappingPlan>();
+  plan->signature = signature;
+  plan->mapper = "blocked";
+  plan->cell_of_rank = {0, 1, 2, 3};
+  return plan;
+}
+
+// ------------------------------------------------------------- signatures --
+
+TEST(Signature, GridCanonicalForm) {
+  EXPECT_EQ(CartesianGrid({5, 4}).canonical_signature(), "g[5x4;p=00]");
+  EXPECT_EQ(CartesianGrid({3, 3}, {true, false}).canonical_signature(), "g[3x3;p=10]");
+}
+
+TEST(Signature, StencilCanonicalFormIsOrderIndependent) {
+  const Stencil a = Stencil::from_offsets({{1, 0}, {-1, 0}, {0, 1}});
+  const Stencil b = Stencil::from_offsets({{0, 1}, {1, 0}, {-1, 0}});
+  EXPECT_EQ(a.canonical_signature(), b.canonical_signature());
+  EXPECT_EQ(a.canonical_signature(), "s[(-1,0)(0,1)(1,0)]");
+}
+
+TEST(Signature, AllocationCompressesHomogeneous) {
+  EXPECT_EQ(NodeAllocation::homogeneous(6, 8).canonical_signature(), "a[6*8]");
+  EXPECT_EQ(NodeAllocation({8, 4, 8}).canonical_signature(), "a[8,4,8]");
+}
+
+TEST(Signature, InstanceSignatureIncludesObjective) {
+  const CartesianGrid grid({4, 4});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 4);
+  const std::string jsum = instance_signature(grid, nn(2), alloc, Objective::kJsum);
+  const std::string jmax = instance_signature(grid, nn(2), alloc, Objective::kJmax);
+  EXPECT_NE(jsum, jmax);
+  EXPECT_NE(instance_hash(grid, nn(2), alloc, Objective::kJsum),
+            instance_hash(grid, nn(2), alloc, Objective::kJmax));
+}
+
+// --------------------------------------------------------------- registry --
+
+TEST(Registry, DefaultBackendsHasAtLeastEight) {
+  const MapperRegistry r = MapperRegistry::with_default_backends();
+  EXPECT_GE(r.size(), 8u);
+  for (const std::string& name : r.names()) {
+    ASSERT_TRUE(r.contains(name));
+    EXPECT_NE(r.create(name), nullptr);
+  }
+}
+
+TEST(Registry, RejectsDuplicateEmptyAndNull) {
+  MapperRegistry r;
+  r.add("blocked", [] { return std::make_unique<BlockedMapper>(); });
+  EXPECT_THROW(r.add("blocked", [] { return std::make_unique<BlockedMapper>(); }),
+               std::invalid_argument);
+  EXPECT_THROW(r.add("", [] { return std::make_unique<BlockedMapper>(); }),
+               std::invalid_argument);
+  EXPECT_THROW(r.add("null", nullptr), std::invalid_argument);
+}
+
+TEST(Registry, UnknownNameThrows) {
+  const MapperRegistry r = MapperRegistry::with_default_backends();
+  EXPECT_FALSE(r.contains("no-such-backend"));
+  EXPECT_THROW(r.create("no-such-backend"), std::invalid_argument);
+}
+
+TEST(Registry, PreservesRegistrationOrder) {
+  MapperRegistry r;
+  r.add("z", [] { return std::make_unique<BlockedMapper>(); });
+  r.add("a", [] { return std::make_unique<BlockedMapper>(); });
+  EXPECT_EQ(r.names(), (std::vector<std::string>{"z", "a"}));
+}
+
+// -------------------------------------------------------------- objective --
+
+TEST(Objective, RoundTripsThroughStrings) {
+  for (const Objective o :
+       {Objective::kJsum, Objective::kJmax, Objective::kLexJmaxJsum}) {
+    EXPECT_EQ(objective_from_string(to_string(o)), o);
+  }
+  EXPECT_EQ(objective_from_string("lex"), Objective::kLexJmaxJsum);
+  EXPECT_THROW(objective_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(Objective, LexComparesJmaxThenJsum) {
+  MappingCost a, b;
+  a.jmax = 4, a.jsum = 100;
+  b.jmax = 5, b.jsum = 1;
+  EXPECT_TRUE(better(Objective::kLexJmaxJsum, a, b));
+  EXPECT_TRUE(better(Objective::kJsum, b, a));
+  b.jmax = 4, b.jsum = 100;
+  EXPECT_FALSE(better(Objective::kLexJmaxJsum, a, b));
+  EXPECT_FALSE(better(Objective::kLexJmaxJsum, b, a));
+}
+
+// ------------------------------------------------------------- plan cache --
+
+TEST(PlanCache, CountsHitsAndMisses) {
+  PlanCache cache(4);
+  EXPECT_EQ(cache.get("k1"), nullptr);
+  cache.put("k1", make_plan("k1"));
+  const auto hit = cache.get("k1");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->signature, "k1");
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsed) {
+  PlanCache cache(2);
+  cache.put("a", make_plan("a"));
+  cache.put("b", make_plan("b"));
+  ASSERT_NE(cache.get("a"), nullptr);  // refresh "a"; "b" is now LRU
+  cache.put("c", make_plan("c"));      // evicts "b"
+  EXPECT_EQ(cache.get("b"), nullptr);
+  EXPECT_NE(cache.get("a"), nullptr);
+  EXPECT_NE(cache.get("c"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCache, ZeroCapacityDisablesCaching) {
+  PlanCache cache(0);
+  cache.put("a", make_plan("a"));
+  EXPECT_EQ(cache.get("a"), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanCache, EvictedPlanStaysValidForHolders) {
+  PlanCache cache(1);
+  cache.put("a", make_plan("a"));
+  const auto held = cache.get("a");
+  cache.put("b", make_plan("b"));  // evicts "a"
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->signature, "a");
+}
+
+// ---------------------------------------------------------- serialization --
+
+TEST(PlanIo, SerializeParseRoundTripsBitIdentically) {
+  MappingPlan plan;
+  plan.signature = "g[4x4;p=00]|s[(0,1)]|a[4*4]|o=jmax-then-jsum";
+  plan.mapper = "hyperplane";
+  plan.objective = Objective::kLexJmaxJsum;
+  plan.jsum = 42;
+  plan.jmax = 7;
+  plan.cell_of_rank = {3, 1, 0, 2};
+  const std::string text = serialize_plan(plan);
+  const MappingPlan parsed = parse_plan(text);
+  EXPECT_EQ(parsed, plan);
+  EXPECT_EQ(serialize_plan(parsed), text);
+}
+
+TEST(PlanIo, SaveLoadRoundTripsThroughFile) {
+  MappingPlan plan;
+  plan.signature = "sig";
+  plan.mapper = "kdtree";
+  plan.objective = Objective::kJsum;
+  plan.jsum = 10;
+  plan.jmax = 3;
+  plan.cell_of_rank = {1, 0};
+  const std::string path = ::testing::TempDir() + "gridmap_plan_test.txt";
+  save_plan(path, plan);
+  EXPECT_EQ(load_plan(path), plan);
+  std::remove(path.c_str());
+}
+
+TEST(PlanIo, RejectsMalformedInput) {
+  EXPECT_THROW(parse_plan("not a plan"), std::invalid_argument);
+  MappingPlan plan;
+  plan.signature = "sig";
+  plan.mapper = "blocked";
+  plan.cell_of_rank = {0, 1};
+  std::string text = serialize_plan(plan);
+  EXPECT_THROW(parse_plan(text + "junk\n"), std::invalid_argument);
+  EXPECT_THROW(parse_plan(text + "\njunk\n"), std::invalid_argument);  // after blank line
+  EXPECT_NO_THROW(parse_plan(text + "\n\n"));  // trailing blank lines are fine
+  const std::size_t pos = text.find("ranks 2");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 7, "ranks 3");
+  EXPECT_THROW(parse_plan(text), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- portfolio --
+
+EngineOptions sequential_options(Objective objective = Objective::kLexJmaxJsum) {
+  EngineOptions o;
+  o.objective = objective;
+  o.threads = 1;
+  return o;
+}
+
+EngineOptions parallel_options(Objective objective = Objective::kLexJmaxJsum) {
+  EngineOptions o;
+  o.objective = objective;
+  o.threads = 4;
+  return o;
+}
+
+/// Five instance shapes, homogeneous and heterogeneous (ISSUE acceptance).
+std::vector<Instance> test_instances() {
+  std::vector<Instance> instances;
+  const auto add = [&instances](Dims dims, Stencil stencil, NodeAllocation alloc) {
+    instances.push_back({CartesianGrid(std::move(dims)), std::move(stencil), std::move(alloc)});
+  };
+  add({6, 8}, nn(2), NodeAllocation::homogeneous(6, 8));
+  add({4, 4, 4}, nn(3), NodeAllocation::homogeneous(8, 8));
+  add({12, 4}, Stencil::nearest_neighbor_with_hops(2), NodeAllocation::homogeneous(4, 12));
+  add({6, 6}, nn(2), NodeAllocation({12, 8, 8, 8}));          // heterogeneous
+  add({5, 7}, Stencil::component(2), NodeAllocation({7, 7, 7, 7, 7}));  // prime sizes
+  return instances;
+}
+
+TEST(Portfolio, ParallelSelectsSameWinnerAsSequentialReference) {
+  for (const Instance& inst : test_instances()) {
+    PortfolioEngine sequential(MapperRegistry::with_default_backends(), sequential_options());
+    PortfolioEngine parallel(MapperRegistry::with_default_backends(), parallel_options());
+
+    // Sequential reference loop over evaluate_all results.
+    const auto seq_results = sequential.evaluate_all(inst.grid, inst.stencil, inst.alloc);
+    const int seq_winner = PortfolioEngine::select_winner(Objective::kLexJmaxJsum, seq_results);
+    ASSERT_GE(seq_winner, 0);
+
+    const auto seq_plan = sequential.map(inst.grid, inst.stencil, inst.alloc);
+    const auto par_plan = parallel.map(inst.grid, inst.stencil, inst.alloc);
+    EXPECT_EQ(seq_plan->mapper, seq_results[static_cast<std::size_t>(seq_winner)].name);
+    EXPECT_EQ(par_plan->mapper, seq_plan->mapper);
+    EXPECT_EQ(par_plan->jsum, seq_plan->jsum);
+    EXPECT_EQ(par_plan->jmax, seq_plan->jmax);
+    EXPECT_EQ(par_plan->cell_of_rank, seq_plan->cell_of_rank);
+  }
+}
+
+TEST(Portfolio, RepeatedMapIsServedFromCacheWithoutMapperRuns) {
+  PortfolioEngine engine(MapperRegistry::with_default_backends(), parallel_options());
+  const CartesianGrid grid({6, 8});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(6, 8);
+
+  const auto first = engine.map(grid, nn(2), alloc);
+  const std::uint64_t runs_after_first = engine.mapper_runs();
+  EXPECT_GT(runs_after_first, 0u);
+  EXPECT_EQ(engine.cache_stats().hits, 0u);
+
+  const auto second = engine.map(grid, nn(2), alloc);
+  EXPECT_EQ(engine.mapper_runs(), runs_after_first);  // no mapper re-ran
+  EXPECT_EQ(engine.cache_stats().hits, 1u);
+  EXPECT_EQ(second.get(), first.get());  // the identical cached object
+}
+
+TEST(Portfolio, ObjectiveTieBreakIsFirstRegisteredBackend) {
+  // Two backends producing the identical (blocked) mapping: the tie must go
+  // to the first registered one, deterministically.
+  MapperRegistry registry;
+  registry.add("blocked-1", [] { return std::make_unique<BlockedMapper>(); });
+  registry.add("blocked-2", [] { return std::make_unique<BlockedMapper>(); });
+  for (int threads : {1, 4}) {
+    EngineOptions options;
+    options.threads = threads;
+    PortfolioEngine engine(registry, options);
+    const CartesianGrid grid({4, 4});
+    const auto plan = engine.map(grid, nn(2), NodeAllocation::homogeneous(4, 4));
+    EXPECT_EQ(plan->mapper, "blocked-1") << "threads=" << threads;
+  }
+}
+
+TEST(Portfolio, SkipsInapplicableBackendsInsteadOfCrashing) {
+  // Heterogeneous odd-size allocation: Nodecart needs a homogeneous
+  // allocation and the socket-aware backends need even node sizes. The
+  // engine must skip them (not crash) and still pick a winner.
+  PortfolioEngine engine(MapperRegistry::with_default_backends(), parallel_options());
+  const CartesianGrid grid({6, 4});
+  const NodeAllocation alloc({9, 5, 5, 5});
+
+  const auto results = engine.evaluate_all(grid, nn(2), alloc);
+  const auto by_name = [&results](std::string_view name) -> const BackendResult& {
+    const auto it = std::find_if(results.begin(), results.end(),
+                                 [name](const BackendResult& r) { return r.name == name; });
+    EXPECT_NE(it, results.end());
+    return *it;
+  };
+  EXPECT_FALSE(by_name("nodecart").applicable);
+  EXPECT_FALSE(by_name("hyperplane+sockets").applicable);
+  EXPECT_TRUE(by_name("hyperplane").applicable);
+  for (const BackendResult& r : results) EXPECT_FALSE(r.failed) << r.name << ": " << r.error;
+
+  const auto plan = engine.map(grid, nn(2), alloc);  // must not throw
+  EXPECT_NE(plan->mapper, "nodecart");
+}
+
+TEST(Portfolio, MapAllBatchesAndDeduplicatesViaCache) {
+  PortfolioEngine engine(MapperRegistry::with_default_backends(), parallel_options());
+  std::vector<Instance> instances = test_instances();
+  instances.push_back(instances.front());  // duplicate instance
+  const auto plans = engine.map_all(instances);
+  ASSERT_EQ(plans.size(), instances.size());
+  EXPECT_EQ(plans.front().get(), plans.back().get());  // same cached plan object
+  EXPECT_EQ(engine.cache_stats().hits, 1u);
+  EXPECT_EQ(engine.cache_stats().misses, instances.size() - 1);
+}
+
+TEST(Portfolio, WinnerPlanRoundTripsAndRebuildsRemapping) {
+  PortfolioEngine engine(MapperRegistry::with_default_backends(), sequential_options());
+  const CartesianGrid grid({6, 8});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(6, 8);
+  const auto plan = engine.map(grid, nn(2), alloc);
+
+  const std::string text = serialize_plan(*plan);
+  const MappingPlan loaded = parse_plan(text);
+  EXPECT_EQ(loaded, *plan);
+  EXPECT_EQ(serialize_plan(loaded), text);
+
+  const Remapping remapping = loaded.to_remapping(grid);
+  const MappingCost cost = evaluate_mapping(grid, nn(2), remapping, alloc);
+  EXPECT_EQ(cost.jsum, plan->jsum);
+  EXPECT_EQ(cost.jmax, plan->jmax);
+}
+
+TEST(Portfolio, WinnerNeverWorseThanBlockedBaseline) {
+  for (const Instance& inst : test_instances()) {
+    PortfolioEngine engine(MapperRegistry::with_default_backends(), parallel_options());
+    const auto plan = engine.map(inst.grid, inst.stencil, inst.alloc);
+    const MappingCost blocked = evaluate_mapping(
+        inst.grid, inst.stencil, Remapping::identity(inst.grid), inst.alloc);
+    EXPECT_LE(plan->jmax, blocked.jmax);
+  }
+}
+
+TEST(Portfolio, ThrowsWhenNoBackendApplicable) {
+  MapperRegistry registry;
+  registry.add("nodecart", [] { return std::make_unique<NodecartMapper>(); });
+  PortfolioEngine engine(std::move(registry), sequential_options());
+  const CartesianGrid grid({4, 4});
+  EXPECT_THROW(engine.map(grid, nn(2), NodeAllocation({9, 7})),  // heterogeneous
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridmap::engine
