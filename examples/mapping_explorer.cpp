@@ -6,9 +6,11 @@
 // it round-trips.
 //
 // Usage:
-//   ./mapping_explorer [nodes] [ppn] [stencil] [ndims] [objective] [planfile]
+//   ./mapping_explorer [nodes] [ppn] [stencil] [ndims] [objective] [planfile] [budget_ms]
 //   ./mapping_explorer 6 8 hops 2 jmax
+//   ./mapping_explorer 32 48 nn 2 lex "" 5     # 5 ms per-backend budget
 // Stencils: nn | hops | component. Objectives: jsum | jmax | lex.
+// budget_ms > 0 bounds each backend's remap; slow backends show "timed out".
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
@@ -55,6 +57,7 @@ int main(int argc, char** argv) try {
   const int ndims = argc > 4 ? std::atoi(argv[4]) : 2;
   const std::string objective_name = argc > 5 ? argv[5] : "lex";
   const std::string plan_file = argc > 6 ? argv[6] : "";
+  const double budget_ms = argc > 7 ? std::atof(argv[7]) : 0.0;
 
   const NodeAllocation alloc = NodeAllocation::homogeneous(nodes, ppn);
   const CartesianGrid grid(dims_create(alloc.total(), ndims));
@@ -62,6 +65,10 @@ int main(int argc, char** argv) try {
 
   EngineOptions options;
   options.objective = objective_from_string(objective_name);
+  if (budget_ms > 0.0) {
+    options.backend_budget = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::duration<double, std::milli>(budget_ms));
+  }
   PortfolioEngine engine(MapperRegistry::with_default_backends(), options);
 
   std::cout << "Instance: grid";
@@ -74,7 +81,7 @@ int main(int argc, char** argv) try {
   const auto results = engine.evaluate_all(grid, stencil, alloc);
   const int winner = PortfolioEngine::select_winner(engine.objective(), results);
 
-  Table table({"Backend", "Jsum", "Jmax", "time", "note"});
+  Table table({"Backend", "Jsum", "Jmax", "remap", "eval", "note"});
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BackendResult& r = results[i];
     std::string note;
@@ -82,18 +89,24 @@ int main(int argc, char** argv) try {
       note = r.failed ? "error: " + r.error : "not applicable";
     } else if (r.failed) {
       note = "error: " + r.error;
+    } else if (r.timed_out) {
+      note = "timed out";
+    } else if (r.cancelled) {
+      note = "cancelled (could not win)";
     } else if (static_cast<int>(i) == winner) {
       note = "<- winner";
     }
-    const bool usable = r.applicable && !r.failed;
-    table.add_row({r.name, usable ? std::to_string(r.cost.jsum) : "-",
-                   usable ? std::to_string(r.cost.jmax) : "-",
-                   usable ? format_seconds(r.seconds) : "-", note});
+    const bool ran = r.applicable && !r.failed;  // timed-out runs still show remap time
+    table.add_row({r.name, r.usable() ? std::to_string(r.cost.jsum) : "-",
+                   r.usable() ? std::to_string(r.cost.jmax) : "-",
+                   ran ? format_seconds(r.remap_seconds) : "-",
+                   r.usable() ? format_seconds(r.eval_seconds) : "-", note});
   }
   table.print(std::cout);
 
   if (winner < 0) {
-    std::cout << "\nNo backend is applicable to this instance.\n";
+    std::cout << "\nNo backend produced a usable result for this instance"
+              << (budget_ms > 0.0 ? " (try a larger budget)" : "") << ".\n";
     return 1;
   }
 

@@ -3,15 +3,17 @@
 namespace gridmap {
 
 Coord BlockedMapper::new_coordinate(const CartesianGrid& grid, const Stencil& /*stencil*/,
-                                    const NodeAllocation& alloc, Rank rank) const {
+                                    const NodeAllocation& alloc, Rank rank,
+                                    ExecContext& /*ctx*/) const {
   GRIDMAP_CHECK(rank >= 0 && rank < alloc.total(), "rank out of range");
   return grid.coord_of(static_cast<Cell>(rank));
 }
 
 Remapping BlockedMapper::remap(const CartesianGrid& grid, const Stencil& stencil,
-                               const NodeAllocation& alloc) const {
+                               const NodeAllocation& alloc, ExecContext& ctx) const {
   GRIDMAP_CHECK(applicable(grid, stencil, alloc),
                 "mapper not applicable to this instance");
+  ctx.checkpoint();
   return Remapping::identity(grid);
 }
 

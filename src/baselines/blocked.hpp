@@ -9,13 +9,17 @@ namespace gridmap {
 
 class BlockedMapper final : public DistributedMapper {
  public:
+  using DistributedMapper::new_coordinate;
+  using DistributedMapper::remap;
+
   std::string_view name() const noexcept override { return "Blocked"; }
 
   Coord new_coordinate(const CartesianGrid& grid, const Stencil& stencil,
-                       const NodeAllocation& alloc, Rank rank) const override;
+                       const NodeAllocation& alloc, Rank rank,
+                       ExecContext& ctx) const override;
 
   Remapping remap(const CartesianGrid& grid, const Stencil& stencil,
-                  const NodeAllocation& alloc) const override;
+                  const NodeAllocation& alloc, ExecContext& ctx) const override;
 };
 
 }  // namespace gridmap

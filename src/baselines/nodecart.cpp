@@ -11,7 +11,8 @@ namespace {
 // Enumerates factorizations n = prod c_i with c_i | dims[i] by DFS, keeping
 // the block with the smallest boundary surface.
 void search_block(const Dims& dims, std::size_t pos, std::int64_t remaining,
-                  Dims& current, double& best_surface, Dims& best) {
+                  Dims& current, double& best_surface, Dims& best, ExecContext& ctx) {
+  ctx.checkpoint();
   if (pos == dims.size()) {
     if (remaining != 1) return;
     double surface = 0.0;
@@ -27,18 +28,19 @@ void search_block(const Dims& dims, std::size_t pos, std::int64_t remaining,
   for (const std::int64_t c : divisors(remaining)) {
     if (dims[pos] % c != 0) continue;
     current[pos] = static_cast<int>(c);
-    search_block(dims, pos + 1, remaining / c, current, best_surface, best);
+    search_block(dims, pos + 1, remaining / c, current, best_surface, best, ctx);
   }
   current[pos] = 1;
 }
 
 }  // namespace
 
-std::optional<Dims> NodecartMapper::within_node_block(const Dims& dims, int n) const {
+std::optional<Dims> NodecartMapper::within_node_block(const Dims& dims, int n,
+                                                      ExecContext& ctx) const {
   Dims current(dims.size(), 1);
   Dims best;
   double best_surface = std::numeric_limits<double>::infinity();
-  search_block(dims, 0, n, current, best_surface, best);
+  search_block(dims, 0, n, current, best_surface, best, ctx);
   if (best.empty()) return std::nullopt;
   return best;
 }
@@ -51,12 +53,13 @@ bool NodecartMapper::applicable(const CartesianGrid& grid, const Stencil& stenci
 }
 
 Coord NodecartMapper::new_coordinate(const CartesianGrid& grid, const Stencil& stencil,
-                                     const NodeAllocation& alloc, Rank rank) const {
+                                     const NodeAllocation& alloc, Rank rank,
+                                     ExecContext& ctx) const {
   GRIDMAP_CHECK(rank >= 0 && rank < alloc.total(), "rank out of range");
   GRIDMAP_CHECK(applicable(grid, stencil, alloc),
                 "Nodecart requires a homogeneous allocation and a factorizable node size");
   const int n = alloc.uniform_size();
-  const Dims block = *within_node_block(grid.dims(), n);
+  const Dims block = *within_node_block(grid.dims(), n, ctx);
 
   // Node grid: q_i = d_i / c_i. Rank r lives on node r / n (blocked
   // allocation); its node coordinate is the row-major position in the node

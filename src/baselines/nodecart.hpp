@@ -12,19 +12,24 @@ namespace gridmap {
 
 class NodecartMapper final : public DistributedMapper {
  public:
+  using DistributedMapper::new_coordinate;
+  using DistributedMapper::remap;
+
   std::string_view name() const noexcept override { return "Nodecart"; }
 
   bool applicable(const CartesianGrid& grid, const Stencil& stencil,
                   const NodeAllocation& alloc) const override;
 
   Coord new_coordinate(const CartesianGrid& grid, const Stencil& stencil,
-                       const NodeAllocation& alloc, Rank rank) const override;
+                       const NodeAllocation& alloc, Rank rank,
+                       ExecContext& ctx) const override;
 
   /// The within-node block c with c_i | d_i and prod c_i = n that minimizes
   /// the directed boundary surface 2 * sum_j prod_{i != j} c_i (Gropp's
   /// nearest-neighbor surface criterion). nullopt when no factorization
   /// exists. Exposed for tests.
-  std::optional<Dims> within_node_block(const Dims& dims, int n) const;
+  std::optional<Dims> within_node_block(const Dims& dims, int n,
+                                        ExecContext& ctx = ExecContext::none()) const;
 };
 
 }  // namespace gridmap

@@ -7,13 +7,17 @@
 namespace gridmap {
 
 Remapping RandomMapper::remap(const CartesianGrid& grid, const Stencil& stencil,
-                              const NodeAllocation& alloc) const {
+                              const NodeAllocation& alloc, ExecContext& ctx) const {
   GRIDMAP_CHECK(applicable(grid, stencil, alloc),
                 "mapper not applicable to this instance");
+  ctx.checkpoint();
   std::vector<Cell> cells(static_cast<std::size_t>(grid.size()));
   std::iota(cells.begin(), cells.end(), Cell{0});
+  // std::shuffle stays (its permutation is pinned by tests); the checkpoint
+  // after it covers the O(p) pass for huge grids.
   std::mt19937_64 rng(seed_);
   std::shuffle(cells.begin(), cells.end(), rng);
+  ctx.checkpoint();
   return Remapping::from_cells(grid, std::move(cells));
 }
 

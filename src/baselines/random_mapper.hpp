@@ -10,12 +10,14 @@ namespace gridmap {
 
 class RandomMapper final : public Mapper {
  public:
+  using Mapper::remap;
+
   explicit RandomMapper(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : seed_(seed) {}
 
   std::string_view name() const noexcept override { return "Random"; }
 
   Remapping remap(const CartesianGrid& grid, const Stencil& stencil,
-                  const NodeAllocation& alloc) const override;
+                  const NodeAllocation& alloc, ExecContext& ctx) const override;
 
  private:
   std::uint64_t seed_;

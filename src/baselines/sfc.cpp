@@ -48,7 +48,7 @@ bool SfcMapper::applicable(const CartesianGrid& grid, const Stencil& stencil,
 }
 
 Remapping SfcMapper::remap(const CartesianGrid& grid, const Stencil& stencil,
-                           const NodeAllocation& alloc) const {
+                           const NodeAllocation& alloc, ExecContext& ctx) const {
   GRIDMAP_CHECK(applicable(grid, stencil, alloc),
                 "Hilbert curve mapping requires a 2-d grid");
   const std::int64_t p = grid.size();
@@ -63,6 +63,7 @@ Remapping SfcMapper::remap(const CartesianGrid& grid, const Stencil& stencil,
   std::vector<std::pair<std::uint64_t, Cell>> keyed;
   keyed.reserve(static_cast<std::size_t>(p));
   for (Cell c = 0; c < p; ++c) {
+    ctx.checkpoint();
     const Coord coord = grid.coord_of(c);
     const std::uint64_t key = curve_ == SfcCurve::kHilbert
                                   ? hilbert_index(order, coord[0], coord[1])
@@ -70,6 +71,7 @@ Remapping SfcMapper::remap(const CartesianGrid& grid, const Stencil& stencil,
     keyed.push_back({key, c});
   }
   std::sort(keyed.begin(), keyed.end());
+  ctx.checkpoint();
 
   std::vector<Cell> cell_of_rank(static_cast<std::size_t>(p));
   for (std::size_t r = 0; r < keyed.size(); ++r) {

@@ -14,6 +14,8 @@ enum class SfcCurve { kHilbert, kMorton };
 
 class SfcMapper final : public Mapper {
  public:
+  using Mapper::remap;
+
   explicit SfcMapper(SfcCurve curve = SfcCurve::kHilbert) : curve_(curve) {}
 
   std::string_view name() const noexcept override {
@@ -25,7 +27,7 @@ class SfcMapper final : public Mapper {
                   const NodeAllocation& alloc) const override;
 
   Remapping remap(const CartesianGrid& grid, const Stencil& stencil,
-                  const NodeAllocation& alloc) const override;
+                  const NodeAllocation& alloc, ExecContext& ctx) const override;
 
   /// Curve index of a coordinate within the 2^order x 2^order bounding
   /// square (Hilbert) or the bounding power-of-two box (Morton). Exposed for

@@ -9,23 +9,30 @@ namespace {
 
 struct SearchState {
   const CartesianGrid* grid = nullptr;
+  ExecContext* ctx = nullptr;
   std::vector<std::vector<Cell>> neighbors;  // directed adjacency per cell
   std::vector<NodeId> assignment;
   std::vector<int> remaining;  // capacity left per node
   std::int64_t current_cut = 0;
   std::int64_t best_cut = std::numeric_limits<std::int64_t>::max();
   std::vector<NodeId> best_assignment;
+  bool done = false;  // incumbent reached ctx's stop score; unwind
 };
 
 // Assign cells in linear order; when assigning cell c, every edge between c
 // and an already-assigned cell is decided, so current_cut is exact over the
 // assigned prefix and a valid lower bound overall (branch and bound).
 void search(SearchState& st, Cell cell) {
+  st.ctx->checkpoint();
+  if (st.done) return;
   const std::int64_t p = st.grid->size();
   if (st.current_cut >= st.best_cut) return;
   if (cell == p) {
     st.best_cut = st.current_cut;
     st.best_assignment = st.assignment;
+    if (st.ctx->stop_score().has_value() && st.best_cut <= *st.ctx->stop_score()) {
+      st.done = true;
+    }
     return;
   }
   // Symmetry breaking: among nodes with identical remaining capacity that
@@ -66,13 +73,15 @@ void search(SearchState& st, Cell cell) {
     st.current_cut -= delta + delta_rev;
     ++st.remaining[static_cast<std::size_t>(node)];
     st.assignment[static_cast<std::size_t>(cell)] = -1;
+    if (st.done) return;
   }
 }
 
 }  // namespace
 
 BruteForceResult brute_force_optimal(const CartesianGrid& grid, const Stencil& stencil,
-                                     const NodeAllocation& alloc, int max_cells) {
+                                     const NodeAllocation& alloc, int max_cells,
+                                     ExecContext& ctx) {
   GRIDMAP_CHECK(grid.size() == alloc.total(),
                 "allocation total must equal number of grid positions");
   GRIDMAP_CHECK(grid.size() <= max_cells,
@@ -80,6 +89,7 @@ BruteForceResult brute_force_optimal(const CartesianGrid& grid, const Stencil& s
 
   SearchState st;
   st.grid = &grid;
+  st.ctx = &ctx;
   st.neighbors.resize(static_cast<std::size_t>(grid.size()));
   for (Cell c = 0; c < grid.size(); ++c) {
     st.neighbors[static_cast<std::size_t>(c)] = grid.neighbors(c, stencil);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/allocation.hpp"
+#include "core/exec_context.hpp"
 #include "core/grid.hpp"
 #include "core/metrics.hpp"
 #include "core/stencil.hpp"
@@ -18,8 +19,12 @@ struct BruteForceResult {
 };
 
 /// Exhaustive branch-and-bound over cell->node assignments. Only feasible
-/// for very small grids (p <= ~16); throws beyond `max_cells`.
+/// for very small grids (p <= ~16); throws beyond `max_cells`. The search
+/// checkpoints `ctx` at every tree node (CancelledError on budget/cancel)
+/// and, when ctx.stop_score() is set, returns the incumbent as soon as its
+/// Jsum cut reaches that known-optimal bound instead of exhausting the tree.
 BruteForceResult brute_force_optimal(const CartesianGrid& grid, const Stencil& stencil,
-                                     const NodeAllocation& alloc, int max_cells = 16);
+                                     const NodeAllocation& alloc, int max_cells = 16,
+                                     ExecContext& ctx = ExecContext::none());
 
 }  // namespace gridmap

@@ -1,0 +1,22 @@
+#include "core/exec_context.hpp"
+
+namespace gridmap {
+
+ExecContext& ExecContext::none() noexcept {
+  // Unlimited, so checkpoint() short-circuits before touching polls_ —
+  // sharing the instance across threads is race-free (set_stop_score
+  // refuses to mutate it).
+  static ExecContext instance;
+  return instance;
+}
+
+void ExecContext::set_stop_score(std::int64_t score) {
+  if (this == &none()) {
+    throw std::logic_error(
+        "cannot set a stop score on the shared unlimited ExecContext; "
+        "construct a dedicated context instead");
+  }
+  stop_score_ = score;
+}
+
+}  // namespace gridmap

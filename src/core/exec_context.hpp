@@ -1,0 +1,127 @@
+// ExecContext: the execution limits of one mapper run — an optional
+// wall-clock deadline, a cooperative cancellation token, and an optional
+// early-exit score bound. Every Mapper::remap receives an ExecContext& and
+// polls it in its hot loops via checkpoint(), so a portfolio race can budget
+// each backend and cancel provably-losing runs without preemption.
+//
+// Thread model: one ExecContext instance belongs to one run on one thread
+// (checkpoint() keeps a plain poll counter). The *token* it watches is an
+// atomic owned by a CancelSource and may be flipped from any thread — that
+// is the only cross-thread channel. ExecContext::none() is a shared
+// unlimited context; it short-circuits before touching any mutable state,
+// so sharing it across threads is safe.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+
+namespace gridmap {
+
+/// Thrown by ExecContext::checkpoint() when a run must stop. Carries why,
+/// so the engine can tell a budget overrun from a race cancellation.
+class CancelledError : public std::runtime_error {
+ public:
+  enum class Reason {
+    kDeadline,   ///< the run's wall-clock budget elapsed
+    kCancelled,  ///< the cancellation token was flipped (race lost)
+  };
+
+  explicit CancelledError(Reason reason)
+      : std::runtime_error(reason == Reason::kDeadline ? "mapper deadline exceeded"
+                                                       : "mapper run cancelled"),
+        reason_(reason) {}
+
+  Reason reason() const noexcept { return reason_; }
+
+ private:
+  Reason reason_;
+};
+
+/// Owner side of a cancellation flag. The owner calls cancel(); runs watch
+/// the flag through the token() pointer wired into their ExecContext. Must
+/// outlive every ExecContext holding its token.
+class CancelSource {
+ public:
+  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept { return flag_.load(std::memory_order_relaxed); }
+  const std::atomic<bool>* token() const noexcept { return &flag_; }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+class ExecContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unlimited: never cancels.
+  ExecContext() = default;
+
+  /// The shared unlimited context used by the convenience overloads that
+  /// omit an ExecContext. Never mutated, safe to share across threads.
+  static ExecContext& none() noexcept;
+
+  /// Deadline `budget` from now, optionally also watching `token`.
+  static ExecContext with_deadline(Clock::duration budget,
+                                   const std::atomic<bool>* token = nullptr) {
+    ExecContext ctx;
+    ctx.deadline_ = Clock::now() + budget;
+    ctx.token_ = token;
+    return ctx;
+  }
+
+  /// Cancellation-only context; a null token means unlimited.
+  static ExecContext with_token(const std::atomic<bool>* token) {
+    ExecContext ctx;
+    ctx.token_ = token;
+    return ctx;
+  }
+
+  bool limited() const noexcept { return token_ != nullptr || deadline_.has_value(); }
+
+  /// Cooperative cancellation point for hot loops. The first call and every
+  /// kStride-th call thereafter read the token and the clock; the calls in
+  /// between only bump a counter, so checkpointing per iteration is cheap.
+  /// Throws CancelledError when the run must stop.
+  void checkpoint() {
+    if (!limited()) return;
+    if (polls_++ % kStride == 0) check_now();
+  }
+
+  /// Non-throwing unstrided probe (e.g. for deciding whether to start an
+  /// optional refinement phase at all).
+  bool cancelled() const {
+    if (token_ != nullptr && token_->load(std::memory_order_relaxed)) return true;
+    return deadline_.has_value() && Clock::now() >= *deadline_;
+  }
+
+  /// Optional early-exit bound: a search-style mapper holding a solution
+  /// with score <= stop_score() may return it immediately — the caller has
+  /// proven nothing better exists (known-optimal early exit). Throws
+  /// std::logic_error on the shared none() instance: mutating it would
+  /// leak the bound into every default-context run in the process.
+  void set_stop_score(std::int64_t score);
+  const std::optional<std::int64_t>& stop_score() const noexcept { return stop_score_; }
+
+ private:
+  static constexpr std::uint32_t kStride = 64;
+
+  void check_now() const {
+    if (deadline_.has_value() && Clock::now() >= *deadline_) {
+      throw CancelledError(CancelledError::Reason::kDeadline);
+    }
+    if (token_ != nullptr && token_->load(std::memory_order_relaxed)) {
+      throw CancelledError(CancelledError::Reason::kCancelled);
+    }
+  }
+
+  std::optional<Clock::time_point> deadline_;
+  const std::atomic<bool>* token_ = nullptr;
+  std::optional<std::int64_t> stop_score_;
+  std::uint32_t polls_ = 0;
+};
+
+}  // namespace gridmap

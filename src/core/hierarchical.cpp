@@ -43,10 +43,10 @@ bool HierarchicalMapper::applicable(const CartesianGrid& grid, const Stencil& st
 }
 
 Remapping HierarchicalMapper::remap(const CartesianGrid& grid, const Stencil& stencil,
-                                    const NodeAllocation& alloc) const {
+                                    const NodeAllocation& alloc, ExecContext& ctx) const {
   GRIDMAP_CHECK(applicable(grid, stencil, alloc),
                 "hierarchical mapping not applicable to this instance");
-  return inner_->remap(grid, stencil, socket_allocation(alloc, sockets_per_node_));
+  return inner_->remap(grid, stencil, socket_allocation(alloc, sockets_per_node_), ctx);
 }
 
 }  // namespace gridmap

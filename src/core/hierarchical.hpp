@@ -35,6 +35,8 @@ NodeAllocation socket_allocation(const NodeAllocation& alloc, int sockets_per_no
 
 class HierarchicalMapper final : public Mapper {
  public:
+  using Mapper::remap;
+
   HierarchicalMapper(std::unique_ptr<Mapper> inner, int sockets_per_node);
 
   std::string_view name() const noexcept override { return name_; }
@@ -43,7 +45,7 @@ class HierarchicalMapper final : public Mapper {
                   const NodeAllocation& alloc) const override;
 
   Remapping remap(const CartesianGrid& grid, const Stencil& stencil,
-                  const NodeAllocation& alloc) const override;
+                  const NodeAllocation& alloc, ExecContext& ctx) const override;
 
  private:
   std::unique_ptr<Mapper> inner_;

@@ -73,7 +73,8 @@ HyperplaneMapper::Split HyperplaneMapper::find_split(const Dims& dims,
 }
 
 Coord HyperplaneMapper::new_coordinate(const CartesianGrid& grid, const Stencil& stencil,
-                                       const NodeAllocation& alloc, Rank rank) const {
+                                       const NodeAllocation& alloc, Rank rank,
+                                       ExecContext& ctx) const {
   GRIDMAP_CHECK(rank >= 0 && rank < alloc.total(), "rank out of range");
   GRIDMAP_CHECK(grid.size() == alloc.total(),
                 "allocation total must equal number of grid positions");
@@ -93,6 +94,7 @@ Coord HyperplaneMapper::new_coordinate(const CartesianGrid& grid, const Stencil&
   std::vector<int> order;  // scratch, reused across recursion levels
 
   while (true) {
+    ctx.checkpoint();
     if (options_.use_base_case && size <= 2 * static_cast<std::int64_t>(n)) break;
     if (!options_.use_base_case && size <= static_cast<std::int64_t>(n)) break;
     const Split split = find_split_impl(dims, scores, n, order);

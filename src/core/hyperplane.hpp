@@ -24,13 +24,17 @@ class HyperplaneMapper final : public DistributedMapper {
     bool stencil_aware_order = true;
   };
 
+  using DistributedMapper::new_coordinate;
+  using DistributedMapper::remap;
+
   HyperplaneMapper() = default;
   explicit HyperplaneMapper(Options options) : options_(options) {}
 
   std::string_view name() const noexcept override { return "Hyperplane"; }
 
   Coord new_coordinate(const CartesianGrid& grid, const Stencil& stencil,
-                       const NodeAllocation& alloc, Rank rank) const override;
+                       const NodeAllocation& alloc, Rank rank,
+                       ExecContext& ctx) const override;
 
   /// Exposed for testing Theorems V.1/V.2: finds the cut for dimension sizes
   /// D and node size n. Returns {dim, d'} or {-1, -1} when no dimension

@@ -39,7 +39,8 @@ int KdTreeMapper::find_split_index(const Dims& dims,
 }
 
 Coord KdTreeMapper::new_coordinate(const CartesianGrid& grid, const Stencil& stencil,
-                                   const NodeAllocation& alloc, Rank rank) const {
+                                   const NodeAllocation& alloc, Rank rank,
+                                   ExecContext& ctx) const {
   GRIDMAP_CHECK(rank >= 0 && rank < alloc.total(), "rank out of range");
   GRIDMAP_CHECK(grid.size() == alloc.total(),
                 "allocation total must equal number of grid positions");
@@ -53,6 +54,7 @@ Coord KdTreeMapper::new_coordinate(const CartesianGrid& grid, const Stencil& ste
   std::int64_t size = grid.size();
 
   while (size > 1) {
+    ctx.checkpoint();
     const int k = find_split_index(dims, crossing);
     GRIDMAP_CHECK(k >= 0, "no splittable dimension left in non-trivial grid");
     const int dk = dims[static_cast<std::size_t>(k)];

@@ -18,13 +18,17 @@ class KdTreeMapper final : public DistributedMapper {
     bool weighted = true;
   };
 
+  using DistributedMapper::new_coordinate;
+  using DistributedMapper::remap;
+
   KdTreeMapper() = default;
   explicit KdTreeMapper(Options options) : options_(options) {}
 
   std::string_view name() const noexcept override { return "k-d Tree"; }
 
   Coord new_coordinate(const CartesianGrid& grid, const Stencil& stencil,
-                       const NodeAllocation& alloc, Rank rank) const override;
+                       const NodeAllocation& alloc, Rank rank,
+                       ExecContext& ctx) const override;
 
   /// Exposed for tests: index of the dimension Algorithm 2 would split.
   int find_split_index(const Dims& dims, const std::vector<int>& crossing_counts) const;

@@ -8,13 +8,14 @@ bool Mapper::applicable(const CartesianGrid& grid, const Stencil& stencil,
 }
 
 Remapping DistributedMapper::remap(const CartesianGrid& grid, const Stencil& stencil,
-                                   const NodeAllocation& alloc) const {
+                                   const NodeAllocation& alloc, ExecContext& ctx) const {
   GRIDMAP_CHECK(applicable(grid, stencil, alloc),
                 "mapper not applicable to this instance");
   std::vector<Cell> cells(static_cast<std::size_t>(grid.size()));
   for (Rank r = 0; r < static_cast<Rank>(grid.size()); ++r) {
+    ctx.checkpoint();
     cells[static_cast<std::size_t>(r)] =
-        grid.cell_of(new_coordinate(grid, stencil, alloc, r));
+        grid.cell_of(new_coordinate(grid, stencil, alloc, r, ctx));
   }
   return Remapping::from_cells(grid, std::move(cells));
 }

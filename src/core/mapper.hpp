@@ -1,10 +1,17 @@
 // Mapper: common interface of all process-to-node mapping algorithms.
+//
+// Every algorithm is cancellable: the virtual entry points take an
+// ExecContext& and poll it in their hot loops, so callers (notably the
+// portfolio engine) can budget and cancel runs. The overloads without an
+// ExecContext forward the shared unlimited context, so plain call sites
+// stay as simple as before.
 #pragma once
 
 #include <memory>
 #include <string_view>
 
 #include "core/allocation.hpp"
+#include "core/exec_context.hpp"
 #include "core/grid.hpp"
 #include "core/remapping.hpp"
 #include "core/stencil.hpp"
@@ -23,8 +30,17 @@ class Mapper {
   virtual bool applicable(const CartesianGrid& grid, const Stencil& stencil,
                           const NodeAllocation& alloc) const;
 
+  /// Convenience overload: runs without limits.
+  Remapping remap(const CartesianGrid& grid, const Stencil& stencil,
+                  const NodeAllocation& alloc) const {
+    return remap(grid, stencil, alloc, ExecContext::none());
+  }
+
+  /// Cancellable entry point. Implementations call ctx.checkpoint() in their
+  /// hot loops and abort with CancelledError when the deadline passes or the
+  /// token fires; a limited ctx never changes the result of a completed run.
   virtual Remapping remap(const CartesianGrid& grid, const Stencil& stencil,
-                          const NodeAllocation& alloc) const = 0;
+                          const NodeAllocation& alloc, ExecContext& ctx) const = 0;
 };
 
 /// A mapper whose result every rank can compute locally from the input alone
@@ -33,11 +49,22 @@ class Mapper {
 /// so the two must stay consistent — a property the tests pin down.
 class DistributedMapper : public Mapper {
  public:
-  virtual Coord new_coordinate(const CartesianGrid& grid, const Stencil& stencil,
-                               const NodeAllocation& alloc, Rank rank) const = 0;
+  using Mapper::remap;
 
+  /// Convenience overload: runs without limits.
+  Coord new_coordinate(const CartesianGrid& grid, const Stencil& stencil,
+                       const NodeAllocation& alloc, Rank rank) const {
+    return new_coordinate(grid, stencil, alloc, rank, ExecContext::none());
+  }
+
+  virtual Coord new_coordinate(const CartesianGrid& grid, const Stencil& stencil,
+                               const NodeAllocation& alloc, Rank rank,
+                               ExecContext& ctx) const = 0;
+
+  /// Loops new_coordinate over all ranks with a cancellation checkpoint per
+  /// rank.
   Remapping remap(const CartesianGrid& grid, const Stencil& stencil,
-                  const NodeAllocation& alloc) const override;
+                  const NodeAllocation& alloc, ExecContext& ctx) const override;
 };
 
 }  // namespace gridmap

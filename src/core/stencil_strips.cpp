@@ -78,7 +78,9 @@ StripShape strip_shape(int di, int s, int m, int c, bool balanced) {
 }  // namespace
 
 Coord StencilStripsMapper::new_coordinate(const CartesianGrid& grid, const Stencil& stencil,
-                                          const NodeAllocation& alloc, Rank rank) const {
+                                          const NodeAllocation& alloc, Rank rank,
+                                          ExecContext& ctx) const {
+  ctx.checkpoint();
   GRIDMAP_CHECK(rank >= 0 && rank < alloc.total(), "rank out of range");
   GRIDMAP_CHECK(grid.size() == alloc.total(),
                 "allocation total must equal number of grid positions");

@@ -28,13 +28,17 @@ class StencilStripsMapper final : public DistributedMapper {
     bool balanced_widths = true;
   };
 
+  using DistributedMapper::new_coordinate;
+  using DistributedMapper::remap;
+
   StencilStripsMapper() = default;
   explicit StencilStripsMapper(Options options) : options_(options) {}
 
   std::string_view name() const noexcept override { return "Stencil Strips"; }
 
   Coord new_coordinate(const CartesianGrid& grid, const Stencil& stencil,
-                       const NodeAllocation& alloc, Rank rank) const override;
+                       const NodeAllocation& alloc, Rank rank,
+                       ExecContext& ctx) const override;
 
   /// Geometry of the strip tiling; exposed for tests.
   struct Layout {

@@ -43,4 +43,18 @@ bool better(Objective objective, const MappingCost& a, const MappingCost& b) {
   throw_invalid("unknown objective enumerator");
 }
 
+bool unbeatable(Objective objective, const MappingCost& cost,
+                const std::optional<MappingCost>& bound) {
+  if (bound.has_value() && !better(objective, *bound, cost)) return true;
+  switch (objective) {
+    case Objective::kJsum:
+      return cost.jsum <= 0;
+    case Objective::kJmax:
+      return cost.jmax <= 0;
+    case Objective::kLexJmaxJsum:
+      return cost.jmax <= 0 && cost.jsum <= 0;
+  }
+  throw_invalid("unknown objective enumerator");
+}
+
 }  // namespace gridmap::engine

@@ -5,6 +5,7 @@
 // how the paper argues about bottleneck nodes.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -27,5 +28,13 @@ Objective objective_from_string(std::string_view name);
 /// costs: equal scores compare false both ways, which the engine uses to
 /// break ties deterministically by backend registration order.
 bool better(Objective objective, const MappingCost& a, const MappingCost& b);
+
+/// True when no mapping can be strictly `better` than `cost`: it reaches the
+/// absolute floor (score 0 — both metrics are counts), or it is at least as
+/// good as `bound`. The engine uses this to cancel later-registered backends
+/// that are still running; the conclusion is only sound when `bound` really
+/// is an optimal score for the instance, which is the caller's promise.
+bool unbeatable(Objective objective, const MappingCost& cost,
+                const std::optional<MappingCost>& bound = std::nullopt);
 
 }  // namespace gridmap::engine

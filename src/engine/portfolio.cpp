@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <future>
+#include <limits>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "core/types.hpp"
 #include "engine/signature.hpp"
@@ -12,21 +16,72 @@ namespace gridmap::engine {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 int resolve_threads(int requested) {
   if (requested != 0) return std::max(1, requested);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 4 : static_cast<int>(hw);
 }
 
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
 }  // namespace
+
+/// Per-race cancellation state. Every backend gets its own CancelSource so
+/// the race can cancel exactly the backends registered *after* the best
+/// unbeatable result — the only set whose removal provably cannot change
+/// the selected winner.
+struct PortfolioEngine::Race {
+  explicit Race(std::size_t backends) : cancels(backends) {}
+
+  /// Backend `index` finished with an unbeatable cost: remember the smallest
+  /// such index and cancel everything after it. Racing reporters are fine —
+  /// cancel() is idempotent and the sweep always uses the current minimum.
+  void report_unbeatable(int index) {
+    int current = unbeatable_at.load(std::memory_order_relaxed);
+    while (index < current &&
+           !unbeatable_at.compare_exchange_weak(current, index, std::memory_order_relaxed)) {
+    }
+    const int cutoff = unbeatable_at.load(std::memory_order_relaxed);
+    for (std::size_t j = static_cast<std::size_t>(cutoff) + 1; j < cancels.size(); ++j) {
+      cancels[j].cancel();
+    }
+  }
+
+  std::vector<CancelSource> cancels;
+  std::atomic<int> unbeatable_at{std::numeric_limits<int>::max()};
+};
 
 PortfolioEngine::PortfolioEngine(MapperRegistry registry, EngineOptions options)
     : registry_(std::move(registry)),
-      options_(options),
-      cache_(options.cache_capacity) {
+      options_(std::move(options)),
+      cache_(options_.cache_capacity) {
   GRIDMAP_CHECK(registry_.size() > 0, "portfolio engine needs at least one backend");
   const int threads = resolve_threads(options_.threads);
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  if (!options_.cache_file.empty() && options_.cache_capacity > 0) {
+    // Warm start is best-effort: a missing or corrupt cache file must not
+    // keep the engine from serving (it just starts cold).
+    try {
+      if (std::ifstream(options_.cache_file).good()) cache_.load(options_.cache_file);
+    } catch (const std::exception&) {
+      cache_.clear();
+    }
+  }
+}
+
+PortfolioEngine::~PortfolioEngine() {
+  // With caching disabled nothing was loaded or produced — never clobber an
+  // existing cache file with an empty one.
+  if (options_.cache_file.empty() || options_.cache_capacity == 0) return;
+  try {
+    cache_.save(options_.cache_file);
+  } catch (const std::exception&) {
+    // Shutdown persistence is best-effort; never throw from a destructor.
+  }
 }
 
 int PortfolioEngine::threads() const noexcept { return pool_ ? pool_->size() : 1; }
@@ -35,21 +90,44 @@ std::uint64_t PortfolioEngine::mapper_runs() const noexcept {
   return mapper_runs_.load(std::memory_order_relaxed);
 }
 
-BackendResult PortfolioEngine::run_backend(const std::string& name, const CartesianGrid& grid,
-                                           const Stencil& stencil,
-                                           const NodeAllocation& alloc) {
+BackendResult PortfolioEngine::run_backend(const std::string& name, std::size_t index,
+                                           const CartesianGrid& grid, const Stencil& stencil,
+                                           const NodeAllocation& alloc, Race* race) {
   BackendResult result;
   result.name = name;
   try {
     const std::unique_ptr<Mapper> mapper = registry_.create(name);
     if (!mapper->applicable(grid, stencil, alloc)) return result;  // skipped
     result.applicable = true;
-    const auto start = std::chrono::steady_clock::now();
+
+    const std::atomic<bool>* token = race ? race->cancels[index].token() : nullptr;
+    ExecContext ctx = options_.backend_budget.count() > 0
+                          ? ExecContext::with_deadline(options_.backend_budget, token)
+                          : ExecContext::with_token(token);
+
     mapper_runs_.fetch_add(1, std::memory_order_relaxed);
-    Remapping remapping = mapper->remap(grid, stencil, alloc);
-    result.cost = evaluate_mapping(grid, stencil, remapping, alloc);
-    result.remapping = std::move(remapping);
-    result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    const auto remap_start = Clock::now();
+    try {
+      Remapping remapping = mapper->remap(grid, stencil, alloc, ctx);
+      result.remap_seconds = seconds_since(remap_start);
+      const auto eval_start = Clock::now();
+      result.cost = evaluate_mapping(grid, stencil, remapping, alloc);
+      result.eval_seconds = seconds_since(eval_start);
+      result.remapping = std::move(remapping);
+    } catch (const CancelledError& e) {
+      result.remap_seconds = seconds_since(remap_start);
+      if (e.reason() == CancelledError::Reason::kDeadline) {
+        result.timed_out = true;
+      } else {
+        result.cancelled = true;
+      }
+      return result;
+    }
+
+    if (race != nullptr && options_.cancel_losers &&
+        unbeatable(options_.objective, result.cost, options_.optimal_bound)) {
+      race->report_unbeatable(static_cast<int>(index));
+    }
   } catch (const std::exception& e) {
     result.failed = true;
     result.remapping.reset();
@@ -58,23 +136,48 @@ BackendResult PortfolioEngine::run_backend(const std::string& name, const Cartes
   return result;
 }
 
+namespace {
+
+/// Cancels a race and blocks on every still-pending future. Used as a scope
+/// guard wherever futures reference a Race (or caller stack state): if an
+/// exception unwinds the scheduling scope, no worker task may outlive the
+/// objects its lambda captured.
+void drain_race(std::vector<CancelSource>& cancels,
+                std::vector<std::future<BackendResult>>& futures) {
+  bool pending = false;
+  for (const std::future<BackendResult>& f : futures) pending = pending || f.valid();
+  if (!pending) return;
+  for (CancelSource& c : cancels) c.cancel();
+  for (std::future<BackendResult>& f : futures) {
+    if (f.valid()) f.wait();
+  }
+}
+
+}  // namespace
+
 std::vector<BackendResult> PortfolioEngine::evaluate_all(const CartesianGrid& grid,
                                                          const Stencil& stencil,
                                                          const NodeAllocation& alloc) {
   const std::vector<std::string>& names = registry_.names();
+  Race race(names.size());
   std::vector<BackendResult> results;
   results.reserve(names.size());
   if (!pool_) {
-    for (const std::string& name : names) {
-      results.push_back(run_backend(name, grid, stencil, alloc));
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      results.push_back(run_backend(names[i], i, grid, stencil, alloc, &race));
     }
     return results;
   }
   std::vector<std::future<BackendResult>> futures;
   futures.reserve(names.size());
-  for (const std::string& name : names) {
-    futures.push_back(pool_->submit(
-        [this, &name, &grid, &stencil, &alloc] { return run_backend(name, grid, stencil, alloc); }));
+  struct Drain {
+    Race& race;
+    std::vector<std::future<BackendResult>>& futures;
+    ~Drain() { drain_race(race.cancels, futures); }
+  } drain{race, futures};
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    futures.push_back(pool_->submit([this, i, &name = names[i], &grid, &stencil, &alloc,
+                                     &race] { return run_backend(name, i, grid, stencil, alloc, &race); }));
   }
   for (std::future<BackendResult>& f : futures) results.push_back(f.get());
   return results;
@@ -85,7 +188,7 @@ int PortfolioEngine::select_winner(Objective objective,
   int winner = -1;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BackendResult& r = results[i];
-    if (!r.applicable || r.failed || !r.remapping.has_value()) continue;
+    if (!r.usable()) continue;
     if (winner < 0 ||
         better(objective, r.cost, results[static_cast<std::size_t>(winner)].cost)) {
       winner = static_cast<int>(i);
@@ -94,14 +197,8 @@ int PortfolioEngine::select_winner(Objective objective,
   return winner;
 }
 
-std::shared_ptr<const MappingPlan> PortfolioEngine::map(const CartesianGrid& grid,
-                                                        const Stencil& stencil,
-                                                        const NodeAllocation& alloc) {
-  const std::string signature =
-      instance_signature(grid, stencil, alloc, options_.objective);
-  if (std::shared_ptr<const MappingPlan> cached = cache_.get(signature)) return cached;
-
-  const std::vector<BackendResult> results = evaluate_all(grid, stencil, alloc);
+std::shared_ptr<const MappingPlan> PortfolioEngine::build_and_cache_plan(
+    const std::string& signature, const std::vector<BackendResult>& results) {
   const int winner = select_winner(options_.objective, results);
   GRIDMAP_CHECK(winner >= 0, "no applicable backend for instance: " + signature);
 
@@ -117,12 +214,94 @@ std::shared_ptr<const MappingPlan> PortfolioEngine::map(const CartesianGrid& gri
   return plan;
 }
 
+std::shared_ptr<const MappingPlan> PortfolioEngine::map(const CartesianGrid& grid,
+                                                        const Stencil& stencil,
+                                                        const NodeAllocation& alloc) {
+  const std::string signature =
+      instance_signature(grid, stencil, alloc, options_.objective);
+  if (std::shared_ptr<const MappingPlan> cached = cache_.get(signature)) return cached;
+  return build_and_cache_plan(signature, evaluate_all(grid, stencil, alloc));
+}
+
 std::vector<std::shared_ptr<const MappingPlan>> PortfolioEngine::map_all(
     const std::vector<Instance>& instances) {
-  std::vector<std::shared_ptr<const MappingPlan>> plans;
-  plans.reserve(instances.size());
-  for (const Instance& instance : instances) {
-    plans.push_back(map(instance.grid, instance.stencil, instance.alloc));
+  std::vector<std::shared_ptr<const MappingPlan>> plans(instances.size());
+  if (!pool_) {
+    // Sequential reference loop — also the semantics the pipelined path
+    // below must reproduce plan-for-plan.
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      plans[i] = map(instances[i].grid, instances[i].stencil, instances[i].alloc);
+    }
+    return plans;
+  }
+
+  // Pipelined: one cache probe per distinct signature, then every miss fans
+  // its backends out onto the pool immediately — the queue holds instances x
+  // backends at once, so workers stay busy across instance boundaries.
+  struct Scheduled {
+    std::unique_ptr<Race> race;
+    std::vector<std::future<BackendResult>> futures;
+  };
+  const std::vector<std::string>& names = registry_.names();
+  std::vector<std::string> sigs(instances.size());
+  std::vector<bool> deferred(instances.size(), false);  // duplicate of an earlier instance
+  std::unordered_set<std::string> seen;
+  std::unordered_map<std::string, Scheduled> scheduled;
+  // If resolution below throws (e.g. no usable backend for one instance),
+  // the other instances' tasks still hold pointers into `scheduled` and
+  // references into `instances` — cancel and drain them before unwinding.
+  struct Drain {
+    std::unordered_map<std::string, Scheduled>& scheduled;
+    ~Drain() {
+      for (auto& entry : scheduled) {
+        drain_race(entry.second.race->cancels, entry.second.futures);
+      }
+    }
+  } drain{scheduled};
+  // Plan of every first occurrence, so duplicates survive even if the cache
+  // evicts (or is disabled) mid-batch.
+  std::unordered_map<std::string, std::shared_ptr<const MappingPlan>> batch_plans;
+
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const Instance& inst = instances[i];
+    sigs[i] = instance_signature(inst.grid, inst.stencil, inst.alloc, options_.objective);
+    if (!seen.insert(sigs[i]).second) {
+      deferred[i] = true;  // resolved from the cache after its twin finishes
+      continue;
+    }
+    if (std::shared_ptr<const MappingPlan> cached = cache_.get(sigs[i])) {
+      plans[i] = cached;
+      batch_plans.emplace(sigs[i], std::move(cached));
+      continue;
+    }
+    Scheduled s;
+    s.race = std::make_unique<Race>(names.size());
+    s.futures.reserve(names.size());
+    for (std::size_t b = 0; b < names.size(); ++b) {
+      s.futures.push_back(pool_->submit(
+          [this, b, &name = names[b], &inst, race = s.race.get()] {
+            return run_backend(name, b, inst.grid, inst.stencil, inst.alloc, race);
+          }));
+    }
+    scheduled.emplace(sigs[i], std::move(s));
+  }
+
+  // Resolve in request order; duplicates re-probe the cache exactly like the
+  // serial loop would (and fall back to the sibling plan when caching is
+  // disabled or the entry was evicted mid-batch).
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    if (plans[i] != nullptr) continue;
+    if (deferred[i]) {
+      plans[i] = cache_.get(sigs[i]);
+      if (plans[i] == nullptr) plans[i] = batch_plans.at(sigs[i]);
+      continue;
+    }
+    Scheduled& s = scheduled.at(sigs[i]);
+    std::vector<BackendResult> results;
+    results.reserve(s.futures.size());
+    for (std::future<BackendResult>& f : s.futures) results.push_back(f.get());
+    plans[i] = build_and_cache_plan(sigs[i], results);
+    batch_plans.emplace(sigs[i], plans[i]);
   }
   return plans;
 }

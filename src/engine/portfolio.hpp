@@ -4,19 +4,33 @@
 // per-instance "which algorithm wins on Jsum/Jmax?" comparison (Section VI)
 // and caches the answer.
 //
+// Execution limits: every backend runs under an ExecContext wired with the
+// per-backend wall-clock budget (EngineOptions::backend_budget) and a
+// per-race cancellation token. A backend that overruns its budget reports
+// `timed_out`; once a completed result is provably unbeatable (see
+// unbeatable() in objective.hpp) the race cancels every *later-registered*
+// backend still running, which reports `cancelled`.
+//
 // Determinism: backends are scored independently (each mapper here is
 // deterministic for fixed inputs/seeds) and the winner is reduced in
 // registration order with strict-improvement comparison, so the parallel
-// race selects exactly the same winner as a sequential loop.
+// race selects exactly the same winner as a sequential loop. Cancellation
+// preserves this: only backends registered after an unbeatable result are
+// cancelled, and no such backend can strictly beat that result — so the
+// selected winner is identical with and without cancellation. Budgets
+// preserve it conditionally: the budgeted winner equals the unbudgeted
+// winner whenever the unbudgeted winner finishes within the budget.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/exec_context.hpp"
 #include "core/metrics.hpp"
 #include "engine/objective.hpp"
 #include "engine/plan.hpp"
@@ -38,10 +52,20 @@ struct BackendResult {
   std::string name;            ///< registry name
   bool applicable = false;     ///< Mapper::applicable said yes
   bool failed = false;         ///< remap/evaluate threw (error holds what())
+  bool timed_out = false;      ///< remap exceeded EngineOptions::backend_budget
+  bool cancelled = false;      ///< race cancelled the run (it could not win)
   std::string error;
-  MappingCost cost;            ///< valid iff applicable && !failed
+  MappingCost cost;            ///< valid iff usable()
   std::optional<Remapping> remapping;
-  double seconds = 0.0;        ///< wall time of remap + evaluate
+  double remap_seconds = 0.0;  ///< wall time of remap alone — what budgets charge
+  double eval_seconds = 0.0;   ///< wall time of evaluate_mapping (not budgeted)
+
+  double total_seconds() const noexcept { return remap_seconds + eval_seconds; }
+
+  /// Produced a scored mapping this race can select.
+  bool usable() const noexcept {
+    return applicable && !failed && !timed_out && !cancelled && remapping.has_value();
+  }
 };
 
 struct EngineOptions {
@@ -51,23 +75,51 @@ struct EngineOptions {
   int threads = 0;
   /// LRU plan-cache capacity in plans; 0 disables caching.
   std::size_t cache_capacity = 256;
+  /// Per-backend wall-clock budget for `remap` on one instance; zero means
+  /// unlimited. Scoring (evaluate_mapping) is never charged against it.
+  std::chrono::nanoseconds backend_budget{0};
+  /// Cancel still-running backends once a completed result proves they
+  /// cannot win. Never changes the selected winner (see header comment).
+  bool cancel_losers = true;
+  /// Optional known-optimal cost: any result at least as good is treated as
+  /// unbeatable and triggers loser cancellation. Winner determinism is only
+  /// guaranteed when this really is an optimal score for every instance the
+  /// engine sees (a zero-cost floor is always assumed, bound or not).
+  std::optional<MappingCost> optimal_bound;
+  /// When non-empty: warm-start the plan cache from this file at
+  /// construction (ignored if missing or unreadable) and persist the cache
+  /// back to it at destruction (best-effort). Ignored entirely when
+  /// cache_capacity is 0 — a disabled cache never touches the file.
+  std::string cache_file;
 };
 
 class PortfolioEngine {
  public:
   explicit PortfolioEngine(MapperRegistry registry, EngineOptions options = {});
 
+  /// Persists the plan cache to EngineOptions::cache_file, if configured.
+  ~PortfolioEngine();
+
+  PortfolioEngine(const PortfolioEngine&) = delete;
+  PortfolioEngine& operator=(const PortfolioEngine&) = delete;
+
   /// Races all applicable backends (cache-aware) and returns the winning
-  /// plan. Throws when no backend is applicable to the instance.
+  /// plan. Throws when no backend is applicable to the instance (or every
+  /// applicable backend timed out).
   std::shared_ptr<const MappingPlan> map(const CartesianGrid& grid, const Stencil& stencil,
                                          const NodeAllocation& alloc);
 
   /// Batch variant: maps every instance, reusing the pool and the cache.
+  /// With a pool, all instances' backends are scheduled up-front as one
+  /// flat work queue (instances x backends), so backend tasks of different
+  /// instances pipeline across the workers instead of racing one instance
+  /// at a time. Returns bit-identical plans to the serial map() loop.
   std::vector<std::shared_ptr<const MappingPlan>> map_all(const std::vector<Instance>& instances);
 
-  /// Runs every backend (no cache) and reports per-backend outcomes in
-  /// registration order. Inapplicable backends are skipped, throwing
-  /// backends recorded as failed — the race never crashes on a backend.
+  /// Runs every backend (no cache) under the configured budget and reports
+  /// per-backend outcomes in registration order. Inapplicable backends are
+  /// skipped, throwing backends recorded as failed, slow ones as timed_out
+  /// or cancelled — the race never crashes on a backend.
   std::vector<BackendResult> evaluate_all(const CartesianGrid& grid, const Stencil& stencil,
                                           const NodeAllocation& alloc);
 
@@ -83,12 +135,22 @@ class PortfolioEngine {
   CacheStats cache_stats() const { return cache_.stats(); }
   void clear_cache() { cache_.clear(); }
 
-  /// Total individual mapper executions so far (cache hits run none).
+  /// Total individual mapper executions so far (cache hits run none; a
+  /// timed-out or cancelled run still counts — it executed).
   std::uint64_t mapper_runs() const noexcept;
 
  private:
-  BackendResult run_backend(const std::string& name, const CartesianGrid& grid,
-                            const Stencil& stencil, const NodeAllocation& alloc);
+  /// Shared cancellation state of one race (defined in portfolio.cpp): one
+  /// CancelSource per backend plus the smallest unbeatable index seen.
+  struct Race;
+
+  BackendResult run_backend(const std::string& name, std::size_t index,
+                            const CartesianGrid& grid, const Stencil& stencil,
+                            const NodeAllocation& alloc, Race* race);
+
+  /// Selects the winner from `results`, builds the plan, caches it.
+  std::shared_ptr<const MappingPlan> build_and_cache_plan(
+      const std::string& signature, const std::vector<BackendResult>& results);
 
   MapperRegistry registry_;
   EngineOptions options_;

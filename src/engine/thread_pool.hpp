@@ -1,7 +1,9 @@
 // A fixed-size worker pool for the portfolio engine. Deliberately minimal:
-// FIFO queue, no work stealing — portfolio races submit a handful of
-// coarse-grained tasks (one mapper run each), so scheduling finesse buys
-// nothing. Shared across map() calls so batch APIs reuse warm threads.
+// FIFO queue, no work stealing — portfolio races submit coarse-grained
+// tasks (one mapper run each), so scheduling finesse buys nothing. Shared
+// across map() calls so batch APIs reuse warm threads; map_all floods it
+// with instances x backends as one flat queue, which is what keeps every
+// worker busy while a slow backend of an earlier instance still runs.
 #pragma once
 
 #include <condition_variable>
@@ -28,6 +30,13 @@ class ThreadPool {
 
   int size() const noexcept { return static_cast<int>(workers_.size()); }
 
+  /// Tasks submitted but not yet claimed by a worker (diagnostic; the value
+  /// is stale the moment it returns).
+  std::size_t pending() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
   /// Schedules `task` and returns a future for its result. Exceptions thrown
   /// by the task surface when the future is awaited.
   template <class F>
@@ -46,7 +55,7 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
   std::queue<std::function<void()>> queue_;
   bool stopping_ = false;

@@ -38,7 +38,9 @@ void GeneralGraphMapper::recursive_bisect(const CsrGraph& graph,
                                           const std::vector<int>& vertices,
                                           const std::vector<int>& part_sizes,
                                           int part_begin, int part_end, std::uint64_t seed,
-                                          std::vector<int>& part_of_vertex) const {
+                                          std::vector<int>& part_of_vertex,
+                                          ExecContext& ctx) const {
+  ctx.checkpoint();
   const int nparts = part_end - part_begin;
   if (nparts == 1) {
     for (const int v : vertices) part_of_vertex[static_cast<std::size_t>(v)] = part_begin;
@@ -62,7 +64,7 @@ void GeneralGraphMapper::recursive_bisect(const CsrGraph& graph,
   options.fm_passes = options_.fm_passes;
   options.seed = seed;
   options.exact_balance = true;
-  const std::vector<int> side = multilevel_bisection(sub, options);
+  const std::vector<int> side = multilevel_bisection(sub, options, ctx);
 
   std::vector<int> left;
   std::vector<int> right;
@@ -74,13 +76,14 @@ void GeneralGraphMapper::recursive_bisect(const CsrGraph& graph,
     }
   }
   recursive_bisect(graph, left, part_sizes, part_begin, part_mid, seed * 2 + 1,
-                   part_of_vertex);
+                   part_of_vertex, ctx);
   recursive_bisect(graph, right, part_sizes, part_mid, part_end, seed * 2 + 2,
-                   part_of_vertex);
+                   part_of_vertex, ctx);
 }
 
 std::int64_t GeneralGraphMapper::local_search(const CsrGraph& graph,
-                                              std::vector<int>& part) const {
+                                              std::vector<int>& part,
+                                              ExecContext& ctx) const {
   // Randomized pairwise-swap local search over connected vertex pairs (the
   // largest search neighborhood of the paper's VieM configuration). A swap
   // preserves all part sizes, so balance is maintained by construction.
@@ -122,6 +125,7 @@ std::int64_t GeneralGraphMapper::local_search(const CsrGraph& graph,
     std::shuffle(candidate_edges.begin(), candidate_edges.end(), rng);
     std::int64_t sweep_gain = 0;
     for (const auto& [u, v] : candidate_edges) {
+      ctx.checkpoint();
       if (part[static_cast<std::size_t>(u)] == part[static_cast<std::size_t>(v)]) continue;
       const std::int64_t gain = swap_gain(u, v);
       if (gain > 0) {
@@ -136,7 +140,8 @@ std::int64_t GeneralGraphMapper::local_search(const CsrGraph& graph,
 }
 
 std::vector<int> GeneralGraphMapper::map_graph(const CsrGraph& graph,
-                                               const std::vector<int>& part_sizes) const {
+                                               const std::vector<int>& part_sizes,
+                                               ExecContext& ctx) const {
   const std::int64_t total =
       std::accumulate(part_sizes.begin(), part_sizes.end(), std::int64_t{0});
   GRIDMAP_CHECK(total == graph.num_vertices(),
@@ -147,11 +152,12 @@ std::vector<int> GeneralGraphMapper::map_graph(const CsrGraph& graph,
   std::vector<int> best;
   std::int64_t best_cut = -1;
   for (int restart = 0; restart < std::max(1, options_.restarts); ++restart) {
+    ctx.checkpoint();
     std::vector<int> part_of_vertex(static_cast<std::size_t>(graph.num_vertices()), -1);
     recursive_bisect(graph, vertices, part_sizes, 0, static_cast<int>(part_sizes.size()),
                      options_.seed + static_cast<std::uint64_t>(restart) * 7919,
-                     part_of_vertex);
-    local_search(graph, part_of_vertex);
+                     part_of_vertex, ctx);
+    local_search(graph, part_of_vertex, ctx);
     const std::int64_t cut = graph.cut(part_of_vertex);
     if (best_cut < 0 || cut < best_cut) {
       best_cut = cut;
@@ -162,11 +168,11 @@ std::vector<int> GeneralGraphMapper::map_graph(const CsrGraph& graph,
 }
 
 Remapping GeneralGraphMapper::remap(const CartesianGrid& grid, const Stencil& stencil,
-                                    const NodeAllocation& alloc) const {
+                                    const NodeAllocation& alloc, ExecContext& ctx) const {
   GRIDMAP_CHECK(applicable(grid, stencil, alloc),
                 "mapper not applicable to this instance");
   const CsrGraph graph = build_cartesian_graph(grid, stencil);
-  const std::vector<int> node_of_cell = map_graph(graph, alloc.sizes());
+  const std::vector<int> node_of_cell = map_graph(graph, alloc.sizes(), ctx);
 
   // Convert the cell->node assignment into a rank->cell permutation that
   // respects the blocked allocation: node i's cells are filled by node i's

@@ -41,26 +41,32 @@ struct GmapOptions {
 
 class GeneralGraphMapper final : public Mapper {
  public:
+  using Mapper::remap;
+
   GeneralGraphMapper() = default;
   explicit GeneralGraphMapper(GmapOptions options) : options_(options) {}
 
   std::string_view name() const noexcept override { return "VieM*"; }
 
   Remapping remap(const CartesianGrid& grid, const Stencil& stencil,
-                  const NodeAllocation& alloc) const override;
+                  const NodeAllocation& alloc, ExecContext& ctx) const override;
 
   /// Graph-level entry point: partitions `graph` into parts of exactly the
   /// given sizes (unit vertex weights assumed for exactness), minimizing the
   /// weighted cut, then local-search over connected swaps. Returns
-  /// part_of_vertex.
-  std::vector<int> map_graph(const CsrGraph& graph, const std::vector<int>& part_sizes) const;
+  /// part_of_vertex. Checkpoints `ctx` throughout the multilevel phases —
+  /// the slowest backend in the portfolio, and the reason budgets exist.
+  std::vector<int> map_graph(const CsrGraph& graph, const std::vector<int>& part_sizes,
+                             ExecContext& ctx = ExecContext::none()) const;
 
  private:
   void recursive_bisect(const CsrGraph& graph, const std::vector<int>& vertices,
                         const std::vector<int>& part_sizes, int part_begin, int part_end,
-                        std::uint64_t seed, std::vector<int>& part_of_vertex) const;
+                        std::uint64_t seed, std::vector<int>& part_of_vertex,
+                        ExecContext& ctx) const;
 
-  std::int64_t local_search(const CsrGraph& graph, std::vector<int>& part_of_vertex) const;
+  std::int64_t local_search(const CsrGraph& graph, std::vector<int>& part_of_vertex,
+                            ExecContext& ctx) const;
 
   GmapOptions options_;
 };

@@ -9,7 +9,8 @@
 
 namespace gridmap {
 
-std::vector<int> grow_region(const CsrGraph& graph, int seed_vertex, std::int64_t target0) {
+std::vector<int> grow_region(const CsrGraph& graph, int seed_vertex, std::int64_t target0,
+                             ExecContext& ctx) {
   const int n = graph.num_vertices();
   std::vector<int> part(static_cast<std::size_t>(n), 1);
   if (target0 <= 0) return part;
@@ -20,6 +21,7 @@ std::vector<int> grow_region(const CsrGraph& graph, int seed_vertex, std::int64_
   int current = seed_vertex;
 
   while (true) {
+    ctx.checkpoint();
     if (part[static_cast<std::size_t>(current)] == 0) {
       // already absorbed (stale frontier entry); fall through to pop
     } else {
@@ -58,9 +60,10 @@ std::vector<int> grow_region(const CsrGraph& graph, int seed_vertex, std::int64_
   return part;
 }
 
-std::vector<int> multilevel_bisection(const CsrGraph& graph, const BisectionOptions& options) {
+std::vector<int> multilevel_bisection(const CsrGraph& graph, const BisectionOptions& options,
+                                      ExecContext& ctx) {
   const std::vector<CoarseLevel> hierarchy =
-      coarsen_hierarchy(graph, options.coarsen_target, options.seed);
+      coarsen_hierarchy(graph, options.coarsen_target, options.seed, ctx);
   const CsrGraph& coarsest = hierarchy.empty() ? graph : hierarchy.back().graph;
 
   // Initial partition: best of several greedy growths.
@@ -68,9 +71,10 @@ std::vector<int> multilevel_bisection(const CsrGraph& graph, const BisectionOpti
   std::vector<int> best_part;
   std::int64_t best_cut = -1;
   for (int attempt = 0; attempt < std::max(1, options.initial_tries); ++attempt) {
+    ctx.checkpoint();
     const int seed_vertex =
         static_cast<int>(rng() % static_cast<std::uint64_t>(coarsest.num_vertices()));
-    std::vector<int> part = grow_region(coarsest, seed_vertex, options.target0);
+    std::vector<int> part = grow_region(coarsest, seed_vertex, options.target0, ctx);
     FmOptions fm;
     fm.max_passes = options.fm_passes;
     // Slack on coarse levels: the heaviest vertex, so FM can cross lumpy
@@ -80,7 +84,7 @@ std::vector<int> multilevel_bisection(const CsrGraph& graph, const BisectionOpti
       max_vw = std::max(max_vw, coarsest.vertex_weight(v));
     }
     fm.slack = max_vw;
-    fm_refine(coarsest, part, options.target0, fm);
+    fm_refine(coarsest, part, options.target0, fm, ctx);
     const std::int64_t cut = coarsest.cut(part);
     if (best_cut < 0 || cut < best_cut) {
       best_cut = cut;
@@ -91,6 +95,7 @@ std::vector<int> multilevel_bisection(const CsrGraph& graph, const BisectionOpti
   // Uncoarsen with refinement at every level.
   std::vector<int> part = std::move(best_part);
   for (int level = static_cast<int>(hierarchy.size()) - 1; level >= 0; --level) {
+    ctx.checkpoint();
     const CsrGraph& fine =
         (level == 0) ? graph : hierarchy[static_cast<std::size_t>(level) - 1].graph;
     const std::vector<int>& fine_to_coarse =
@@ -107,15 +112,15 @@ std::vector<int> multilevel_bisection(const CsrGraph& graph, const BisectionOpti
       max_vw = std::max(max_vw, fine.vertex_weight(v));
     }
     fm.slack = (level == 0 && options.exact_balance) ? 0 : max_vw;
-    if (fm.slack == 0) rebalance_exact(fine, fine_part, options.target0);
-    fm_refine(fine, fine_part, options.target0, fm);
+    if (fm.slack == 0) rebalance_exact(fine, fine_part, options.target0, ctx);
+    fm_refine(fine, fine_part, options.target0, fm, ctx);
     part = std::move(fine_part);
   }
   if (hierarchy.empty()) {
     // graph was small enough that no coarsening happened; `part` already
     // refers to `graph` vertices.
   }
-  if (options.exact_balance) rebalance_exact(graph, part, options.target0);
+  if (options.exact_balance) rebalance_exact(graph, part, options.target0, ctx);
   return part;
 }
 

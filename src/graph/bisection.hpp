@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/exec_context.hpp"
 #include "graph/csr_graph.hpp"
 
 namespace gridmap {
@@ -19,12 +20,15 @@ struct BisectionOptions {
   bool exact_balance = true;  ///< force side-0 weight == target0 at the end
 };
 
-/// Returns a 0/1 partition of the graph's vertices.
-std::vector<int> multilevel_bisection(const CsrGraph& graph, const BisectionOptions& options);
+/// Returns a 0/1 partition of the graph's vertices. Checkpoints `ctx`
+/// through every phase (coarsening, growing, FM, rebalance).
+std::vector<int> multilevel_bisection(const CsrGraph& graph, const BisectionOptions& options,
+                                      ExecContext& ctx = ExecContext::none());
 
 /// Greedy region growing used for the initial partition (exposed for tests):
 /// grows side 0 from `seed_vertex` by repeatedly absorbing the boundary
 /// vertex with the strongest connection to side 0 until target0 is reached.
-std::vector<int> grow_region(const CsrGraph& graph, int seed_vertex, std::int64_t target0);
+std::vector<int> grow_region(const CsrGraph& graph, int seed_vertex, std::int64_t target0,
+                             ExecContext& ctx = ExecContext::none());
 
 }  // namespace gridmap

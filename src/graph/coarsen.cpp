@@ -6,7 +6,7 @@
 
 namespace gridmap {
 
-CoarseLevel coarsen_once(const CsrGraph& graph, std::uint64_t seed) {
+CoarseLevel coarsen_once(const CsrGraph& graph, std::uint64_t seed, ExecContext& ctx) {
   const int n = graph.num_vertices();
   std::vector<int> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), 0);
@@ -15,6 +15,7 @@ CoarseLevel coarsen_once(const CsrGraph& graph, std::uint64_t seed) {
 
   std::vector<int> match(static_cast<std::size_t>(n), -1);
   for (const int v : order) {
+    ctx.checkpoint();
     if (match[static_cast<std::size_t>(v)] >= 0) continue;
     const auto nbs = graph.neighbors(v);
     const auto wts = graph.edge_weights(v);
@@ -67,11 +68,11 @@ CoarseLevel coarsen_once(const CsrGraph& graph, std::uint64_t seed) {
 }
 
 std::vector<CoarseLevel> coarsen_hierarchy(const CsrGraph& graph, int target_vertices,
-                                           std::uint64_t seed) {
+                                           std::uint64_t seed, ExecContext& ctx) {
   std::vector<CoarseLevel> hierarchy;
   const CsrGraph* current = &graph;
   while (current->num_vertices() > target_vertices) {
-    CoarseLevel level = coarsen_once(*current, seed + hierarchy.size());
+    CoarseLevel level = coarsen_once(*current, seed + hierarchy.size(), ctx);
     const int before = current->num_vertices();
     const int after = level.graph.num_vertices();
     if (after >= before || before - after < before / 10) break;  // matching stalled

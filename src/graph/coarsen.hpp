@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/exec_context.hpp"
 #include "graph/csr_graph.hpp"
 
 namespace gridmap {
@@ -17,12 +18,15 @@ struct CoarseLevel {
 
 /// One round of heavy-edge matching + contraction. Vertices are visited in a
 /// seeded random order; each unmatched vertex is matched to the unmatched
-/// neighbor with the heaviest connecting edge (ties: lower id).
-CoarseLevel coarsen_once(const CsrGraph& graph, std::uint64_t seed);
+/// neighbor with the heaviest connecting edge (ties: lower id). Checkpoints
+/// `ctx` per visited vertex.
+CoarseLevel coarsen_once(const CsrGraph& graph, std::uint64_t seed,
+                         ExecContext& ctx = ExecContext::none());
 
 /// A full coarsening hierarchy: repeat until at most `target_vertices`
 /// remain or a round shrinks the graph by less than 10 %.
 std::vector<CoarseLevel> coarsen_hierarchy(const CsrGraph& graph, int target_vertices,
-                                           std::uint64_t seed);
+                                           std::uint64_t seed,
+                                           ExecContext& ctx = ExecContext::none());
 
 }  // namespace gridmap

@@ -36,7 +36,8 @@ struct QueueEntry {
 }  // namespace
 
 std::int64_t fm_refine(const CsrGraph& graph, std::vector<int>& part,
-                       std::int64_t target0, const FmOptions& options) {
+                       std::int64_t target0, const FmOptions& options,
+                       ExecContext& ctx) {
   const int n = graph.num_vertices();
   GRIDMAP_CHECK(static_cast<int>(part.size()) == n, "partition size mismatch");
 
@@ -68,6 +69,7 @@ std::int64_t fm_refine(const CsrGraph& graph, std::vector<int>& part,
     std::int64_t cumulative = 0;
 
     while (!queue.empty()) {
+      ctx.checkpoint();
       const QueueEntry top = queue.top();
       queue.pop();
       const int v = top.vertex;
@@ -132,7 +134,8 @@ std::int64_t fm_refine(const CsrGraph& graph, std::vector<int>& part,
   return total_improvement;
 }
 
-void rebalance_exact(const CsrGraph& graph, std::vector<int>& part, std::int64_t target0) {
+void rebalance_exact(const CsrGraph& graph, std::vector<int>& part, std::int64_t target0,
+                     ExecContext& ctx) {
   const int n = graph.num_vertices();
   std::int64_t weight0 = 0;
   for (int v = 0; v < n; ++v) {
@@ -143,6 +146,7 @@ void rebalance_exact(const CsrGraph& graph, std::vector<int>& part, std::int64_t
   // imbalance are taken, so the loop terminates even with weighted vertices
   // (where the exact target may be unreachable).
   while (weight0 != target0) {
+    ctx.checkpoint();
     const int from = weight0 > target0 ? 0 : 1;
     const std::int64_t imbalance = std::llabs(weight0 - target0);
     int best = -1;

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/exec_context.hpp"
 #include "graph/csr_graph.hpp"
 
 namespace gridmap {
@@ -19,13 +20,16 @@ struct FmOptions {
 
 /// Refines `part` (entries 0/1) towards smaller cut while keeping side 0's
 /// vertex weight within `slack` of `target0`. Returns the cut improvement
-/// (>= 0); `part` is updated in place.
+/// (>= 0); `part` is updated in place. Checkpoints `ctx` per processed
+/// vertex (CancelledError leaves `part` mid-pass but structurally valid).
 std::int64_t fm_refine(const CsrGraph& graph, std::vector<int>& part,
-                       std::int64_t target0, const FmOptions& options);
+                       std::int64_t target0, const FmOptions& options,
+                       ExecContext& ctx = ExecContext::none());
 
 /// Moves lowest-loss boundary vertices until side 0's weight equals target0
 /// exactly (requires unit vertex weights to be guaranteed to terminate at
 /// exact balance; with weighted vertices it gets as close as possible).
-void rebalance_exact(const CsrGraph& graph, std::vector<int>& part, std::int64_t target0);
+void rebalance_exact(const CsrGraph& graph, std::vector<int>& part, std::int64_t target0,
+                     ExecContext& ctx = ExecContext::none());
 
 }  // namespace gridmap

@@ -53,6 +53,49 @@ TEST(BruteForce, RejectsLargeInstances) {
                std::invalid_argument);
 }
 
+TEST(BruteForce, CancelledContextAbortsTheSearch) {
+  const CartesianGrid g({4, 4});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 4);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  CancelSource source;
+  source.cancel();
+  ExecContext ctx = ExecContext::with_token(source.token());
+  EXPECT_THROW(brute_force_optimal(g, s, alloc, 16, ctx), CancelledError);
+}
+
+TEST(BruteForce, StopScoreReturnsEarlyWithAValidAssignment) {
+  // Bound = the known optimum (16 on 4x4 over 4 quadrants): the search may
+  // stop at the first incumbent that reaches it, and that incumbent must be
+  // the optimum and respect all capacities.
+  const CartesianGrid g({4, 4});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 4);
+  const Stencil s = Stencil::nearest_neighbor(2);
+  ExecContext ctx;
+  ctx.set_stop_score(16);
+  const BruteForceResult r = brute_force_optimal(g, s, alloc, 16, ctx);
+  EXPECT_EQ(r.cost.jsum, 16);
+  std::vector<int> counts(4, 0);
+  for (const NodeId n : r.node_of_cell) {
+    ASSERT_GE(n, 0);
+    ASSERT_LT(n, 4);
+    ++counts[static_cast<std::size_t>(n)];
+  }
+  for (const int c : counts) EXPECT_EQ(c, 4);
+}
+
+TEST(BruteForce, LooseStopScoreStillFindsAFeasibleSolution) {
+  // A bound far above the optimum stops at the very first complete
+  // assignment — still feasible, possibly suboptimal.
+  const CartesianGrid g({8});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(2, 4);
+  const Stencil s = Stencil::nearest_neighbor(1);
+  ExecContext ctx;
+  ctx.set_stop_score(1 << 20);
+  const BruteForceResult r = brute_force_optimal(g, s, alloc, 16, ctx);
+  EXPECT_GE(r.cost.jsum, 2);  // cannot beat the optimum
+  EXPECT_EQ(r.node_of_cell.size(), 8u);
+}
+
 class HeuristicVsOptimal
     : public ::testing::TestWithParam<std::tuple<Dims, int, Algorithm>> {};
 

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,28 @@ namespace gridmap::engine {
 namespace {
 
 Stencil nn(int ndims) { return Stencil::nearest_neighbor(ndims); }
+
+/// Deliberately slow cooperative mapper: spins for `spin` wall time while
+/// polling the ExecContext, then returns the identity mapping. The test
+/// double for budget/cancellation semantics.
+class SlowMapper final : public Mapper {
+ public:
+  using Mapper::remap;
+
+  explicit SlowMapper(std::chrono::milliseconds spin) : spin_(spin) {}
+
+  std::string_view name() const noexcept override { return "Slow"; }
+
+  Remapping remap(const CartesianGrid& grid, const Stencil& /*stencil*/,
+                  const NodeAllocation& /*alloc*/, ExecContext& ctx) const override {
+    const auto start = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - start < spin_) ctx.checkpoint();
+    return Remapping::identity(grid);
+  }
+
+ private:
+  std::chrono::milliseconds spin_;
+};
 
 std::shared_ptr<const MappingPlan> make_plan(const std::string& signature) {
   auto plan = std::make_shared<MappingPlan>();
@@ -87,6 +111,32 @@ TEST(Registry, PreservesRegistrationOrder) {
   r.add("z", [] { return std::make_unique<BlockedMapper>(); });
   r.add("a", [] { return std::make_unique<BlockedMapper>(); });
   EXPECT_EQ(r.names(), (std::vector<std::string>{"z", "a"}));
+}
+
+// ------------------------------------------------------------ thread pool --
+
+TEST(ThreadPool, ReportsPendingTasksAndDrains) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  EXPECT_EQ(pool.pending(), 0u);
+
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  auto blocker = pool.submit([gate] {
+    gate.wait();
+    return 0;
+  });
+  auto queued1 = pool.submit([] { return 1; });
+  auto queued2 = pool.submit([] { return 2; });
+  // The single worker is parked in the blocker (or about to claim it); at
+  // least the two later tasks are still queued.
+  EXPECT_GE(pool.pending(), 2u);
+
+  release.set_value();
+  EXPECT_EQ(blocker.get(), 0);
+  EXPECT_EQ(queued1.get(), 1);
+  EXPECT_EQ(queued2.get(), 2);
+  EXPECT_EQ(pool.pending(), 0u);
 }
 
 // -------------------------------------------------------------- objective --
@@ -353,6 +403,361 @@ TEST(Portfolio, ThrowsWhenNoBackendApplicable) {
   const CartesianGrid grid({4, 4});
   EXPECT_THROW(engine.map(grid, nn(2), NodeAllocation({9, 7})),  // heterogeneous
                std::invalid_argument);
+}
+
+// ---------------------------------------------------- budgets/cancellation --
+
+TEST(Objective, UnbeatableFloorsAndBounds) {
+  MappingCost zero;  // jsum = jmax = 0
+  MappingCost some;
+  some.jsum = 10, some.jmax = 3;
+  for (const Objective o : {Objective::kJsum, Objective::kJmax, Objective::kLexJmaxJsum}) {
+    EXPECT_TRUE(unbeatable(o, zero));
+    EXPECT_FALSE(unbeatable(o, some));
+  }
+  // A known-optimal bound makes any result at least as good unbeatable.
+  MappingCost bound;
+  bound.jsum = 10, bound.jmax = 3;
+  EXPECT_TRUE(unbeatable(Objective::kLexJmaxJsum, some, bound));
+  MappingCost worse;
+  worse.jsum = 11, worse.jmax = 3;
+  EXPECT_FALSE(unbeatable(Objective::kLexJmaxJsum, worse, bound));
+}
+
+MapperRegistry defaults_plus_slow(std::chrono::milliseconds spin) {
+  MapperRegistry r = MapperRegistry::with_default_backends();
+  r.add("slow", [spin] { return std::make_unique<SlowMapper>(spin); });
+  return r;
+}
+
+TEST(Portfolio, BudgetMarksSlowBackendTimedOutWithoutCrashingTheRace) {
+  const CartesianGrid grid({6, 8});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(6, 8);
+
+  for (int threads : {1, 4}) {
+    EngineOptions budgeted;
+    budgeted.threads = threads;
+    budgeted.backend_budget = std::chrono::milliseconds(50);
+    PortfolioEngine engine(defaults_plus_slow(std::chrono::seconds(10)), budgeted);
+
+    const auto results = engine.evaluate_all(grid, nn(2), alloc);
+    const auto slow = std::find_if(results.begin(), results.end(),
+                                   [](const BackendResult& r) { return r.name == "slow"; });
+    ASSERT_NE(slow, results.end());
+    EXPECT_TRUE(slow->applicable);
+    EXPECT_TRUE(slow->timed_out) << "threads=" << threads;
+    EXPECT_FALSE(slow->failed);
+    EXPECT_FALSE(slow->usable());
+    // The budget keeps the charged remap time near the budget, far below the
+    // mapper's 10 s spin.
+    EXPECT_LT(slow->remap_seconds, 5.0);
+
+    // Fast backends still produce a valid plan, and the winner matches the
+    // unbudgeted race (whose winner finishes well within 50 ms here).
+    const auto plan = engine.map(grid, nn(2), alloc);
+    EXPECT_NE(plan->mapper, "slow");
+    PortfolioEngine unbudgeted(MapperRegistry::with_default_backends(),
+                               sequential_options());
+    EXPECT_EQ(plan->mapper, unbudgeted.map(grid, nn(2), alloc)->mapper)
+        << "threads=" << threads;
+  }
+}
+
+TEST(Portfolio, OneMillisecondBudgetOnALargeInstance) {
+  // The ISSUE acceptance pin: with a 1 ms per-backend budget on a large
+  // instance, map() still returns a valid plan from the fast backends, the
+  // slow backend reports timed_out, and the winner matches the unbudgeted
+  // winner whenever that winner finished within the budget.
+  const CartesianGrid grid({48, 48});
+  const Stencil stencil = Stencil::nearest_neighbor_with_hops(2);
+  const NodeAllocation alloc = NodeAllocation::homogeneous(48, 48);
+
+  EngineOptions budgeted = parallel_options();
+  budgeted.backend_budget = std::chrono::milliseconds(1);
+  PortfolioEngine engine(defaults_plus_slow(std::chrono::seconds(10)), budgeted);
+
+  // A 1 ms deadline is meaningful but scheduler-sensitive: under heavy CI
+  // load even a near-instant backend can be preempted past it. Retry a few
+  // times; the semantics under test are deterministic once the fast
+  // backends actually get their microseconds of CPU.
+  std::vector<BackendResult> results;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    results = engine.evaluate_all(grid, stencil, alloc);
+    if (PortfolioEngine::select_winner(budgeted.objective, results) >= 0) break;
+  }
+  const auto slow = std::find_if(results.begin(), results.end(),
+                                 [](const BackendResult& r) { return r.name == "slow"; });
+  ASSERT_NE(slow, results.end());
+  EXPECT_TRUE(slow->timed_out);
+  for (const BackendResult& r : results) EXPECT_FALSE(r.failed) << r.name << ": " << r.error;
+  ASSERT_GE(PortfolioEngine::select_winner(budgeted.objective, results), 0)
+      << "even a 1 ms budget leaves the near-instant backends usable";
+
+  // map() races afresh (cold cache); same scheduler caveat, same retry.
+  std::shared_ptr<const MappingPlan> plan;
+  for (int attempt = 0; attempt < 5 && plan == nullptr; ++attempt) {
+    try {
+      plan = engine.map(grid, stencil, alloc);
+    } catch (const std::invalid_argument&) {
+      // every backend timed out this attempt; try again
+    }
+  }
+  ASSERT_NE(plan, nullptr);
+  EXPECT_NE(plan->mapper, "slow");
+
+  PortfolioEngine unbudgeted(MapperRegistry::with_default_backends(), parallel_options());
+  const auto ref_results = unbudgeted.evaluate_all(grid, stencil, alloc);
+  const int ref_winner = PortfolioEngine::select_winner(budgeted.objective, ref_results);
+  ASSERT_GE(ref_winner, 0);
+  const std::string& ref_name = ref_results[static_cast<std::size_t>(ref_winner)].name;
+  // The determinism guarantee is per race: in any budgeted race where the
+  // unbudgeted winner finished within budget, the selection is identical.
+  const auto budgeted_ref = std::find_if(results.begin(), results.end(),
+                                         [&](const BackendResult& r) { return r.name == ref_name; });
+  ASSERT_NE(budgeted_ref, results.end());
+  if (budgeted_ref->usable()) {
+    const int budgeted_winner = PortfolioEngine::select_winner(budgeted.objective, results);
+    EXPECT_EQ(results[static_cast<std::size_t>(budgeted_winner)].name, ref_name);
+  }
+}
+
+TEST(Portfolio, WinnerIdenticalWithAndWithoutLoserCancellation) {
+  // Single node: every mapping costs (0, 0), so the first completed backend
+  // is unbeatable and the race cancels the rest — without ever changing the
+  // selected winner.
+  const CartesianGrid grid({4, 4});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(1, 16);
+
+  std::string winner_with, winner_without;
+  for (const bool cancel : {true, false}) {
+    EngineOptions options;
+    options.threads = 4;
+    options.cancel_losers = cancel;
+    // Keep the uncancelled run short: 200 ms spin, no budget.
+    PortfolioEngine engine(defaults_plus_slow(std::chrono::milliseconds(200)), options);
+    const auto plan = engine.map(grid, nn(2), alloc);
+    (cancel ? winner_with : winner_without) = plan->mapper;
+  }
+  EXPECT_EQ(winner_with, winner_without);
+}
+
+TEST(Portfolio, CancelLosersMarksLaterBackendsCancelled) {
+  // Sequential engine, single node: the first backend ("blocked") completes
+  // with the unbeatable (0, 0) cost, so every later backend is cancelled
+  // before doing real work — including the 10 s spinner, which would
+  // otherwise dominate the test's runtime.
+  const CartesianGrid grid({4, 4});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(1, 16);
+
+  EngineOptions options = sequential_options();
+  PortfolioEngine engine(defaults_plus_slow(std::chrono::seconds(10)), options);
+  const auto results = engine.evaluate_all(grid, nn(2), alloc);
+
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results.front().name, "blocked");
+  EXPECT_TRUE(results.front().usable());
+  const auto slow = std::find_if(results.begin(), results.end(),
+                                 [](const BackendResult& r) { return r.name == "slow"; });
+  ASSERT_NE(slow, results.end());
+  EXPECT_TRUE(slow->cancelled);
+  EXPECT_FALSE(slow->timed_out);
+  EXPECT_EQ(PortfolioEngine::select_winner(options.objective, results), 0);
+}
+
+TEST(Portfolio, OptimalBoundCancelsOnlyLaterBackends) {
+  // Feed the engine the true optimal cost as the early-exit bound: the first
+  // backend achieving it triggers cancellation of later ones, and the winner
+  // is still the unbudgeted winner.
+  const CartesianGrid grid({6, 8});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(6, 8);
+
+  PortfolioEngine reference(MapperRegistry::with_default_backends(), sequential_options());
+  const auto ref_plan = reference.map(grid, nn(2), alloc);
+  MappingCost bound;
+  bound.jsum = ref_plan->jsum;
+  bound.jmax = ref_plan->jmax;
+
+  EngineOptions options = sequential_options();
+  options.optimal_bound = bound;
+  PortfolioEngine engine(defaults_plus_slow(std::chrono::seconds(10)), options);
+  const auto plan = engine.map(grid, nn(2), alloc);
+  EXPECT_EQ(plan->mapper, ref_plan->mapper);
+  EXPECT_EQ(plan->jsum, ref_plan->jsum);
+  EXPECT_EQ(plan->jmax, ref_plan->jmax);
+}
+
+TEST(Portfolio, SeparatesRemapFromEvalSeconds) {
+  PortfolioEngine engine(MapperRegistry::with_default_backends(), sequential_options());
+  const CartesianGrid grid({6, 8});
+  const auto results = engine.evaluate_all(grid, nn(2), NodeAllocation::homogeneous(6, 8));
+  for (const BackendResult& r : results) {
+    if (!r.usable()) continue;
+    EXPECT_GE(r.remap_seconds, 0.0) << r.name;
+    EXPECT_GE(r.eval_seconds, 0.0) << r.name;
+    EXPECT_DOUBLE_EQ(r.total_seconds(), r.remap_seconds + r.eval_seconds) << r.name;
+  }
+}
+
+TEST(Portfolio, MapAllPipelinedMatchesSerialLoop) {
+  // >= 8 instances (with a duplicate) through three paths: a sequential
+  // engine's map_all (the serial reference), a parallel engine's map() loop,
+  // and a parallel engine's pipelined map_all. All plans must be
+  // bit-identical.
+  std::vector<Instance> instances = test_instances();
+  instances.push_back({CartesianGrid({10, 4}), nn(2), NodeAllocation::homogeneous(8, 5)});
+  instances.push_back({CartesianGrid({3, 3, 3}), nn(3), NodeAllocation({9, 9, 9})});
+  instances.push_back(instances.front());  // duplicate
+  ASSERT_GE(instances.size(), 8u);
+
+  PortfolioEngine sequential(MapperRegistry::with_default_backends(), sequential_options());
+  PortfolioEngine loop(MapperRegistry::with_default_backends(), parallel_options());
+  PortfolioEngine pipelined(MapperRegistry::with_default_backends(), parallel_options());
+
+  const auto seq_plans = sequential.map_all(instances);
+  std::vector<std::shared_ptr<const MappingPlan>> loop_plans;
+  for (const Instance& inst : instances) {
+    loop_plans.push_back(loop.map(inst.grid, inst.stencil, inst.alloc));
+  }
+  const auto pipe_plans = pipelined.map_all(instances);
+
+  ASSERT_EQ(seq_plans.size(), instances.size());
+  ASSERT_EQ(pipe_plans.size(), instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    EXPECT_EQ(*pipe_plans[i], *seq_plans[i]) << "instance " << i;
+    EXPECT_EQ(*pipe_plans[i], *loop_plans[i]) << "instance " << i;
+  }
+  // The duplicate resolves to the same cached object, exactly as in the
+  // serial loop.
+  EXPECT_EQ(pipe_plans.back().get(), pipe_plans.front().get());
+}
+
+TEST(Portfolio, MapAllDrainsRunningRacesWhenOneInstanceFails) {
+  // Only one backend, and it always times out: instance 0's resolution
+  // throws while instance 1's task may still be queued or running. map_all
+  // must cancel and drain it before unwinding — under TSan/ASan this test
+  // is the use-after-free regression guard.
+  MapperRegistry registry;
+  registry.add("slow", [] { return std::make_unique<SlowMapper>(std::chrono::seconds(10)); });
+  EngineOptions options = parallel_options();
+  options.backend_budget = std::chrono::milliseconds(10);
+  PortfolioEngine engine(std::move(registry), options);
+
+  std::vector<Instance> instances;
+  instances.push_back({CartesianGrid({4, 4}), nn(2), NodeAllocation::homogeneous(4, 4)});
+  instances.push_back({CartesianGrid({6, 4}), nn(2), NodeAllocation::homogeneous(4, 6)});
+  instances.push_back({CartesianGrid({8, 4}), nn(2), NodeAllocation::homogeneous(8, 4)});
+  EXPECT_THROW(engine.map_all(instances), std::invalid_argument);
+}
+
+TEST(Portfolio, DisabledCacheNeverTouchesTheCacheFile) {
+  const std::string path = ::testing::TempDir() + "gridmap_cache_capacity0.txt";
+  {
+    PlanCache seeded(4);
+    seeded.put("k", make_plan("k"));
+    seeded.save(path);
+  }
+  {
+    EngineOptions options = sequential_options();
+    options.cache_capacity = 0;
+    options.cache_file = path;
+    PortfolioEngine engine(MapperRegistry::with_default_backends(), options);
+    (void)engine.map(CartesianGrid({4, 4}), nn(2), NodeAllocation::homogeneous(4, 4));
+  }  // destructor must not truncate the seeded file
+  PlanCache check(4);
+  EXPECT_EQ(check.load(path), 1u);
+  EXPECT_NE(check.get("k"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(Portfolio, MapAllPipelinedWorksWithCacheDisabled) {
+  EngineOptions options = parallel_options();
+  options.cache_capacity = 0;
+  PortfolioEngine engine(MapperRegistry::with_default_backends(), options);
+  std::vector<Instance> instances = test_instances();
+  instances.push_back(instances.front());  // duplicate must not crash or stall
+  const auto plans = engine.map_all(instances);
+  ASSERT_EQ(plans.size(), instances.size());
+  EXPECT_EQ(*plans.back(), *plans.front());
+}
+
+// ------------------------------------------------------- cache persistence --
+
+TEST(PlanCache, SaveLoadRoundTripsPlansAndRecency) {
+  PlanCache cache(4);
+  cache.put("a", make_plan("a"));
+  cache.put("b", make_plan("b"));
+  cache.put("c", make_plan("c"));
+  ASSERT_NE(cache.get("a"), nullptr);  // recency now a > c > b
+
+  const std::string path = ::testing::TempDir() + "gridmap_cache_roundtrip.txt";
+  cache.save(path);
+
+  PlanCache reloaded(2);  // smaller: must keep the two most recent (a, c)
+  EXPECT_EQ(reloaded.load(path), 3u);
+  EXPECT_EQ(reloaded.size(), 2u);
+  EXPECT_NE(reloaded.get("a"), nullptr);
+  EXPECT_NE(reloaded.get("c"), nullptr);
+  EXPECT_EQ(reloaded.get("b"), nullptr);  // evicted as least recent
+  std::remove(path.c_str());
+}
+
+TEST(PlanCache, LoadRejectsMalformedFiles) {
+  const std::string path = ::testing::TempDir() + "gridmap_cache_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "gridmap-plan v1\nsignature oops\n";  // truncated block
+  }
+  PlanCache cache(4);
+  EXPECT_THROW(cache.load(path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(Portfolio, EngineWarmStartsFromPersistedCache) {
+  const std::string path = ::testing::TempDir() + "gridmap_engine_cache.txt";
+  std::remove(path.c_str());
+  const CartesianGrid grid({6, 8});
+  const NodeAllocation alloc = NodeAllocation::homogeneous(6, 8);
+
+  EngineOptions options = sequential_options();
+  options.cache_file = path;
+
+  std::shared_ptr<const MappingPlan> first;
+  {
+    PortfolioEngine engine(MapperRegistry::with_default_backends(), options);
+    first = engine.map(grid, nn(2), alloc);
+    EXPECT_GT(engine.mapper_runs(), 0u);
+  }  // destructor persists the cache
+
+  {
+    PortfolioEngine engine(MapperRegistry::with_default_backends(), options);
+    const auto warm = engine.map(grid, nn(2), alloc);
+    EXPECT_EQ(engine.mapper_runs(), 0u);  // served from the warm-started cache
+    EXPECT_EQ(engine.cache_stats().hits, 1u);
+    EXPECT_EQ(*warm, *first);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Portfolio, MissingOrCorruptCacheFileStartsCold) {
+  EngineOptions options = sequential_options();
+  options.cache_file = ::testing::TempDir() + "gridmap_engine_cache_missing.txt";
+  std::remove(options.cache_file.c_str());
+  EXPECT_NO_THROW(PortfolioEngine(MapperRegistry::with_default_backends(), options));
+
+  {
+    std::ofstream out(options.cache_file);
+    out << "this is not a plan cache\n";
+  }
+  // Corrupt warm-start is ignored; the engine still maps (and overwrites the
+  // file with a valid cache at shutdown).
+  {
+    PortfolioEngine engine(MapperRegistry::with_default_backends(), options);
+    EXPECT_NO_THROW(engine.map(CartesianGrid({4, 4}), nn(2),
+                               NodeAllocation::homogeneous(4, 4)));
+  }
+  PlanCache check(4);
+  EXPECT_EQ(check.load(options.cache_file), 1u);
+  std::remove(options.cache_file.c_str());
 }
 
 }  // namespace

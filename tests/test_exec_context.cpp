@@ -1,0 +1,142 @@
+// ExecContext: deadlines, cancellation tokens, the unlimited context, and
+// cooperative cancellation through a real mapper's remap loop.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "baselines/blocked.hpp"
+#include "core/exec_context.hpp"
+#include "core/hyperplane.hpp"
+#include "core/mapper.hpp"
+
+namespace gridmap {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(ExecContext, UnlimitedContextNeverCancels) {
+  ExecContext& ctx = ExecContext::none();
+  EXPECT_FALSE(ctx.limited());
+  EXPECT_FALSE(ctx.cancelled());
+  for (int i = 0; i < 1000; ++i) EXPECT_NO_THROW(ctx.checkpoint());
+}
+
+TEST(ExecContext, DefaultConstructedIsUnlimited) {
+  ExecContext ctx;
+  EXPECT_FALSE(ctx.limited());
+  EXPECT_NO_THROW(ctx.checkpoint());
+}
+
+TEST(ExecContext, ExpiredDeadlineThrowsWithDeadlineReason) {
+  ExecContext ctx = ExecContext::with_deadline(milliseconds(0));
+  EXPECT_TRUE(ctx.limited());
+  try {
+    ctx.checkpoint();  // first checkpoint always reads the clock
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.reason(), CancelledError::Reason::kDeadline);
+  }
+}
+
+TEST(ExecContext, FutureDeadlineDoesNotFireEarly) {
+  ExecContext ctx = ExecContext::with_deadline(std::chrono::hours(1));
+  for (int i = 0; i < 1000; ++i) EXPECT_NO_THROW(ctx.checkpoint());
+  EXPECT_FALSE(ctx.cancelled());
+}
+
+TEST(ExecContext, CancelSourceTokenFiresOnFirstStridedCheck) {
+  CancelSource source;
+  ExecContext ctx = ExecContext::with_token(source.token());
+  EXPECT_NO_THROW(ctx.checkpoint());
+  source.cancel();
+  EXPECT_TRUE(source.cancelled());
+  EXPECT_TRUE(ctx.cancelled());
+  // The poll stride is 64; within one stride the cancellation must land.
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 64; ++i) ctx.checkpoint();
+      },
+      CancelledError);
+}
+
+TEST(ExecContext, NullTokenMeansUnlimited) {
+  ExecContext ctx = ExecContext::with_token(nullptr);
+  EXPECT_FALSE(ctx.limited());
+  EXPECT_NO_THROW(ctx.checkpoint());
+}
+
+TEST(ExecContext, TokenCancellationReportsCancelledReason) {
+  CancelSource source;
+  source.cancel();
+  ExecContext ctx = ExecContext::with_token(source.token());
+  try {
+    ctx.checkpoint();
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.reason(), CancelledError::Reason::kCancelled);
+  }
+}
+
+TEST(ExecContext, StopScoreRoundTrips) {
+  ExecContext ctx;
+  EXPECT_FALSE(ctx.stop_score().has_value());
+  ctx.set_stop_score(42);
+  ASSERT_TRUE(ctx.stop_score().has_value());
+  EXPECT_EQ(*ctx.stop_score(), 42);
+}
+
+TEST(ExecContext, SharedNoneContextRefusesAStopScore) {
+  // Mutating the shared unlimited context would leak the bound into every
+  // default-context run in the process (and race across threads).
+  EXPECT_THROW(ExecContext::none().set_stop_score(1), std::logic_error);
+  EXPECT_FALSE(ExecContext::none().stop_score().has_value());
+}
+
+TEST(ExecContext, CancelledTokenFromAnotherThreadStopsARunningRemap) {
+  // A real end-to-end cooperative cancellation: a mapper remap on a sizeable
+  // grid is cancelled mid-run from another thread.
+  const CartesianGrid grid({64, 64});
+  const Stencil stencil = Stencil::nearest_neighbor(2);
+  const NodeAllocation alloc = NodeAllocation::homogeneous(64, 64);
+
+  CancelSource source;
+  source.cancel();  // pre-cancelled: remap must abort at its first checkpoint
+  ExecContext ctx = ExecContext::with_token(source.token());
+  const HyperplaneMapper mapper;
+  EXPECT_THROW(mapper.remap(grid, stencil, alloc, ctx), CancelledError);
+}
+
+TEST(ExecContext, ConvenienceOverloadsStillWork) {
+  const CartesianGrid grid({4, 4});
+  const Stencil stencil = Stencil::nearest_neighbor(2);
+  const NodeAllocation alloc = NodeAllocation::homogeneous(4, 4);
+  const BlockedMapper mapper;
+  // 3-arg remap and 4-arg new_coordinate forward the unlimited context.
+  EXPECT_EQ(mapper.remap(grid, stencil, alloc).cell_of(0), Cell{0});
+  EXPECT_EQ(mapper.new_coordinate(grid, stencil, alloc, 0), (Coord{0, 0}));
+}
+
+TEST(ExecContext, DeadlineBoundsARunningRemapsWallTime) {
+  // Large enough that an unbudgeted hyperplane remap takes visible time;
+  // with a 1 ms deadline the run must abort quickly instead of finishing.
+  const CartesianGrid grid({96, 96});
+  const Stencil stencil = Stencil::nearest_neighbor(2);
+  const NodeAllocation alloc = NodeAllocation::homogeneous(96, 96);
+
+  ExecContext ctx = ExecContext::with_deadline(milliseconds(1));
+  const HyperplaneMapper mapper;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    (void)mapper.remap(grid, stencil, alloc, ctx);
+    // Finishing under 1 ms is legitimate on a fast machine — nothing to
+    // assert then.
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.reason(), CancelledError::Reason::kDeadline);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(elapsed, std::chrono::seconds(5));  // aborted, not completed
+  }
+}
+
+}  // namespace
+}  // namespace gridmap
