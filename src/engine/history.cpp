@@ -1,0 +1,208 @@
+#include "engine/history.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/types.hpp"
+
+namespace gridmap::engine {
+
+namespace {
+
+constexpr std::string_view kHeader = "gridmap-history v1";
+
+/// Doubles round-trip bit-exactly through "%.17g" (max_digits10 for IEEE
+/// binary64), which keeps save()/load() lossless.
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string expect_field(std::istream& in, std::string_view key, const std::string& path) {
+  std::string line;
+  GRIDMAP_CHECK(static_cast<bool>(std::getline(in, line)),
+                "history file truncated before field '" + std::string(key) + "': " + path);
+  const std::size_t space = line.find(' ');
+  GRIDMAP_CHECK(space != std::string::npos && line.substr(0, space) == key,
+                "expected history field '" + std::string(key) + "', got: " + line);
+  return line.substr(space + 1);
+}
+
+std::int64_t to_int64(const std::string& text, std::string_view what) {
+  std::size_t used = 0;
+  std::int64_t value = 0;
+  try {
+    value = std::stoll(text, &used);
+  } catch (const std::invalid_argument&) {
+    throw_invalid("not an integer in history " + std::string(what) + ": " + text);
+  } catch (const std::out_of_range&) {
+    throw_invalid("integer out of range in history " + std::string(what) + ": " + text);
+  }
+  // Outside the try: this check must not be rewritten into "not an integer".
+  GRIDMAP_CHECK(used == text.size(), "trailing junk in history " + std::string(what));
+  return value;
+}
+
+BackendOutcome parse_outcome_line(const std::string& line, const std::string& path) {
+  std::istringstream in(line);
+  std::string tag;
+  BackendOutcome outcome;
+  int won = -1;
+  GRIDMAP_CHECK(static_cast<bool>(in >> tag) && tag == "o",
+                "malformed outcome line in history file: " + path);
+  GRIDMAP_CHECK(static_cast<bool>(in >> won >> outcome.jsum >> outcome.jmax >>
+                                  outcome.remap_seconds),
+                "malformed outcome values in history file: " + path);
+  GRIDMAP_CHECK(won == 0 || won == 1, "outcome won flag must be 0 or 1: " + path);
+  outcome.won = won == 1;
+  GRIDMAP_CHECK(outcome.remap_seconds >= 0.0,
+                "negative remap time in history file: " + path);
+  for (int i = 0; i < InstanceFeatures::kCount; ++i) {
+    GRIDMAP_CHECK(static_cast<bool>(in >> outcome.features.v[static_cast<std::size_t>(i)]),
+                  "outcome line missing feature values in history file: " + path);
+  }
+  std::string rest;
+  GRIDMAP_CHECK(!(in >> rest), "trailing junk on outcome line in history file: " + path);
+  return outcome;
+}
+
+}  // namespace
+
+BackendHistory::BackendHistory(std::size_t per_backend_capacity)
+    : capacity_(per_backend_capacity) {}
+
+void BackendHistory::record(const std::string& backend, const BackendOutcome& outcome) {
+  GRIDMAP_CHECK(!backend.empty(), "backend name must not be empty");
+  GRIDMAP_CHECK(backend.find_first_of(" \n") == std::string::npos,
+                "backend name must not contain whitespace: " + backend);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_ == 0) return;
+  std::deque<BackendOutcome>& history = outcomes_[backend];
+  history.push_back(outcome);
+  if (history.size() > capacity_) history.pop_front();
+}
+
+std::size_t BackendHistory::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [name, history] : outcomes_) total += history.size();
+  return total;
+}
+
+std::size_t BackendHistory::size(const std::string& backend) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = outcomes_.find(backend);
+  return it == outcomes_.end() ? 0 : it->second.size();
+}
+
+bool BackendHistory::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return outcomes_.empty();
+}
+
+std::vector<std::string> BackendHistory::backends() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(outcomes_.size());
+  for (const auto& [name, history] : outcomes_) names.push_back(name);
+  return names;  // std::map keys are already sorted
+}
+
+HistorySnapshot BackendHistory::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistorySnapshot copy;
+  for (const auto& [name, history] : outcomes_) {
+    copy.emplace(name, std::vector<BackendOutcome>(history.begin(), history.end()));
+  }
+  return copy;
+}
+
+void BackendHistory::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  outcomes_.clear();
+}
+
+void BackendHistory::save(const std::string& path) const {
+  // Serialize from a snapshot so recording threads never stall on file I/O.
+  const HistorySnapshot snap = snapshot();
+  std::string text(kHeader);
+  text += "\n";
+  for (const auto& [name, history] : snap) {
+    text += "backend " + name + "\n";
+    text += "count " + std::to_string(history.size()) + "\n";
+    for (const BackendOutcome& o : history) {
+      text += "o ";
+      text += o.won ? "1 " : "0 ";
+      text += std::to_string(o.jsum) + " " + std::to_string(o.jmax) + " ";
+      text += format_double(o.remap_seconds);
+      for (int i = 0; i < InstanceFeatures::kCount; ++i) {
+        text += " " + format_double(o.features.v[static_cast<std::size_t>(i)]);
+      }
+      text += "\n";
+    }
+    text += "end\n";
+  }
+
+  // Write-then-rename: an interrupted save never clobbers the previous file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    GRIDMAP_CHECK(out.is_open(), "cannot open history file for writing: " + tmp);
+    out << text;
+    out.flush();
+    GRIDMAP_CHECK(static_cast<bool>(out), "failed writing history file: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw_invalid("failed to replace history file: " + path);
+  }
+}
+
+std::size_t BackendHistory::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GRIDMAP_CHECK(in.is_open(), "cannot open history file for reading: " + path);
+
+  // Parse everything into `parsed` first; the store is only touched after
+  // the whole file validated, so a malformed file cannot leave partial state.
+  std::string line;
+  GRIDMAP_CHECK(static_cast<bool>(std::getline(in, line)) && line == kHeader,
+                "not a gridmap history file (bad header): " + path);
+
+  std::map<std::string, std::deque<BackendOutcome>> parsed;
+  std::size_t loaded = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;  // blank separators between blocks
+    const std::size_t space = line.find(' ');
+    GRIDMAP_CHECK(space != std::string::npos && line.substr(0, space) == "backend",
+                  "expected 'backend <name>' in history file, got: " + line);
+    const std::string name = line.substr(space + 1);
+    GRIDMAP_CHECK(!name.empty(), "empty backend name in history file: " + path);
+    GRIDMAP_CHECK(parsed.find(name) == parsed.end(),
+                  "duplicate backend block in history file: " + name);
+
+    const std::int64_t count = to_int64(expect_field(in, "count", path), "count");
+    GRIDMAP_CHECK(count >= 0, "negative outcome count in history file: " + path);
+    std::deque<BackendOutcome>& history = parsed[name];
+    for (std::int64_t i = 0; i < count; ++i) {
+      GRIDMAP_CHECK(static_cast<bool>(std::getline(in, line)),
+                    "history file truncated inside backend block: " + name);
+      history.push_back(parse_outcome_line(line, path));
+    }
+    GRIDMAP_CHECK(static_cast<bool>(std::getline(in, line)) && line == "end",
+                  "backend block missing end marker (outcome count wrong?): " + name);
+    loaded += history.size();
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  outcomes_.clear();
+  if (capacity_ == 0) return loaded;
+  for (auto& [name, history] : parsed) {
+    while (history.size() > capacity_) history.pop_front();  // keep newest
+    if (!history.empty()) outcomes_.emplace(name, std::move(history));
+  }
+  return loaded;
+}
+
+}  // namespace gridmap::engine

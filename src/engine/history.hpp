@@ -1,0 +1,87 @@
+// BackendHistory: the engine's memory of how each backend performed on past
+// instances. Every finished race records, per backend, the instance feature
+// vector, the remap wall time, the achieved (jsum, jmax) score, and whether
+// the backend won. The PortfolioSelector consumes immutable snapshots of
+// this store to rank backends and derive adaptive per-backend deadlines.
+//
+// Thread model: record()/snapshot()/save() are safe to call concurrently
+// (one mutex; snapshots are deep copies). Persistence reuses the plan
+// cache's write-then-rename pattern so an interrupted save never destroys a
+// previously persisted history, and load() parses the entire file before
+// mutating the store so a malformed file leaves it exactly as it was.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/features.hpp"
+
+namespace gridmap::engine {
+
+/// One backend's outcome on one instance.
+struct BackendOutcome {
+  InstanceFeatures features;
+  double remap_seconds = 0.0;
+  std::int64_t jsum = 0;
+  std::int64_t jmax = 0;
+  bool won = false;
+
+  friend bool operator==(const BackendOutcome&, const BackendOutcome&) = default;
+};
+
+/// Immutable copy of the store at one point in time. Selection runs against
+/// a snapshot, never the live store, so a race's pruning decisions are
+/// deterministic even while other threads keep recording. std::map keys keep
+/// iteration order independent of insertion order.
+using HistorySnapshot = std::map<std::string, std::vector<BackendOutcome>>;
+
+class BackendHistory {
+ public:
+  /// Keeps at most `per_backend_capacity` outcomes per backend, evicting the
+  /// oldest first (recency window). Capacity 0 disables recording.
+  explicit BackendHistory(std::size_t per_backend_capacity = 512);
+
+  /// Appends an outcome for `backend` (newest-last), evicting the oldest
+  /// outcome of that backend when over capacity.
+  void record(const std::string& backend, const BackendOutcome& outcome);
+
+  /// Total outcomes across all backends.
+  std::size_t size() const;
+  /// Outcomes recorded for one backend (0 for unknown names).
+  std::size_t size(const std::string& backend) const;
+  bool empty() const;
+
+  /// Backend names with at least one outcome, sorted.
+  std::vector<std::string> backends() const;
+
+  /// Deep copy of every backend's outcomes, oldest first.
+  HistorySnapshot snapshot() const;
+
+  void clear();
+
+  /// Persists the store to `path` (write-then-rename; throws on I/O
+  /// failure). Outcomes are saved oldest-first per backend so load()
+  /// reproduces the eviction order.
+  void save(const std::string& path) const;
+
+  /// Replaces the store's contents with the file's. All-or-nothing: the
+  /// whole file is parsed and validated first, and on any error (truncation,
+  /// garbage values, count mismatches, duplicate backend blocks) the store
+  /// is left untouched and std::invalid_argument is thrown. Entries beyond
+  /// the per-backend capacity evict oldest-first, exactly as record() would.
+  /// Returns the number of outcomes loaded (before eviction).
+  std::size_t load(const std::string& path);
+
+  std::size_t per_backend_capacity() const noexcept { return capacity_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::map<std::string, std::deque<BackendOutcome>> outcomes_;  // oldest-first
+};
+
+}  // namespace gridmap::engine

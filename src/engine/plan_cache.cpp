@@ -104,8 +104,10 @@ std::size_t PlanCache::load(const std::string& path) {
   buffer << in.rdbuf();
   const std::string text = buffer.str();
 
-  // Each serialized plan ends with a line reading exactly "end"; split on it.
-  std::size_t loaded = 0;
+  // Each serialized plan ends with a line reading exactly "end"; split on
+  // it. Parse the entire file before inserting anything: a malformed block
+  // anywhere must leave the cache exactly as it was (no partial state).
+  std::vector<std::shared_ptr<const MappingPlan>> parsed;
   std::size_t pos = 0;
   while (pos < text.size()) {
     if (text[pos] == '\n') {  // blank separators between blocks
@@ -117,12 +119,14 @@ std::size_t PlanCache::load(const std::string& path) {
     end += 5;  // include the "\nend\n" terminator
     auto plan = std::make_shared<MappingPlan>(parse_plan(text.substr(pos, end - pos)));
     GRIDMAP_CHECK(!plan->signature.empty(), "cached plan without a signature: " + path);
-    const std::string signature = plan->signature;
-    put(signature, std::move(plan));
-    ++loaded;
+    parsed.push_back(std::move(plan));
     pos = end;
   }
-  return loaded;
+  for (std::shared_ptr<const MappingPlan>& plan : parsed) {
+    const std::string signature = plan->signature;
+    put(signature, std::move(plan));
+  }
+  return parsed.size();
 }
 
 }  // namespace gridmap::engine

@@ -53,8 +53,11 @@ class PlanCache {
 
   /// Warm-starts the cache from a save() file: parses the plan blocks and
   /// put()s each under its stored signature, in file order (so the file's
-  /// last plan ends up most recent; excess entries evict normally). Returns
-  /// the number of plans loaded. Throws on I/O failure or malformed plans.
+  /// last plan ends up most recent; excess entries evict normally; a
+  /// duplicate signature refreshes the earlier entry, mirroring put()).
+  /// All-or-nothing: the whole file is parsed before any insertion, so a
+  /// malformed file throws and leaves the cache untouched. Returns the
+  /// number of plans loaded. Throws on I/O failure or malformed plans.
   std::size_t load(const std::string& path);
 
  private:

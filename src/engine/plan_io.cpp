@@ -24,16 +24,18 @@ std::string expect_field(std::istream& in, std::string_view key) {
 }
 
 std::int64_t to_int64(const std::string& text, std::string_view what) {
+  std::size_t used = 0;
+  std::int64_t value = 0;
   try {
-    std::size_t used = 0;
-    const std::int64_t value = std::stoll(text, &used);
-    GRIDMAP_CHECK(used == text.size(), "trailing junk in " + std::string(what));
-    return value;
+    value = std::stoll(text, &used);
   } catch (const std::invalid_argument&) {
     throw_invalid("not an integer in " + std::string(what) + ": " + text);
   } catch (const std::out_of_range&) {
     throw_invalid("integer out of range in " + std::string(what) + ": " + text);
   }
+  // Outside the try: this check must not be rewritten into "not an integer".
+  GRIDMAP_CHECK(used == text.size(), "trailing junk in " + std::string(what));
+  return value;
 }
 
 }  // namespace

@@ -58,7 +58,8 @@ struct PortfolioEngine::Race {
 PortfolioEngine::PortfolioEngine(MapperRegistry registry, EngineOptions options)
     : registry_(std::move(registry)),
       options_(std::move(options)),
-      cache_(options_.cache_capacity) {
+      cache_(options_.cache_capacity),
+      history_(options_.history_capacity) {
   GRIDMAP_CHECK(registry_.size() > 0, "portfolio engine needs at least one backend");
   const int threads = resolve_threads(options_.threads);
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
@@ -71,16 +72,34 @@ PortfolioEngine::PortfolioEngine(MapperRegistry registry, EngineOptions options)
       cache_.clear();
     }
   }
+  if (!options_.history_file.empty() && options_.history_capacity > 0) {
+    // Same best-effort rule: a missing or malformed history file means a
+    // cold start (full races), never a failed engine. load() is
+    // all-or-nothing, so nothing to clean up on failure.
+    try {
+      if (std::ifstream(options_.history_file).good()) {
+        history_.load(options_.history_file);
+      }
+    } catch (const std::exception&) {
+    }
+  }
 }
 
 PortfolioEngine::~PortfolioEngine() {
   // With caching disabled nothing was loaded or produced — never clobber an
-  // existing cache file with an empty one.
-  if (options_.cache_file.empty() || options_.cache_capacity == 0) return;
-  try {
-    cache_.save(options_.cache_file);
-  } catch (const std::exception&) {
-    // Shutdown persistence is best-effort; never throw from a destructor.
+  // existing cache file with an empty one. Same for the history store.
+  if (!options_.cache_file.empty() && options_.cache_capacity > 0) {
+    try {
+      cache_.save(options_.cache_file);
+    } catch (const std::exception&) {
+      // Shutdown persistence is best-effort; never throw from a destructor.
+    }
+  }
+  if (!options_.history_file.empty() && options_.history_capacity > 0) {
+    try {
+      history_.save(options_.history_file);
+    } catch (const std::exception&) {
+    }
   }
 }
 
@@ -92,18 +111,21 @@ std::uint64_t PortfolioEngine::mapper_runs() const noexcept {
 
 BackendResult PortfolioEngine::run_backend(const std::string& name, std::size_t index,
                                            const CartesianGrid& grid, const Stencil& stencil,
-                                           const NodeAllocation& alloc, Race* race) {
+                                           const NodeAllocation& alloc, Race* race,
+                                           std::chrono::nanoseconds budget,
+                                           double predicted_seconds) {
   BackendResult result;
   result.name = name;
+  result.predicted_seconds = predicted_seconds;
+  result.budget_seconds = std::chrono::duration<double>(budget).count();
   try {
     const std::unique_ptr<Mapper> mapper = registry_.create(name);
     if (!mapper->applicable(grid, stencil, alloc)) return result;  // skipped
     result.applicable = true;
 
     const std::atomic<bool>* token = race ? race->cancels[index].token() : nullptr;
-    ExecContext ctx = options_.backend_budget.count() > 0
-                          ? ExecContext::with_deadline(options_.backend_budget, token)
-                          : ExecContext::with_token(token);
+    ExecContext ctx = budget.count() > 0 ? ExecContext::with_deadline(budget, token)
+                                         : ExecContext::with_token(token);
 
     mapper_runs_.fetch_add(1, std::memory_order_relaxed);
     const auto remap_start = Clock::now();
@@ -138,6 +160,15 @@ BackendResult PortfolioEngine::run_backend(const std::string& name, std::size_t 
 
 namespace {
 
+/// The synthesized result of a backend the selector pruned from a race.
+BackendResult pruned_result(const BackendPrediction& p) {
+  BackendResult pruned;
+  pruned.name = p.name;
+  pruned.pruned = true;
+  pruned.predicted_seconds = p.predicted_seconds;
+  return pruned;
+}
+
 /// Cancels a race and blocks on every still-pending future. Used as a scope
 /// guard wherever futures reference a Race (or caller stack state): if an
 /// exception unwinds the scheduling scope, no worker task may outlive the
@@ -155,19 +186,113 @@ void drain_race(std::vector<CancelSource>& cancels,
 
 }  // namespace
 
-std::vector<BackendResult> PortfolioEngine::evaluate_all(const CartesianGrid& grid,
-                                                         const Stencil& stencil,
-                                                         const NodeAllocation& alloc) {
+std::vector<BackendPrediction> PortfolioEngine::predict(const InstanceFeatures& features,
+                                                        const HistorySnapshot* snapshot) const {
   const std::vector<std::string>& names = registry_.names();
+  if (snapshot == nullptr || !selection_enabled()) {
+    // No selection: every backend races under the fixed budget, exactly the
+    // pre-selector behavior.
+    std::vector<BackendPrediction> keep_all(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i) keep_all[i].name = names[i];
+    return keep_all;
+  }
+  SelectorOptions opts = options_.selector;
+  opts.max_backends = options_.max_backends;
+  opts.derive_budgets = options_.adaptive_budgets;
+  opts.budget_clamp = options_.backend_budget;
+  return PortfolioSelector::select(names, features, *snapshot, opts);
+}
+
+bool PortfolioEngine::refresh_due(std::uint64_t instance_hash) const noexcept {
+  if (!selection_enabled() || options_.full_race_every == 0) return false;
+  return instance_hash % options_.full_race_every == 0;
+}
+
+void PortfolioEngine::rescue_pruned(const CartesianGrid& grid, const Stencil& stencil,
+                                    const NodeAllocation& alloc,
+                                    std::vector<BackendResult>& results) {
+  if (select_winner(options_.objective, results) >= 0) return;
+  // A timed-out result is only the selector's doing when adaptive budgets
+  // are on and the run's budget was actually tighter than the fixed one; a
+  // re-run under the same (or no larger) budget would just time out again.
+  const double fixed = std::chrono::duration<double>(options_.backend_budget).count();
+  const auto held_back = [this, fixed](const BackendResult& r) {
+    if (r.pruned) return true;
+    if (!options_.adaptive_budgets || !r.timed_out) return false;
+    return r.budget_seconds > 0.0 && (fixed == 0.0 || r.budget_seconds < fixed);
+  };
+  bool any = false;
+  for (const BackendResult& r : results) any = any || held_back(r);
+  if (!any) return;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!held_back(results[i])) continue;
+    results[i] = run_backend(results[i].name, i, grid, stencil, alloc, nullptr,
+                             options_.backend_budget, results[i].predicted_seconds);
+  }
+}
+
+void PortfolioEngine::record_race(const InstanceFeatures& features,
+                                  const std::vector<BackendResult>& results) {
+  if (!recording_enabled()) return;
+  const int winner = select_winner(options_.objective, results);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BackendResult& r = results[i];
+    if (!r.usable()) continue;
+    BackendOutcome outcome;
+    outcome.features = features;
+    outcome.remap_seconds = r.remap_seconds;
+    outcome.jsum = r.cost.jsum;
+    outcome.jmax = r.cost.jmax;
+    outcome.won = static_cast<int>(i) == winner;
+    history_.record(r.name, outcome);
+  }
+}
+
+std::vector<BackendResult> PortfolioEngine::evaluate_with(const CartesianGrid& grid,
+                                                          const Stencil& stencil,
+                                                          const NodeAllocation& alloc,
+                                                          const HistorySnapshot* snapshot) {
+  const std::vector<std::string>& names = registry_.names();
+
+  const bool needs_features = selection_enabled() || recording_enabled();
+  InstanceFeatures features;
+  if (needs_features) features = extract_features(grid, stencil, alloc);
+
+  // A refresh instance ignores the snapshot entirely: predict(features,
+  // nullptr) keeps every backend under the fixed budget (full race).
+  const bool refresh =
+      selection_enabled() &&
+      refresh_due(instance_hash(grid, stencil, alloc, options_.objective));
+  HistorySnapshot local;
+  if (!refresh && selection_enabled() && snapshot == nullptr) {
+    local = history_.snapshot();
+    snapshot = &local;
+  }
+  const std::vector<BackendPrediction> preds =
+      predict(features, refresh ? nullptr : snapshot);
+
+  const auto run_kept = [this, &preds, &grid, &stencil, &alloc](std::size_t i,
+                                                                Race* race) {
+    const BackendPrediction& p = preds[i];
+    const std::chrono::nanoseconds budget =
+        p.deadline.count() > 0 ? p.deadline : options_.backend_budget;
+    return run_backend(p.name, i, grid, stencil, alloc, race, budget,
+                       p.predicted_seconds);
+  };
+
   Race race(names.size());
   std::vector<BackendResult> results;
   results.reserve(names.size());
   if (!pool_) {
     for (std::size_t i = 0; i < names.size(); ++i) {
-      results.push_back(run_backend(names[i], i, grid, stencil, alloc, &race));
+      results.push_back(preds[i].keep ? run_kept(i, &race) : pruned_result(preds[i]));
     }
+    rescue_pruned(grid, stencil, alloc, results);
+    record_race(features, results);
     return results;
   }
+  // Kept backends only go to the pool; pruned results are synthesized on
+  // this thread (same shape as the pipelined map_all path).
   std::vector<std::future<BackendResult>> futures;
   futures.reserve(names.size());
   struct Drain {
@@ -176,11 +301,23 @@ std::vector<BackendResult> PortfolioEngine::evaluate_all(const CartesianGrid& gr
     ~Drain() { drain_race(race.cancels, futures); }
   } drain{race, futures};
   for (std::size_t i = 0; i < names.size(); ++i) {
-    futures.push_back(pool_->submit([this, i, &name = names[i], &grid, &stencil, &alloc,
-                                     &race] { return run_backend(name, i, grid, stencil, alloc, &race); }));
+    if (!preds[i].keep) continue;
+    futures.push_back(pool_->submit([&run_kept, i, &race] { return run_kept(i, &race); }));
   }
-  for (std::future<BackendResult>& f : futures) results.push_back(f.get());
+  std::size_t next_future = 0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    results.push_back(preds[i].keep ? futures[next_future++].get()
+                                    : pruned_result(preds[i]));
+  }
+  rescue_pruned(grid, stencil, alloc, results);
+  record_race(features, results);
   return results;
+}
+
+std::vector<BackendResult> PortfolioEngine::evaluate_all(const CartesianGrid& grid,
+                                                         const Stencil& stencil,
+                                                         const NodeAllocation& alloc) {
+  return evaluate_with(grid, stencil, alloc, nullptr);
 }
 
 int PortfolioEngine::select_winner(Objective objective,
@@ -214,23 +351,43 @@ std::shared_ptr<const MappingPlan> PortfolioEngine::build_and_cache_plan(
   return plan;
 }
 
-std::shared_ptr<const MappingPlan> PortfolioEngine::map(const CartesianGrid& grid,
-                                                        const Stencil& stencil,
-                                                        const NodeAllocation& alloc) {
+std::shared_ptr<const MappingPlan> PortfolioEngine::map_one(const CartesianGrid& grid,
+                                                            const Stencil& stencil,
+                                                            const NodeAllocation& alloc,
+                                                            const HistorySnapshot* snapshot) {
   const std::string signature =
       instance_signature(grid, stencil, alloc, options_.objective);
   if (std::shared_ptr<const MappingPlan> cached = cache_.get(signature)) return cached;
-  return build_and_cache_plan(signature, evaluate_all(grid, stencil, alloc));
+  return build_and_cache_plan(signature, evaluate_with(grid, stencil, alloc, snapshot));
+}
+
+std::shared_ptr<const MappingPlan> PortfolioEngine::map(const CartesianGrid& grid,
+                                                        const Stencil& stencil,
+                                                        const NodeAllocation& alloc) {
+  return map_one(grid, stencil, alloc, nullptr);
 }
 
 std::vector<std::shared_ptr<const MappingPlan>> PortfolioEngine::map_all(
     const std::vector<Instance>& instances) {
   std::vector<std::shared_ptr<const MappingPlan>> plans(instances.size());
+
+  // One history snapshot pins the whole batch: every instance's selection is
+  // decided against the same state regardless of scheduling, so the
+  // sequential and pipelined paths prune identically (outcomes recorded
+  // mid-batch only influence the *next* map/map_all call).
+  HistorySnapshot batch_snapshot;
+  const HistorySnapshot* snapshot = nullptr;
+  if (selection_enabled()) {
+    batch_snapshot = history_.snapshot();
+    snapshot = &batch_snapshot;
+  }
+
   if (!pool_) {
     // Sequential reference loop — also the semantics the pipelined path
     // below must reproduce plan-for-plan.
     for (std::size_t i = 0; i < instances.size(); ++i) {
-      plans[i] = map(instances[i].grid, instances[i].stencil, instances[i].alloc);
+      plans[i] = map_one(instances[i].grid, instances[i].stencil, instances[i].alloc,
+                         snapshot);
     }
     return plans;
   }
@@ -240,7 +397,9 @@ std::vector<std::shared_ptr<const MappingPlan>> PortfolioEngine::map_all(
   // backends at once, so workers stay busy across instance boundaries.
   struct Scheduled {
     std::unique_ptr<Race> race;
-    std::vector<std::future<BackendResult>> futures;
+    InstanceFeatures features;
+    std::vector<BackendPrediction> preds;
+    std::vector<std::future<BackendResult>> futures;  // kept backends, in order
   };
   const std::vector<std::string>& names = registry_.names();
   std::vector<std::string> sigs(instances.size());
@@ -276,11 +435,22 @@ std::vector<std::shared_ptr<const MappingPlan>> PortfolioEngine::map_all(
     }
     Scheduled s;
     s.race = std::make_unique<Race>(names.size());
+    if (selection_enabled() || recording_enabled()) {
+      s.features = extract_features(inst.grid, inst.stencil, inst.alloc);
+    }
+    // instance_hash(...) == fnv1a_hash(signature); sigs[i] is the signature.
+    s.preds = predict(s.features, refresh_due(fnv1a_hash(sigs[i])) ? nullptr : snapshot);
     s.futures.reserve(names.size());
     for (std::size_t b = 0; b < names.size(); ++b) {
+      if (!s.preds[b].keep) continue;  // pruned: synthesized at resolution
+      const std::chrono::nanoseconds budget = s.preds[b].deadline.count() > 0
+                                                  ? s.preds[b].deadline
+                                                  : options_.backend_budget;
+      const double predicted = s.preds[b].predicted_seconds;
       s.futures.push_back(pool_->submit(
-          [this, b, &name = names[b], &inst, race = s.race.get()] {
-            return run_backend(name, b, inst.grid, inst.stencil, inst.alloc, race);
+          [this, b, &name = names[b], &inst, race = s.race.get(), budget, predicted] {
+            return run_backend(name, b, inst.grid, inst.stencil, inst.alloc, race,
+                               budget, predicted);
           }));
     }
     scheduled.emplace(sigs[i], std::move(s));
@@ -298,8 +468,14 @@ std::vector<std::shared_ptr<const MappingPlan>> PortfolioEngine::map_all(
     }
     Scheduled& s = scheduled.at(sigs[i]);
     std::vector<BackendResult> results;
-    results.reserve(s.futures.size());
-    for (std::future<BackendResult>& f : s.futures) results.push_back(f.get());
+    results.reserve(names.size());
+    std::size_t next_future = 0;
+    for (std::size_t b = 0; b < names.size(); ++b) {
+      results.push_back(s.preds[b].keep ? s.futures[next_future++].get()
+                                        : pruned_result(s.preds[b]));
+    }
+    rescue_pruned(instances[i].grid, instances[i].stencil, instances[i].alloc, results);
+    record_race(s.features, results);
     plans[i] = build_and_cache_plan(sigs[i], results);
     batch_plans.emplace(sigs[i], plans[i]);
   }

@@ -20,6 +20,17 @@
 // selected winner is identical with and without cancellation. Budgets
 // preserve it conditionally: the budgeted winner equals the unbudgeted
 // winner whenever the unbudgeted winner finishes within the budget.
+//
+// Adaptive selection: when EngineOptions::max_backends or adaptive_budgets
+// is set, every race first consults the PortfolioSelector against a
+// snapshot of the BackendHistory — backends predicted to have no realistic
+// chance of winning are pruned (BackendResult::pruned) and history-derived
+// per-backend deadlines replace the fixed backend_budget. Selection is
+// deterministic given a fixed history snapshot (map_all snapshots once for
+// the whole batch), and an empty history — the cold start — keeps every
+// backend with no extra deadline, i.e. exactly the unpruned race above.
+// Every race's usable outcomes are recorded back into the history, which
+// persists across runs via EngineOptions::history_file.
 #pragma once
 
 #include <atomic>
@@ -31,11 +42,14 @@
 #include <vector>
 
 #include "core/exec_context.hpp"
+#include "core/features.hpp"
 #include "core/metrics.hpp"
+#include "engine/history.hpp"
 #include "engine/objective.hpp"
 #include "engine/plan.hpp"
 #include "engine/plan_cache.hpp"
 #include "engine/registry.hpp"
+#include "engine/selector.hpp"
 #include "engine/thread_pool.hpp"
 
 namespace gridmap::engine {
@@ -52,19 +66,23 @@ struct BackendResult {
   std::string name;            ///< registry name
   bool applicable = false;     ///< Mapper::applicable said yes
   bool failed = false;         ///< remap/evaluate threw (error holds what())
-  bool timed_out = false;      ///< remap exceeded EngineOptions::backend_budget
+  bool timed_out = false;      ///< remap exceeded its budget (fixed or adaptive)
   bool cancelled = false;      ///< race cancelled the run (it could not win)
+  bool pruned = false;         ///< selector skipped the run (predicted non-winner)
   std::string error;
   MappingCost cost;            ///< valid iff usable()
   std::optional<Remapping> remapping;
   double remap_seconds = 0.0;  ///< wall time of remap alone — what budgets charge
   double eval_seconds = 0.0;   ///< wall time of evaluate_mapping (not budgeted)
+  double predicted_seconds = 0.0;  ///< selector's remap-time prediction (0 = none)
+  double budget_seconds = 0.0;     ///< effective remap budget of the run (0 = unlimited)
 
   double total_seconds() const noexcept { return remap_seconds + eval_seconds; }
 
   /// Produced a scored mapping this race can select.
   bool usable() const noexcept {
-    return applicable && !failed && !timed_out && !cancelled && remapping.has_value();
+    return applicable && !failed && !timed_out && !cancelled && !pruned &&
+           remapping.has_value();
   }
 };
 
@@ -91,6 +109,37 @@ struct EngineOptions {
   /// back to it at destruction (best-effort). Ignored entirely when
   /// cache_capacity is 0 — a disabled cache never touches the file.
   std::string cache_file;
+  /// Maximum backends with history the selector lets race per instance;
+  /// 0 disables pruning. Never-seen backends always race regardless, and
+  /// pruning never drops below selector.min_backends — so an empty history
+  /// (cold start) races the full portfolio exactly as if this were 0.
+  std::size_t max_backends = 0;
+  /// Derive per-backend deadlines from the remap times observed on similar
+  /// instances (quantile + slack, see SelectorOptions), clamped by
+  /// backend_budget. Off: every backend gets the fixed backend_budget.
+  bool adaptive_budgets = false;
+  /// Selector tuning: neighbor count, quantile, pruning floor, slack.
+  /// max_backends / derive_budgets / budget_clamp inside it are overwritten
+  /// from the engine options above on every selection.
+  SelectorOptions selector;
+  /// A deterministic ~1/N sample of instances (those whose signature hash
+  /// falls on the refresh residue) ignores pruning and adaptive deadlines
+  /// and races full under the fixed backend_budget. This keeps the history
+  /// honest: pruned backends keep getting fresh outcomes near refresh
+  /// instances (so a backend mispredicted as a loser can recover when the
+  /// workload shifts) and adaptively timed-out backends get re-measured.
+  /// Hash-based rather than counter-based so the decision is a pure
+  /// function of the instance — identical across engines, runs, and the
+  /// sequential/pipelined map_all paths. 0 disables the refresh.
+  std::uint32_t full_race_every = 16;
+  /// When non-empty: warm-start the backend history from this file at
+  /// construction (ignored if missing or malformed) and persist it back at
+  /// destruction (best-effort, write-then-rename). Ignored when
+  /// history_capacity is 0.
+  std::string history_file;
+  /// Per-backend outcome window of the history store; 0 disables outcome
+  /// recording (and thereby selection ever warming up in-process).
+  std::size_t history_capacity = 512;
 };
 
 class PortfolioEngine {
@@ -119,7 +168,8 @@ class PortfolioEngine {
   /// Runs every backend (no cache) under the configured budget and reports
   /// per-backend outcomes in registration order. Inapplicable backends are
   /// skipped, throwing backends recorded as failed, slow ones as timed_out
-  /// or cancelled — the race never crashes on a backend.
+  /// or cancelled, selector-skipped ones as pruned — the race never crashes
+  /// on a backend. Usable outcomes are recorded into the history.
   std::vector<BackendResult> evaluate_all(const CartesianGrid& grid, const Stencil& stencil,
                                           const NodeAllocation& alloc);
 
@@ -135,8 +185,14 @@ class PortfolioEngine {
   CacheStats cache_stats() const { return cache_.stats(); }
   void clear_cache() { cache_.clear(); }
 
+  /// The engine's backend outcome history. Exposed so tooling can warm,
+  /// inspect, or snapshot it; record/snapshot are thread-safe.
+  BackendHistory& history() noexcept { return history_; }
+  const BackendHistory& history() const noexcept { return history_; }
+
   /// Total individual mapper executions so far (cache hits run none; a
-  /// timed-out or cancelled run still counts — it executed).
+  /// timed-out or cancelled run still counts — it executed; a pruned
+  /// backend does not — it never ran).
   std::uint64_t mapper_runs() const noexcept;
 
  private:
@@ -144,9 +200,58 @@ class PortfolioEngine {
   /// CancelSource per backend plus the smallest unbeatable index seen.
   struct Race;
 
+  /// Pruning/budget decisions apply, or outcomes are recorded — either way
+  /// the selector machinery is live for this engine.
+  bool selection_enabled() const noexcept {
+    return options_.max_backends > 0 || options_.adaptive_budgets;
+  }
+  bool recording_enabled() const noexcept {
+    return options_.history_capacity > 0 &&
+           (selection_enabled() || !options_.history_file.empty());
+  }
+
+  /// Selector verdict for every backend, index-aligned with
+  /// registry().names(). `snapshot` may be null when selection is disabled.
+  std::vector<BackendPrediction> predict(const InstanceFeatures& features,
+                                         const HistorySnapshot* snapshot) const;
+
+  /// Whether this instance (by signature hash) is a full-race refresh
+  /// sample (see EngineOptions::full_race_every).
+  bool refresh_due(std::uint64_t instance_hash) const noexcept;
+
+  /// Safety net run after a race: if no result is usable, re-runs the
+  /// backends the selector held back — pruned ones, and (with adaptive
+  /// budgets) ones that timed out under a history-derived deadline — with
+  /// the fixed budget, in place. The selector must never turn a servable
+  /// instance into a "no applicable backend" failure (e.g. when the only
+  /// backends applicable to this instance scored poorly on unrelated ones,
+  /// or when deadlines learned on small instances strangle a large one).
+  void rescue_pruned(const CartesianGrid& grid, const Stencil& stencil,
+                     const NodeAllocation& alloc, std::vector<BackendResult>& results);
+
+  /// Records every usable result of a finished race into the history.
+  void record_race(const InstanceFeatures& features,
+                   const std::vector<BackendResult>& results);
+
+  /// evaluate_all against an explicit history snapshot (null = take one now
+  /// if selection needs it). map_all uses this to pin one snapshot for a
+  /// whole batch.
+  std::vector<BackendResult> evaluate_with(const CartesianGrid& grid,
+                                           const Stencil& stencil,
+                                           const NodeAllocation& alloc,
+                                           const HistorySnapshot* snapshot);
+
+  /// map() against an explicit history snapshot — the single implementation
+  /// shared by map() (snapshot = null) and the sequential map_all loop.
+  std::shared_ptr<const MappingPlan> map_one(const CartesianGrid& grid,
+                                             const Stencil& stencil,
+                                             const NodeAllocation& alloc,
+                                             const HistorySnapshot* snapshot);
+
   BackendResult run_backend(const std::string& name, std::size_t index,
                             const CartesianGrid& grid, const Stencil& stencil,
-                            const NodeAllocation& alloc, Race* race);
+                            const NodeAllocation& alloc, Race* race,
+                            std::chrono::nanoseconds budget, double predicted_seconds);
 
   /// Selects the winner from `results`, builds the plan, caches it.
   std::shared_ptr<const MappingPlan> build_and_cache_plan(
@@ -155,6 +260,7 @@ class PortfolioEngine {
   MapperRegistry registry_;
   EngineOptions options_;
   PlanCache cache_;
+  BackendHistory history_;
   std::unique_ptr<ThreadPool> pool_;  // null when sequential
   std::atomic<std::uint64_t> mapper_runs_{0};
 };

@@ -1,0 +1,116 @@
+#include "engine/selector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/types.hpp"
+
+namespace gridmap::engine {
+
+namespace {
+
+using Neighbor = std::pair<double, const BackendOutcome*>;  // (distance, outcome)
+
+/// The `neighbors` history outcomes closest to `features`, with their
+/// distances. Ties resolve to earlier (older) outcomes — stable and
+/// deterministic for a fixed snapshot.
+std::vector<Neighbor> nearest_outcomes(const std::vector<BackendOutcome>& all,
+                                       const InstanceFeatures& features,
+                                       std::size_t neighbors) {
+  std::vector<Neighbor> by_distance;
+  by_distance.reserve(all.size());
+  for (const BackendOutcome& o : all) {
+    by_distance.emplace_back(feature_distance(o.features, features), &o);
+  }
+  std::stable_sort(by_distance.begin(), by_distance.end(),
+                   [](const Neighbor& a, const Neighbor& b) { return a.first < b.first; });
+  if (by_distance.size() > neighbors) by_distance.resize(neighbors);
+  return by_distance;
+}
+
+/// Similarity-weighted win rate over the nearest outcomes: outcomes from
+/// nearly identical instances dominate, far-away ones barely register.
+double win_score(const std::vector<Neighbor>& nearest) {
+  double weight_sum = 0.0;
+  double won_sum = 0.0;
+  for (const auto& [distance, outcome] : nearest) {
+    const double w = 1.0 / (1.0 + distance);
+    weight_sum += w;
+    if (outcome->won) won_sum += w;
+  }
+  return weight_sum > 0.0 ? won_sum / weight_sum : 0.0;
+}
+
+/// `q`-quantile of the nearest outcomes' remap times (nearest-rank method).
+double remap_quantile(const std::vector<Neighbor>& nearest, double q) {
+  std::vector<double> times;
+  times.reserve(nearest.size());
+  for (const auto& [distance, outcome] : nearest) times.push_back(outcome->remap_seconds);
+  std::sort(times.begin(), times.end());
+  if (times.empty()) return 0.0;
+  const double rank = std::ceil(q * static_cast<double>(times.size()));
+  const std::size_t index = static_cast<std::size_t>(
+      std::clamp<double>(rank - 1.0, 0.0, static_cast<double>(times.size() - 1)));
+  return times[index];
+}
+
+}  // namespace
+
+std::vector<BackendPrediction> PortfolioSelector::select(
+    const std::vector<std::string>& names, const InstanceFeatures& features,
+    const HistorySnapshot& history, const SelectorOptions& options) {
+  GRIDMAP_CHECK(options.budget_quantile > 0.0 && options.budget_quantile <= 1.0,
+                "selector budget_quantile must be in (0, 1]");
+  GRIDMAP_CHECK(options.budget_slack >= 1.0, "selector budget_slack must be >= 1");
+  GRIDMAP_CHECK(options.neighbors > 0, "selector neighbors must be positive");
+
+  std::vector<BackendPrediction> predictions(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    BackendPrediction& p = predictions[i];
+    p.name = names[i];
+    const auto it = history.find(names[i]);
+    if (it == history.end() || it->second.empty()) continue;  // unseen: keep, no deadline
+
+    p.seen = true;
+    const std::vector<Neighbor> nearest =
+        nearest_outcomes(it->second, features, options.neighbors);
+    p.win_score = win_score(nearest);
+    p.predicted_seconds = remap_quantile(nearest, options.budget_quantile);
+
+    if (options.derive_budgets && it->second.size() >= options.min_outcomes_for_budget) {
+      auto deadline = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::duration<double>(p.predicted_seconds * options.budget_slack));
+      deadline = std::max(deadline, options.min_budget);
+      if (options.budget_clamp.count() > 0) deadline = std::min(deadline, options.budget_clamp);
+      p.deadline = deadline;
+    }
+  }
+
+  if (options.max_backends == 0) return predictions;  // pruning disabled
+
+  // Rank the *seen* backends by win score (stable: ties keep registration
+  // order). Unseen backends are always kept and do not consume the quota.
+  std::vector<std::size_t> seen_ranked;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (predictions[i].seen) seen_ranked.push_back(i);
+  }
+  std::stable_sort(seen_ranked.begin(), seen_ranked.end(),
+                   [&predictions](std::size_t a, std::size_t b) {
+                     return predictions[a].win_score > predictions[b].win_score;
+                   });
+
+  const std::size_t unseen = names.size() - seen_ranked.size();
+  const std::size_t floor = std::min(options.min_backends, names.size());
+  // Keep at most max_backends of the seen ones, but enough that the total
+  // kept (unseen + seen) never drops below the floor.
+  std::size_t keep_seen = std::min(seen_ranked.size(), options.max_backends);
+  if (unseen + keep_seen < floor) {
+    keep_seen = std::min(seen_ranked.size(), floor - unseen);
+  }
+  for (std::size_t r = keep_seen; r < seen_ranked.size(); ++r) {
+    predictions[seen_ranked[r]].keep = false;
+  }
+  return predictions;
+}
+
+}  // namespace gridmap::engine

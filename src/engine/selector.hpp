@@ -1,0 +1,77 @@
+// PortfolioSelector: instance-feature backend prediction. Given the feature
+// vector of an instance and a snapshot of the BackendHistory, it ranks the
+// registered backends by how likely they are to win the race on similar
+// instances and (a) prunes backends with no realistic chance of winning,
+// (b) derives per-backend adaptive deadlines from the remap times observed
+// on similar instances.
+//
+// Safety fallbacks (the selector must never lose the true winner silently):
+//  - a backend with no recorded history ("never seen") is always kept;
+//  - pruning never drops the kept set below `min_backends` (or the portfolio
+//    size, whichever is smaller);
+//  - an empty history keeps every backend with no deadline — the cold-start
+//    race is exactly today's full race.
+//
+// Determinism: selection is a pure function of (names, features, snapshot,
+// options) — no clocks, no RNG, stable sorts with registration-order
+// tie-breaks — so a race's pruning decisions are reproducible from the
+// snapshot it ran against.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "core/features.hpp"
+#include "engine/history.hpp"
+
+namespace gridmap::engine {
+
+struct SelectorOptions {
+  /// Maximum backends with history that may race; 0 disables pruning.
+  /// Never-seen backends are kept on top of this quota.
+  std::size_t max_backends = 0;
+  /// Pruning never leaves fewer than this many backends in the race
+  /// (clamped to the portfolio size).
+  std::size_t min_backends = 3;
+  /// Nearest history outcomes (by feature distance) consulted per backend.
+  std::size_t neighbors = 8;
+  /// Derive per-backend deadlines from history remap times.
+  bool derive_budgets = false;
+  /// Quantile of the neighbors' remap times used as the time prediction.
+  double budget_quantile = 0.9;
+  /// Deadline = predicted quantile * slack (headroom for machine noise).
+  double budget_slack = 4.0;
+  /// Deadlines are never derived from fewer outcomes than this.
+  std::size_t min_outcomes_for_budget = 4;
+  /// Floor for derived deadlines — microsecond-fast backends must not get a
+  /// deadline the scheduler can blow through noise alone.
+  std::chrono::nanoseconds min_budget = std::chrono::milliseconds(2);
+  /// Hard clamp on derived deadlines (the engine passes its backend_budget);
+  /// zero means unclamped.
+  std::chrono::nanoseconds budget_clamp{0};
+};
+
+/// The selector's verdict on one backend, index-aligned with the `names`
+/// passed to select().
+struct BackendPrediction {
+  std::string name;
+  bool keep = true;              ///< false = prune from the race
+  bool seen = false;             ///< backend has history outcomes
+  double win_score = 0.0;        ///< similarity-weighted win rate in [0, 1]
+  double predicted_seconds = 0.0;  ///< remap-time prediction (0 when unseen)
+  std::chrono::nanoseconds deadline{0};  ///< adaptive deadline; 0 = none
+};
+
+class PortfolioSelector {
+ public:
+  /// Ranks every backend in `names` (registration order) against the
+  /// snapshot. Pure and deterministic; see header comment for the pruning
+  /// safety rules.
+  static std::vector<BackendPrediction> select(const std::vector<std::string>& names,
+                                               const InstanceFeatures& features,
+                                               const HistorySnapshot& history,
+                                               const SelectorOptions& options);
+};
+
+}  // namespace gridmap::engine

@@ -1,0 +1,304 @@
+// Fuzz-ish robustness tests for the engine's three text loaders: plan_io's
+// parse_plan, PlanCache::load, and BackendHistory::load. Malformed input —
+// truncations, garbage lines, wrong counts, duplicate keys, random byte
+// mutations — must fail *cleanly*: std::invalid_argument only (never a
+// crash or a foreign exception type), no partial state left behind, and the
+// engine stays fully usable afterwards. All randomness is seeded; failures
+// reproduce exactly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "engine/history.hpp"
+#include "engine/plan_cache.hpp"
+#include "engine/plan_io.hpp"
+#include "engine/portfolio.hpp"
+
+namespace gridmap::engine {
+namespace {
+
+constexpr unsigned kSeed = 20260731;
+
+std::string temp_path(const std::string& name) { return ::testing::TempDir() + name; }
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  ASSERT_TRUE(out.is_open()) << path;
+  out << text;
+}
+
+MappingPlan sample_plan(const std::string& signature = "g[4x4;p=00]|s[(0,1)]|a[4*4]|o=jsum") {
+  MappingPlan plan;
+  plan.signature = signature;
+  plan.mapper = "hyperplane";
+  plan.objective = Objective::kJsum;
+  plan.jsum = 42;
+  plan.jmax = 7;
+  plan.cell_of_rank = {3, 1, 0, 2};
+  return plan;
+}
+
+std::string sample_history_text() {
+  BackendHistory history(8);
+  InstanceFeatures f{};
+  for (int i = 0; i < InstanceFeatures::kCount; ++i) {
+    f.v[static_cast<std::size_t>(i)] = 0.5 * (i + 1);
+  }
+  BackendOutcome outcome;
+  outcome.features = f;
+  outcome.remap_seconds = 0.0125;
+  outcome.jsum = 40;
+  outcome.jmax = 9;
+  outcome.won = true;
+  history.record("blocked", outcome);
+  outcome.won = false;
+  outcome.remap_seconds = 1.0 / 3.0;
+  history.record("blocked", outcome);
+  history.record("viem", outcome);
+  const std::string path = temp_path("gridmap_fuzz_history_sample.txt");
+  history.save(path);
+  std::ifstream in(path, std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  std::remove(path.c_str());
+  return text;
+}
+
+// ----------------------------------------------------------------- plan_io --
+
+TEST(FuzzPlanIo, EveryTruncationFailsCleanlyOrParsesTheFullPlan) {
+  const std::string text = serialize_plan(sample_plan());
+  for (std::size_t len = 0; len < text.size(); ++len) {
+    const std::string prefix = text.substr(0, len);
+    try {
+      const MappingPlan parsed = parse_plan(prefix);
+      // The only prefix allowed to parse is the full plan minus the final
+      // newline (getline tolerates a missing trailing '\n' on "end").
+      EXPECT_EQ(len, text.size() - 1) << "unexpectedly parsed a " << len << "-byte prefix";
+      EXPECT_EQ(parsed, sample_plan());
+    } catch (const std::invalid_argument&) {
+      // clean rejection — expected for almost every prefix
+    }
+  }
+  EXPECT_EQ(parse_plan(text), sample_plan());
+}
+
+TEST(FuzzPlanIo, SingleByteMutationsNeverCrashOrMisparse) {
+  const std::string text = serialize_plan(sample_plan());
+  std::mt19937 rng(kSeed);
+  std::uniform_int_distribution<std::size_t> pos_dist(0, text.size() - 1);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  for (int round = 0; round < 500; ++round) {
+    std::string mutated = text;
+    mutated[pos_dist(rng)] = static_cast<char>(byte_dist(rng));
+    try {
+      const MappingPlan parsed = parse_plan(mutated);
+      // A mutation may survive parsing (e.g. it hit a digit of jsum); the
+      // result must still serialize consistently — no torn/corrupt state.
+      EXPECT_EQ(parse_plan(serialize_plan(parsed)), parsed);
+    } catch (const std::invalid_argument&) {
+    }
+    // Any other exception type (or a crash) fails the test by itself.
+  }
+}
+
+TEST(FuzzPlanIo, GarbageAndWrongCountsAreRejected) {
+  EXPECT_THROW(parse_plan(""), std::invalid_argument);
+  EXPECT_THROW(parse_plan("garbage\n"), std::invalid_argument);
+  EXPECT_THROW(parse_plan(std::string(64, '\0')), std::invalid_argument);
+
+  // Declared rank count disagrees with the cell list, both directions.
+  for (const char* count : {"ranks 3", "ranks 5", "ranks -1", "ranks x"}) {
+    std::string text = serialize_plan(sample_plan());
+    const std::size_t pos = text.find("ranks 4");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 7, count);
+    EXPECT_THROW(parse_plan(text), std::invalid_argument) << count;
+  }
+}
+
+// -------------------------------------------------------------- plan cache --
+
+TEST(FuzzPlanCache, MalformedTailLeavesNoPartialState) {
+  // A valid block followed by garbage: load() must throw and the cache must
+  // stay exactly as it was — the valid prefix must NOT have been inserted.
+  const std::string path = temp_path("gridmap_fuzz_cache_tail.txt");
+  write_file(path, serialize_plan(sample_plan("first")) + "garbage tail\n");
+
+  PlanCache cache(8);
+  cache.put("existing", std::make_shared<MappingPlan>(sample_plan("existing")));
+  EXPECT_THROW(cache.load(path), std::invalid_argument);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.get("first"), nullptr) << "partial state: valid prefix was inserted";
+  EXPECT_NE(cache.get("existing"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(FuzzPlanCache, TruncationLadderNeverLeavesPartialState) {
+  const std::string text =
+      serialize_plan(sample_plan("one")) + serialize_plan(sample_plan("two"));
+  const std::string path = temp_path("gridmap_fuzz_cache_trunc.txt");
+  for (std::size_t len = 0; len <= text.size(); len += 7) {
+    write_file(path, text.substr(0, len));
+    PlanCache cache(8);
+    try {
+      (void)cache.load(path);
+      // Whatever loaded parsed fully; size is the number of complete blocks.
+      EXPECT_LE(cache.size(), 2u);
+    } catch (const std::invalid_argument&) {
+      EXPECT_EQ(cache.size(), 0u) << "partial state after failed load (len " << len << ")";
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FuzzPlanCache, DuplicateSignaturesRefreshLikePut) {
+  // Duplicate keys in a cache file are not an error: the last block wins,
+  // mirroring put()'s refresh semantics.
+  MappingPlan second = sample_plan("dup");
+  second.mapper = "kdtree";
+  const std::string path = temp_path("gridmap_fuzz_cache_dup.txt");
+  write_file(path, serialize_plan(sample_plan("dup")) + serialize_plan(second));
+
+  PlanCache cache(8);
+  EXPECT_EQ(cache.load(path), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  const auto plan = cache.get("dup");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->mapper, "kdtree");
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------------- history --
+
+TEST(FuzzHistory, TruncationLadderNeverLeavesPartialState) {
+  const std::string text = sample_history_text();
+  const std::string path = temp_path("gridmap_fuzz_history_trunc.txt");
+  std::size_t clean_loads = 0;
+  for (std::size_t len = 0; len <= text.size(); ++len) {
+    write_file(path, text.substr(0, len));
+    BackendHistory history(8);
+    history.record("sentinel", BackendOutcome{});
+    try {
+      (void)history.load(path);
+      ++clean_loads;
+      EXPECT_EQ(history.size("sentinel"), 0u);  // load replaces on success
+    } catch (const std::invalid_argument&) {
+      // Failed load must leave the pre-existing contents untouched.
+      EXPECT_EQ(history.size("sentinel"), 1u) << "partial state at len " << len;
+      EXPECT_EQ(history.size(), 1u) << "partial state at len " << len;
+    }
+  }
+  EXPECT_GT(clean_loads, 0u);  // at least the full file loads
+  std::remove(path.c_str());
+}
+
+TEST(FuzzHistory, WrongCountsAndGarbageAreRejectedWithoutPartialState) {
+  const std::string path = temp_path("gridmap_fuzz_history_bad.txt");
+  const std::string valid_block =
+      "backend blocked\ncount 1\no 1 10 3 0.5 1 2 3 4 5 6 7 8 9\nend\n";
+
+  const std::vector<std::string> bad_files = {
+      "",                                                    // empty, no header
+      "gridmap-history v2\n",                                // wrong version
+      "gridmap-history v1\nbackend b\ncount 2\n"             // declared 2, has 1
+      "o 1 10 3 0.5 1 2 3 4 5 6 7 8 9\nend\n",
+      "gridmap-history v1\nbackend b\ncount 0\n"             // declared 0, has 1
+      "o 1 10 3 0.5 1 2 3 4 5 6 7 8 9\nend\n",
+      "gridmap-history v1\nbackend b\ncount -1\nend\n",      // negative count
+      "gridmap-history v1\nbackend b\ncount x\nend\n",       // non-numeric count
+      "gridmap-history v1\nbackend b\ncount 1\n"             // too few features
+      "o 1 10 3 0.5 1 2 3\nend\n",
+      "gridmap-history v1\nbackend b\ncount 1\n"             // trailing junk
+      "o 1 10 3 0.5 1 2 3 4 5 6 7 8 9 10\nend\n",
+      "gridmap-history v1\nbackend b\ncount 1\n"             // won flag not 0/1
+      "o 2 10 3 0.5 1 2 3 4 5 6 7 8 9\nend\n",
+      "gridmap-history v1\nbackend b\ncount 1\n"             // negative remap time
+      "o 1 10 3 -0.5 1 2 3 4 5 6 7 8 9\nend\n",
+      "gridmap-history v1\nbackend b\ncount 1\n"             // garbage values
+      "o 1 ten three fast 1 2 3 4 5 6 7 8 9\nend\n",
+      "gridmap-history v1\nnot-a-backend-line\n",            // garbage structure
+      "gridmap-history v1\n" + valid_block + valid_block,    // duplicate backend key
+  };
+
+  for (std::size_t i = 0; i < bad_files.size(); ++i) {
+    write_file(path, bad_files[i]);
+    BackendHistory history(8);
+    history.record("sentinel", BackendOutcome{});
+    EXPECT_THROW(history.load(path), std::invalid_argument) << "file " << i;
+    EXPECT_EQ(history.size(), 1u) << "partial state from file " << i;
+    EXPECT_EQ(history.size("sentinel"), 1u) << "file " << i;
+  }
+  // The valid block alone still loads — the harness rejects for the right
+  // reason, not because the block syntax drifted.
+  write_file(path, "gridmap-history v1\n" + valid_block);
+  BackendHistory history(8);
+  EXPECT_EQ(history.load(path), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(FuzzHistory, SingleByteMutationsNeverCrashTheLoader) {
+  const std::string text = sample_history_text();
+  const std::string path = temp_path("gridmap_fuzz_history_mut.txt");
+  std::mt19937 rng(kSeed + 1);
+  std::uniform_int_distribution<std::size_t> pos_dist(0, text.size() - 1);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = text;
+    mutated[pos_dist(rng)] = static_cast<char>(byte_dist(rng));
+    write_file(path, mutated);
+    BackendHistory history(8);
+    try {
+      (void)history.load(path);  // surviving mutations are fine (hit a digit)
+    } catch (const std::invalid_argument&) {
+    }
+    // Anything else — crash, std::bad_alloc, parse UB — fails the test.
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FuzzHistory, StoreStaysUsableAfterFailedLoads) {
+  const std::string path = temp_path("gridmap_fuzz_history_usable.txt");
+  write_file(path, "gridmap-history v1\nbackend b\ncount 9\ntruncated");
+  BackendHistory history(8);
+  EXPECT_THROW(history.load(path), std::invalid_argument);
+
+  // Still records, snapshots, and persists normally.
+  history.record("blocked", BackendOutcome{});
+  EXPECT_EQ(history.size(), 1u);
+  history.save(path);
+  BackendHistory reloaded(8);
+  EXPECT_EQ(reloaded.load(path), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(FuzzEngine, EngineStaysUsableWithCorruptPersistenceFiles) {
+  // Both persistence files corrupt: the engine must construct, race, and
+  // shut down (rewriting both files) without ever throwing at the user.
+  EngineOptions options;
+  options.threads = 1;
+  options.max_backends = 3;
+  options.cache_file = temp_path("gridmap_fuzz_engine_cache.txt");
+  options.history_file = temp_path("gridmap_fuzz_engine_history.txt");
+  write_file(options.cache_file, "not a cache\n");
+  write_file(options.history_file, "not a history\n");
+  {
+    PortfolioEngine engine(MapperRegistry::with_default_backends(), options);
+    const auto plan = engine.map(CartesianGrid({4, 4}), Stencil::nearest_neighbor(2),
+                                 NodeAllocation::homogeneous(4, 4));
+    ASSERT_NE(plan, nullptr);
+  }
+  // Shutdown rewrote both files with valid contents.
+  PlanCache cache(8);
+  EXPECT_EQ(cache.load(options.cache_file), 1u);
+  BackendHistory history(8);
+  EXPECT_GT(history.load(options.history_file), 0u);
+  std::remove(options.cache_file.c_str());
+  std::remove(options.history_file.c_str());
+}
+
+}  // namespace
+}  // namespace gridmap::engine
