@@ -14,6 +14,11 @@
 //       backend history, then a pruned map_all re-races the batch — must
 //       agree with the full race on >= 95% of winners while executing
 //       strictly fewer mapper runs (the ISSUE 3 acceptance pin).
+//   (6) MappingService: a duplicate-signature request storm with and
+//       without single-flight dedup (dedup must run strictly fewer mapper
+//       races — the ISSUE 4 acceptance pin), then an admission-control
+//       flood against a tiny queue (depth must stay bounded, admitted work
+//       must all complete — no deadlock).
 //
 // Plain chrono timing — runs everywhere, no Google Benchmark dependency.
 #include <algorithm>
@@ -29,6 +34,7 @@
 
 #include "core/dims_create.hpp"
 #include "engine/portfolio.hpp"
+#include "engine/service.hpp"
 #include "report/table.hpp"
 
 namespace {
@@ -311,5 +317,98 @@ int main() {
             << "%, target >= 95%), runs strictly fewer: "
             << (pruned_runs < full_runs ? "yes" : "NO") << "\n";
 
-  return identical && selection_ok ? 0 : 1;
+  // ---- (6) MappingService: single-flight dedup + admission control -------
+  // A duplicate-heavy request storm over 3 small distinct instances, cache
+  // disabled so deduplication (not the plan cache) must absorb the twins.
+  const std::vector<Instance> storm_instances = {
+      {CartesianGrid({12, 10}), Stencil::nearest_neighbor(2),
+       NodeAllocation::homogeneous(10, 12)},
+      {CartesianGrid({10, 12}), Stencil::nearest_neighbor(2),
+       NodeAllocation::homogeneous(12, 10)},
+      {CartesianGrid({8, 8}), Stencil::nearest_neighbor_with_hops(2),
+       NodeAllocation::homogeneous(8, 8)},
+  };
+  constexpr int kStormRequests = 60;
+  struct StormOutcome {
+    double seconds = 0.0;
+    std::uint64_t runs = 0;
+    ServiceCounters counters;
+  };
+  const auto run_storm = [&storm_instances, &par_options](bool single_flight) {
+    EngineOptions engine_options = par_options;
+    engine_options.cache_capacity = 0;
+    ServiceOptions service_options;
+    service_options.workers = 2;
+    service_options.queue_capacity = kStormRequests + 8;
+    service_options.single_flight = single_flight;
+    service_options.probe_cache = false;
+    MappingService service(MapperRegistry::with_default_backends(), engine_options,
+                           service_options);
+    const auto t = Clock::now();
+    std::vector<MapTicket> tickets;
+    tickets.reserve(kStormRequests);
+    for (int r = 0; r < kStormRequests; ++r) {
+      const Instance& inst = storm_instances[static_cast<std::size_t>(r) %
+                                             storm_instances.size()];
+      tickets.push_back(service.map_async(inst.grid, inst.stencil, inst.alloc));
+    }
+    for (MapTicket& ticket : tickets) (void)ticket.get();
+    StormOutcome out;
+    out.seconds = seconds_since(t);
+    out.runs = service.engine().mapper_runs();
+    out.counters = service.counters();
+    return out;
+  };
+  const StormOutcome deduped = run_storm(true);
+  const StormOutcome independent = run_storm(false);
+  const bool dedup_ok = deduped.runs < independent.runs;
+
+  std::cout << "MappingService storm: " << kStormRequests << " requests over "
+            << storm_instances.size() << " distinct instances (cache off, 2 workers)\n"
+            << "  single-flight: " << std::setprecision(1) << deduped.seconds * 1e3
+            << " ms, " << deduped.runs << " mapper runs, " << deduped.counters.deduped
+            << " joined, " << deduped.counters.completed << " races\n"
+            << "  no dedup:      " << independent.seconds * 1e3 << " ms, "
+            << independent.runs << " mapper runs, " << independent.counters.completed
+            << " races\n  dedup runs strictly fewer: " << (dedup_ok ? "yes" : "NO")
+            << " (" << std::setprecision(2)
+            << static_cast<double>(independent.runs) /
+                   static_cast<double>(deduped.runs == 0 ? 1 : deduped.runs)
+            << "x fewer)\n\n";
+
+  // Admission flood: 200 distinct instances against an 8-slot queue. The
+  // bound must hold (max depth <= capacity), load must shed (rejections),
+  // and every admitted request must still complete — no deadlock.
+  ServiceOptions gate_options;
+  gate_options.workers = 2;
+  gate_options.queue_capacity = 8;
+  MappingService gate(MapperRegistry::with_default_backends(), par_options,
+                      gate_options);
+  std::vector<MapTicket> admitted;
+  std::size_t rejected = 0;
+  const auto tg = Clock::now();
+  for (int i = 0; i < 200; ++i) {
+    const CartesianGrid grid({3 + i % 25, 4});
+    const NodeAllocation alloc = NodeAllocation::homogeneous(3 + i % 25, 4);
+    try {
+      admitted.push_back(gate.map_async(grid, Stencil::nearest_neighbor(2), alloc));
+    } catch (const AdmissionError&) {
+      ++rejected;
+    }
+  }
+  std::size_t delivered = 0;
+  for (MapTicket& ticket : admitted) delivered += ticket.get() != nullptr ? 1 : 0;
+  const double gate_s = seconds_since(tg);
+  const ServiceCounters gate_counters = gate.counters();
+  const bool admission_ok = gate_counters.max_queue_depth <= 8 &&
+                            delivered == admitted.size() && rejected > 0;
+
+  std::cout << "Admission control (queue capacity 8): 200 submissions -> "
+            << admitted.size() << " admitted (" << gate_counters.cache_hits
+            << " cache hits), " << rejected << " rejected, max queue depth "
+            << gate_counters.max_queue_depth << ", all admitted delivered: "
+            << (delivered == admitted.size() ? "yes" : "NO") << " ("
+            << std::setprecision(1) << gate_s * 1e3 << " ms, no deadlock)\n";
+
+  return identical && selection_ok && dedup_ok && admission_ok ? 0 : 1;
 }

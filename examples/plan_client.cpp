@@ -1,0 +1,110 @@
+// plan_client: the matching client for plan_server — sends one request line
+// over the server's AF_UNIX socket and prints the response. For "map"
+// requests the received plan block is re-parsed with plan_io::parse_plan
+// before printing, so every served plan is round-trip-verified against the
+// text format spec (docs/FORMATS.md) on the client side too.
+//
+// Usage:
+//   plan_client <socket-path> map 6x8 00 nn 6 8 [high|normal|low]
+//   plan_client <socket-path> stats
+//   plan_client <socket-path> shutdown
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "engine/plan_io.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: plan_client <socket-path> <map ...|stats|shutdown>\n"
+               "       plan_client /tmp/gridmap.sock map 6x8 00 nn 6 8\n";
+  return 2;
+}
+
+bool send_all(int fd, const std::string& text) {
+  std::size_t sent = 0;
+  while (sent < text.size()) {
+    const ssize_t n = ::write(fd, text.data() + sent, text.size() - sent);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string socket_path = argv[1];
+  std::string request;
+  for (int i = 2; i < argc; ++i) {
+    if (i > 2) request += ' ';
+    request += argv[i];
+  }
+  request += '\n';
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    std::cerr << "socket path too long: " << socket_path << "\n";
+    return 1;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    std::perror("connect");
+    ::close(fd);
+    return 1;
+  }
+  if (!send_all(fd, request)) {
+    std::cerr << "failed to send request\n";
+    ::close(fd);
+    return 1;
+  }
+
+  // Single-line responses ("ok ..." / "err ...") end at their newline; a
+  // plan block ends at its "end" line. Read until whichever terminator the
+  // first line implies (or EOF).
+  std::string response;
+  char chunk[4096];
+  const auto complete = [&response] {
+    const std::size_t first_newline = response.find('\n');
+    if (first_newline == std::string::npos) return false;
+    if (response.compare(0, 3, "ok ") == 0 || response.compare(0, 4, "err ") == 0) {
+      return true;
+    }
+    return response.find("\nend\n") != std::string::npos;
+  };
+  while (!complete()) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  if (response.rfind("err ", 0) == 0) {
+    std::cerr << response;
+    return 1;
+  }
+  std::cout << response;
+  if (response.rfind("gridmap-plan", 0) == 0) {
+    // Round-trip the plan through the text format: a served plan must parse
+    // back bit-identically (serialize(parse(x)) == x).
+    const gridmap::engine::MappingPlan plan = gridmap::engine::parse_plan(response);
+    const bool roundtrip = gridmap::engine::serialize_plan(plan) == response;
+    std::cout << "# parsed: mapper=" << plan.mapper << " jsum=" << plan.jsum
+              << " jmax=" << plan.jmax << " ranks=" << plan.cell_of_rank.size()
+              << " roundtrip=" << (roundtrip ? "ok" : "MISMATCH") << "\n";
+    if (!roundtrip) return 1;
+  }
+  return 0;
+}

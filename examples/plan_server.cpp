@@ -1,0 +1,259 @@
+// plan_server: a plan-serving front-end over a local (AF_UNIX) socket —
+// "mapping as a service" across processes. One MappingService (engine +
+// request queue) serves every connected client; concurrent identical
+// requests from different processes join one race via single-flight
+// deduplication, and repeated instances come straight from the plan cache.
+//
+// Line protocol (requests are single lines, '\n'-terminated):
+//
+//   map <e0>x<e1>[x...] <periodic-bits> <nn|hops|component> <nodes> <ppn> [prio]
+//       -> the winning plan in plan_io text form ("gridmap-plan v1" ...
+//          "end"), or "err <reason>" on one line. [prio] is high|normal|low
+//          (default normal).
+//   stats
+//       -> "ok <counter>=<value> ..." on one line (service counters plus
+//          cache hit rate and total mapper runs).
+//   shutdown
+//       -> "ok bye"; the server stops accepting and exits once idle.
+//
+// Usage: plan_server <socket-path> [engine-threads] [queue-capacity] [workers]
+//
+// See plan_client.cpp for the matching client; README "Mapping as a
+// service" walks through a two-process demo.
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/plan_io.hpp"
+#include "engine/service.hpp"
+
+namespace {
+
+using namespace gridmap;
+using namespace gridmap::engine;
+
+int usage() {
+  std::cerr << "usage: plan_server <socket-path> [engine-threads] [queue-capacity]"
+               " [workers]\n";
+  return 2;
+}
+
+/// Parses "6x8" / "16x12x8" into grid extents.
+Dims parse_dims(const std::string& spec) {
+  Dims dims;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t next = spec.find('x', pos);
+    const std::string part = spec.substr(pos, next - pos);
+    if (part.empty() || part.size() > 9 ||
+        part.find_first_not_of("0123456789") != std::string::npos) {
+      throw_invalid("bad dims spec (want e.g. 6x8 or 16x12x8): " + spec);
+    }
+    dims.push_back(std::stoi(part));
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return dims;
+}
+
+Stencil parse_stencil(const std::string& kind, int ndims) {
+  if (kind == "nn") return Stencil::nearest_neighbor(ndims);
+  if (kind == "hops") return Stencil::nearest_neighbor_with_hops(ndims);
+  if (kind == "component") return Stencil::component(ndims);
+  throw_invalid("unknown stencil kind (want nn|hops|component): " + kind);
+}
+
+/// Handles one "map ..." request line; returns the response text.
+std::string handle_map(MappingService& service, std::istringstream& args) {
+  std::string dims_spec, periodic_bits, kind;
+  int nodes = 0, ppn = 0;
+  if (!(args >> dims_spec >> periodic_bits >> kind >> nodes >> ppn)) {
+    return "err map wants: <dims> <periodic-bits> <nn|hops|component> <nodes> <ppn>"
+           " [high|normal|low]\n";
+  }
+  std::string prio_word;
+  const Priority priority =
+      (args >> prio_word) ? priority_from_string(prio_word) : Priority::kNormal;
+
+  const Dims dims = parse_dims(dims_spec);
+  if (periodic_bits.size() != dims.size()) {
+    return "err periodic-bits length must match dimensionality\n";
+  }
+  std::vector<bool> periodic;
+  for (const char bit : periodic_bits) {
+    if (bit != '0' && bit != '1') return "err periodic-bits must be 0s and 1s\n";
+    periodic.push_back(bit == '1');
+  }
+
+  const CartesianGrid grid(dims, periodic);
+  const Stencil stencil = parse_stencil(kind, grid.ndims());
+  const NodeAllocation alloc = NodeAllocation::homogeneous(nodes, ppn);
+
+  MapTicket ticket = service.map_async(grid, stencil, alloc, priority);
+  return serialize_plan(*ticket.get());
+}
+
+std::string handle_stats(MappingService& service) {
+  const ServiceCounters c = service.counters();
+  const CacheStats cache = service.engine().cache_stats();
+  std::ostringstream out;
+  out << "ok submitted=" << c.submitted << " admitted=" << c.admitted
+      << " rejected_full=" << c.rejected_full
+      << " rejected_shutdown=" << c.rejected_shutdown << " deduped=" << c.deduped
+      << " cache_hits=" << c.cache_hits << " completed=" << c.completed
+      << " failed=" << c.failed << " cancelled=" << c.cancelled
+      << " queue_depth=" << c.queue_depth << " max_queue_depth=" << c.max_queue_depth
+      << " cache_hit_rate=" << cache.hit_rate()
+      << " mapper_runs=" << service.engine().mapper_runs() << "\n";
+  return out.str();
+}
+
+bool send_all(int fd, const std::string& text) {
+  std::size_t sent = 0;
+  while (sent < text.size()) {
+    const ssize_t n = ::write(fd, text.data() + sent, text.size() - sent);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Serves one connection: request lines in, responses out, until EOF (or
+/// shutdown — reads time out every 500 ms so an idle connection notices
+/// `stop` and lets the server exit instead of pinning it open forever).
+void serve_connection(int fd, MappingService& service, std::atomic<bool>& stop,
+                      int listen_fd) {
+  timeval read_timeout{};
+  read_timeout.tv_usec = 500 * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &read_timeout, sizeof read_timeout);
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      const ssize_t n = ::read(fd, chunk, sizeof chunk);
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (stop.load()) break;  // idle while shutting down — hang up
+        continue;
+      }
+      if (n <= 0) break;  // client closed (or errored) — done
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    const std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (line.empty()) continue;
+
+    std::istringstream args(line);
+    std::string command;
+    args >> command;
+    std::string response;
+    try {
+      if (command == "map") {
+        response = handle_map(service, args);
+      } else if (command == "stats") {
+        response = handle_stats(service);
+      } else if (command == "shutdown") {
+        response = "ok bye\n";
+        stop.store(true);
+        // Unblock the accept loop; its next accept() fails and it exits.
+        ::shutdown(listen_fd, SHUT_RDWR);
+      } else {
+        response = "err unknown command (want map|stats|shutdown): " + command + "\n";
+      }
+    } catch (const std::exception& e) {
+      response = std::string("err ") + e.what() + "\n";
+    }
+    if (!send_all(fd, response)) break;
+    if (stop.load()) break;
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string socket_path = argv[1];
+
+  EngineOptions engine_options;
+  if (argc > 2) engine_options.threads = std::stoi(argv[2]);
+  ServiceOptions service_options;
+  if (argc > 3) service_options.queue_capacity = std::stoul(argv[3]);
+  if (argc > 4) service_options.workers = std::stoi(argv[4]);
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    std::cerr << "socket path too long: " << socket_path << "\n";
+    return 1;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  ::unlink(socket_path.c_str());  // stale socket from a previous run
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd, 16) != 0) {
+    std::perror("bind/listen");
+    ::close(listen_fd);
+    return 1;
+  }
+
+  MappingService service(MapperRegistry::with_default_backends(), engine_options,
+                         service_options);
+  std::cout << "plan_server listening on " << socket_path << " ("
+            << service.engine().registry().size() << " backends, "
+            << service.engine().threads() << " engine threads)\n"
+            << std::flush;
+
+  std::atomic<bool> stop{false};
+  // One thread per connection, reaped as they finish so a long-running
+  // server does not accumulate joinable handles for every client ever seen.
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> finished;
+  };
+  std::vector<Connection> connections;
+  const auto reap = [&connections](bool all) {
+    for (auto it = connections.begin(); it != connections.end();) {
+      if (all || it->finished->load()) {
+        it->thread.join();
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  while (!stop.load()) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) break;  // listener shut down (or fatal error)
+    reap(/*all=*/false);
+    auto finished = std::make_shared<std::atomic<bool>>(false);
+    connections.push_back({std::thread([fd, &service, &stop, listen_fd, finished] {
+                             serve_connection(fd, service, stop, listen_fd);
+                             finished->store(true);
+                           }),
+                           finished});
+  }
+  stop.store(true);  // listener gone: wake idle connections out of their reads
+  reap(/*all=*/true);
+  ::close(listen_fd);
+  ::unlink(socket_path.c_str());
+
+  std::cout << handle_stats(service);
+  return 0;
+}

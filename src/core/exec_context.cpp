@@ -10,6 +10,16 @@ ExecContext& ExecContext::none() noexcept {
   return instance;
 }
 
+ExecContext& ExecContext::also_watch(const std::atomic<bool>* token) {
+  if (this == &none()) {
+    throw std::logic_error(
+        "cannot attach a cancellation flag to the shared unlimited ExecContext; "
+        "construct a dedicated context instead");
+  }
+  extra_token_ = token;
+  return *this;
+}
+
 void ExecContext::set_stop_score(std::int64_t score) {
   if (this == &none()) {
     throw std::logic_error(

@@ -80,7 +80,16 @@ class ExecContext {
     return ctx;
   }
 
-  bool limited() const noexcept { return token_ != nullptr || deadline_.has_value(); }
+  /// Watches an additional cancellation flag on top of the primary token —
+  /// e.g. a service request abandoned while its race is already running.
+  /// Returns *this for chaining. Throws std::logic_error on the shared
+  /// none() instance (mutating it would leak the flag into every
+  /// default-context run in the process).
+  ExecContext& also_watch(const std::atomic<bool>* token);
+
+  bool limited() const noexcept {
+    return token_ != nullptr || extra_token_ != nullptr || deadline_.has_value();
+  }
 
   /// Cooperative cancellation point for hot loops. The first call and every
   /// kStride-th call thereafter read the token and the clock; the calls in
@@ -95,6 +104,9 @@ class ExecContext {
   /// optional refinement phase at all).
   bool cancelled() const {
     if (token_ != nullptr && token_->load(std::memory_order_relaxed)) return true;
+    if (extra_token_ != nullptr && extra_token_->load(std::memory_order_relaxed)) {
+      return true;
+    }
     return deadline_.has_value() && Clock::now() >= *deadline_;
   }
 
@@ -116,10 +128,14 @@ class ExecContext {
     if (token_ != nullptr && token_->load(std::memory_order_relaxed)) {
       throw CancelledError(CancelledError::Reason::kCancelled);
     }
+    if (extra_token_ != nullptr && extra_token_->load(std::memory_order_relaxed)) {
+      throw CancelledError(CancelledError::Reason::kCancelled);
+    }
   }
 
   std::optional<Clock::time_point> deadline_;
   const std::atomic<bool>* token_ = nullptr;
+  const std::atomic<bool>* extra_token_ = nullptr;
   std::optional<std::int64_t> stop_score_;
   std::uint32_t polls_ = 0;
 };

@@ -19,6 +19,8 @@ struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t inserts = 0;   ///< new signatures stored (capacity-0 drops excluded)
+  std::uint64_t refreshes = 0; ///< put() on an already-cached signature
   std::size_t size = 0;
   std::size_t capacity = 0;
 
@@ -36,6 +38,12 @@ class PlanCache {
   /// Returns the cached plan and refreshes its recency, or nullptr.
   /// Counts a hit or a miss.
   std::shared_ptr<const MappingPlan> get(const std::string& signature);
+
+  /// get() for a layered fast path (the MappingService probes before
+  /// queueing): a hit counts and refreshes recency exactly like get(), but
+  /// a miss is NOT counted — the authoritative get() inside the engine's
+  /// map path follows and counts it, so stats match a direct map() call.
+  std::shared_ptr<const MappingPlan> probe(const std::string& signature);
 
   /// Inserts or refreshes a plan under `signature`, evicting the least
   /// recently used entry when over capacity.
@@ -70,6 +78,8 @@ class PlanCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t inserts_ = 0;
+  std::uint64_t refreshes_ = 0;
 };
 
 }  // namespace gridmap::engine

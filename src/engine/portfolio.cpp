@@ -1,22 +1,19 @@
 #include "engine/portfolio.hpp"
 
 #include <algorithm>
-#include <chrono>
+#include <cmath>
 #include <fstream>
-#include <future>
-#include <limits>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "core/types.hpp"
+#include "engine/race.hpp"
 #include "engine/signature.hpp"
 
 namespace gridmap::engine {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
 
 int resolve_threads(int requested) {
   if (requested != 0) return std::max(1, requested);
@@ -24,42 +21,43 @@ int resolve_threads(int requested) {
   return hw == 0 ? 4 : static_cast<int>(hw);
 }
 
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
+/// Rejects option combinations that would silently misbehave instead of
+/// doing what the caller asked: negative budgets and thread counts, selector
+/// knobs outside their domain, and selection without any history to ever
+/// warm it. Everything else (0 = disabled conventions) stays valid.
+void validate_options(const EngineOptions& options) {
+  GRIDMAP_CHECK(options.threads >= 0,
+                "EngineOptions::threads must be >= 0 (0 = hardware concurrency)");
+  GRIDMAP_CHECK(options.backend_budget.count() >= 0,
+                "EngineOptions::backend_budget must not be negative");
+  const SelectorOptions& sel = options.selector;
+  GRIDMAP_CHECK(sel.min_budget.count() >= 0,
+                "SelectorOptions::min_budget must not be negative");
+  GRIDMAP_CHECK(sel.budget_clamp.count() >= 0,
+                "SelectorOptions::budget_clamp must not be negative");
+  GRIDMAP_CHECK(sel.budget_quantile > 0.0 && sel.budget_quantile <= 1.0,
+                "SelectorOptions::budget_quantile must be in (0, 1]");
+  GRIDMAP_CHECK(std::isfinite(sel.budget_slack) && sel.budget_slack > 0.0,
+                "SelectorOptions::budget_slack must be positive and finite");
+  GRIDMAP_CHECK(sel.min_backends >= 1,
+                "SelectorOptions::min_backends must be >= 1 (the race needs a floor)");
+  GRIDMAP_CHECK(sel.neighbors >= 1, "SelectorOptions::neighbors must be >= 1");
+  if (selection_enabled(options)) {
+    GRIDMAP_CHECK(options.history_capacity > 0,
+                  "adaptive selection (max_backends / adaptive_budgets) needs "
+                  "history_capacity > 0 — with recording disabled the selector "
+                  "could never warm up");
+  }
 }
 
 }  // namespace
-
-/// Per-race cancellation state. Every backend gets its own CancelSource so
-/// the race can cancel exactly the backends registered *after* the best
-/// unbeatable result — the only set whose removal provably cannot change
-/// the selected winner.
-struct PortfolioEngine::Race {
-  explicit Race(std::size_t backends) : cancels(backends) {}
-
-  /// Backend `index` finished with an unbeatable cost: remember the smallest
-  /// such index and cancel everything after it. Racing reporters are fine —
-  /// cancel() is idempotent and the sweep always uses the current minimum.
-  void report_unbeatable(int index) {
-    int current = unbeatable_at.load(std::memory_order_relaxed);
-    while (index < current &&
-           !unbeatable_at.compare_exchange_weak(current, index, std::memory_order_relaxed)) {
-    }
-    const int cutoff = unbeatable_at.load(std::memory_order_relaxed);
-    for (std::size_t j = static_cast<std::size_t>(cutoff) + 1; j < cancels.size(); ++j) {
-      cancels[j].cancel();
-    }
-  }
-
-  std::vector<CancelSource> cancels;
-  std::atomic<int> unbeatable_at{std::numeric_limits<int>::max()};
-};
 
 PortfolioEngine::PortfolioEngine(MapperRegistry registry, EngineOptions options)
     : registry_(std::move(registry)),
       options_(std::move(options)),
       cache_(options_.cache_capacity),
       history_(options_.history_capacity) {
+  validate_options(options_);
   GRIDMAP_CHECK(registry_.size() > 0, "portfolio engine needs at least one backend");
   const int threads = resolve_threads(options_.threads);
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
@@ -109,267 +107,53 @@ std::uint64_t PortfolioEngine::mapper_runs() const noexcept {
   return mapper_runs_.load(std::memory_order_relaxed);
 }
 
-BackendResult PortfolioEngine::run_backend(const std::string& name, std::size_t index,
-                                           const CartesianGrid& grid, const Stencil& stencil,
-                                           const NodeAllocation& alloc, Race* race,
-                                           std::chrono::nanoseconds budget,
-                                           double predicted_seconds) {
-  BackendResult result;
-  result.name = name;
-  result.predicted_seconds = predicted_seconds;
-  result.budget_seconds = std::chrono::duration<double>(budget).count();
-  try {
-    const std::unique_ptr<Mapper> mapper = registry_.create(name);
-    if (!mapper->applicable(grid, stencil, alloc)) return result;  // skipped
-    result.applicable = true;
-
-    const std::atomic<bool>* token = race ? race->cancels[index].token() : nullptr;
-    ExecContext ctx = budget.count() > 0 ? ExecContext::with_deadline(budget, token)
-                                         : ExecContext::with_token(token);
-
-    mapper_runs_.fetch_add(1, std::memory_order_relaxed);
-    const auto remap_start = Clock::now();
-    try {
-      Remapping remapping = mapper->remap(grid, stencil, alloc, ctx);
-      result.remap_seconds = seconds_since(remap_start);
-      const auto eval_start = Clock::now();
-      result.cost = evaluate_mapping(grid, stencil, remapping, alloc);
-      result.eval_seconds = seconds_since(eval_start);
-      result.remapping = std::move(remapping);
-    } catch (const CancelledError& e) {
-      result.remap_seconds = seconds_since(remap_start);
-      if (e.reason() == CancelledError::Reason::kDeadline) {
-        result.timed_out = true;
-      } else {
-        result.cancelled = true;
-      }
-      return result;
-    }
-
-    if (race != nullptr && options_.cancel_losers &&
-        unbeatable(options_.objective, result.cost, options_.optimal_bound)) {
-      race->report_unbeatable(static_cast<int>(index));
-    }
-  } catch (const std::exception& e) {
-    result.failed = true;
-    result.remapping.reset();
-    result.error = e.what();
-  }
-  return result;
-}
-
-namespace {
-
-/// The synthesized result of a backend the selector pruned from a race.
-BackendResult pruned_result(const BackendPrediction& p) {
-  BackendResult pruned;
-  pruned.name = p.name;
-  pruned.pruned = true;
-  pruned.predicted_seconds = p.predicted_seconds;
-  return pruned;
-}
-
-/// Cancels a race and blocks on every still-pending future. Used as a scope
-/// guard wherever futures reference a Race (or caller stack state): if an
-/// exception unwinds the scheduling scope, no worker task may outlive the
-/// objects its lambda captured.
-void drain_race(std::vector<CancelSource>& cancels,
-                std::vector<std::future<BackendResult>>& futures) {
-  bool pending = false;
-  for (const std::future<BackendResult>& f : futures) pending = pending || f.valid();
-  if (!pending) return;
-  for (CancelSource& c : cancels) c.cancel();
-  for (std::future<BackendResult>& f : futures) {
-    if (f.valid()) f.wait();
-  }
-}
-
-}  // namespace
-
-std::vector<BackendPrediction> PortfolioEngine::predict(const InstanceFeatures& features,
-                                                        const HistorySnapshot* snapshot) const {
-  const std::vector<std::string>& names = registry_.names();
-  if (snapshot == nullptr || !selection_enabled()) {
-    // No selection: every backend races under the fixed budget, exactly the
-    // pre-selector behavior.
-    std::vector<BackendPrediction> keep_all(names.size());
-    for (std::size_t i = 0; i < names.size(); ++i) keep_all[i].name = names[i];
-    return keep_all;
-  }
-  SelectorOptions opts = options_.selector;
-  opts.max_backends = options_.max_backends;
-  opts.derive_budgets = options_.adaptive_budgets;
-  opts.budget_clamp = options_.backend_budget;
-  return PortfolioSelector::select(names, features, *snapshot, opts);
-}
-
-bool PortfolioEngine::refresh_due(std::uint64_t instance_hash) const noexcept {
-  if (!selection_enabled() || options_.full_race_every == 0) return false;
-  return instance_hash % options_.full_race_every == 0;
-}
-
-void PortfolioEngine::rescue_pruned(const CartesianGrid& grid, const Stencil& stencil,
-                                    const NodeAllocation& alloc,
-                                    std::vector<BackendResult>& results) {
-  if (select_winner(options_.objective, results) >= 0) return;
-  // A timed-out result is only the selector's doing when adaptive budgets
-  // are on and the run's budget was actually tighter than the fixed one; a
-  // re-run under the same (or no larger) budget would just time out again.
-  const double fixed = std::chrono::duration<double>(options_.backend_budget).count();
-  const auto held_back = [this, fixed](const BackendResult& r) {
-    if (r.pruned) return true;
-    if (!options_.adaptive_budgets || !r.timed_out) return false;
-    return r.budget_seconds > 0.0 && (fixed == 0.0 || r.budget_seconds < fixed);
-  };
-  bool any = false;
-  for (const BackendResult& r : results) any = any || held_back(r);
-  if (!any) return;
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    if (!held_back(results[i])) continue;
-    results[i] = run_backend(results[i].name, i, grid, stencil, alloc, nullptr,
-                             options_.backend_budget, results[i].predicted_seconds);
-  }
-}
-
-void PortfolioEngine::record_race(const InstanceFeatures& features,
-                                  const std::vector<BackendResult>& results) {
-  if (!recording_enabled()) return;
-  const int winner = select_winner(options_.objective, results);
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const BackendResult& r = results[i];
-    if (!r.usable()) continue;
-    BackendOutcome outcome;
-    outcome.features = features;
-    outcome.remap_seconds = r.remap_seconds;
-    outcome.jsum = r.cost.jsum;
-    outcome.jmax = r.cost.jmax;
-    outcome.won = static_cast<int>(i) == winner;
-    history_.record(r.name, outcome);
-  }
-}
-
-std::vector<BackendResult> PortfolioEngine::evaluate_with(const CartesianGrid& grid,
-                                                          const Stencil& stencil,
-                                                          const NodeAllocation& alloc,
-                                                          const HistorySnapshot* snapshot) {
-  const std::vector<std::string>& names = registry_.names();
-
-  const bool needs_features = selection_enabled() || recording_enabled();
-  InstanceFeatures features;
-  if (needs_features) features = extract_features(grid, stencil, alloc);
-
-  // A refresh instance ignores the snapshot entirely: predict(features,
-  // nullptr) keeps every backend under the fixed budget (full race).
-  const bool refresh =
-      selection_enabled() &&
-      refresh_due(instance_hash(grid, stencil, alloc, options_.objective));
-  HistorySnapshot local;
-  if (!refresh && selection_enabled() && snapshot == nullptr) {
-    local = history_.snapshot();
-    snapshot = &local;
-  }
-  const std::vector<BackendPrediction> preds =
-      predict(features, refresh ? nullptr : snapshot);
-
-  const auto run_kept = [this, &preds, &grid, &stencil, &alloc](std::size_t i,
-                                                                Race* race) {
-    const BackendPrediction& p = preds[i];
-    const std::chrono::nanoseconds budget =
-        p.deadline.count() > 0 ? p.deadline : options_.backend_budget;
-    return run_backend(p.name, i, grid, stencil, alloc, race, budget,
-                       p.predicted_seconds);
-  };
-
-  Race race(names.size());
-  std::vector<BackendResult> results;
-  results.reserve(names.size());
-  if (!pool_) {
-    for (std::size_t i = 0; i < names.size(); ++i) {
-      results.push_back(preds[i].keep ? run_kept(i, &race) : pruned_result(preds[i]));
-    }
-    rescue_pruned(grid, stencil, alloc, results);
-    record_race(features, results);
-    return results;
-  }
-  // Kept backends only go to the pool; pruned results are synthesized on
-  // this thread (same shape as the pipelined map_all path).
-  std::vector<std::future<BackendResult>> futures;
-  futures.reserve(names.size());
-  struct Drain {
-    Race& race;
-    std::vector<std::future<BackendResult>>& futures;
-    ~Drain() { drain_race(race.cancels, futures); }
-  } drain{race, futures};
-  for (std::size_t i = 0; i < names.size(); ++i) {
-    if (!preds[i].keep) continue;
-    futures.push_back(pool_->submit([&run_kept, i, &race] { return run_kept(i, &race); }));
-  }
-  std::size_t next_future = 0;
-  for (std::size_t i = 0; i < names.size(); ++i) {
-    results.push_back(preds[i].keep ? futures[next_future++].get()
-                                    : pruned_result(preds[i]));
-  }
-  rescue_pruned(grid, stencil, alloc, results);
-  record_race(features, results);
-  return results;
-}
-
 std::vector<BackendResult> PortfolioEngine::evaluate_all(const CartesianGrid& grid,
                                                          const Stencil& stencil,
                                                          const NodeAllocation& alloc) {
-  return evaluate_with(grid, stencil, alloc, nullptr);
+  const StageEnv env{registry_, options_, cache_, history_, pool_.get(), mapper_runs_};
+  const SelectorPass selection = SelectorPass::run(env, grid, stencil, alloc, nullptr);
+  RaceStage race(env, grid, stencil, alloc, selection);
+  std::vector<BackendResult> results = race.collect();
+  RecordStage::record(env, selection.features, results);
+  return results;
 }
 
 int PortfolioEngine::select_winner(Objective objective,
                                    const std::vector<BackendResult>& results) {
-  int winner = -1;
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const BackendResult& r = results[i];
-    if (!r.usable()) continue;
-    if (winner < 0 ||
-        better(objective, r.cost, results[static_cast<std::size_t>(winner)].cost)) {
-      winner = static_cast<int>(i);
-    }
-  }
-  return winner;
+  return engine::select_winner(objective, results);
 }
 
-std::shared_ptr<const MappingPlan> PortfolioEngine::build_and_cache_plan(
-    const std::string& signature, const std::vector<BackendResult>& results) {
-  const int winner = select_winner(options_.objective, results);
-  GRIDMAP_CHECK(winner >= 0, "no applicable backend for instance: " + signature);
-
-  const BackendResult& best = results[static_cast<std::size_t>(winner)];
-  auto plan = std::make_shared<MappingPlan>();
-  plan->signature = signature;
-  plan->mapper = best.name;
-  plan->objective = options_.objective;
-  plan->jsum = best.cost.jsum;
-  plan->jmax = best.cost.jmax;
-  plan->cell_of_rank = best.remapping->cell_of_rank();
-  cache_.put(signature, plan);
-  return plan;
-}
-
-std::shared_ptr<const MappingPlan> PortfolioEngine::map_one(const CartesianGrid& grid,
-                                                            const Stencil& stencil,
-                                                            const NodeAllocation& alloc,
-                                                            const HistorySnapshot* snapshot) {
-  const std::string signature =
-      instance_signature(grid, stencil, alloc, options_.objective);
-  if (std::shared_ptr<const MappingPlan> cached = cache_.get(signature)) return cached;
-  return build_and_cache_plan(signature, evaluate_with(grid, stencil, alloc, snapshot));
+std::shared_ptr<const MappingPlan> PortfolioEngine::map_one(
+    const CartesianGrid& grid, const Stencil& stencil, const NodeAllocation& alloc,
+    const HistorySnapshot* snapshot, const std::atomic<bool>* cancel) {
+  const StageEnv env{registry_, options_, cache_, history_, pool_.get(), mapper_runs_};
+  const CacheProbe probe = CacheProbe::run(env, grid, stencil, alloc);
+  if (probe.hit()) return probe.plan;
+  const SelectorPass selection =
+      SelectorPass::run(env, grid, stencil, alloc, snapshot, fnv1a_hash(probe.signature));
+  RaceStage race(env, grid, stencil, alloc, selection, cancel);
+  const std::vector<BackendResult> results = race.collect();
+  RecordStage::record(env, selection.features, results);
+  return RecordStage::commit(env, probe.signature, results);
 }
 
 std::shared_ptr<const MappingPlan> PortfolioEngine::map(const CartesianGrid& grid,
                                                         const Stencil& stencil,
                                                         const NodeAllocation& alloc) {
-  return map_one(grid, stencil, alloc, nullptr);
+  return map_one(grid, stencil, alloc, nullptr, nullptr);
+}
+
+std::shared_ptr<const MappingPlan> PortfolioEngine::map(const CartesianGrid& grid,
+                                                        const Stencil& stencil,
+                                                        const NodeAllocation& alloc,
+                                                        const std::atomic<bool>* cancel) {
+  return map_one(grid, stencil, alloc, nullptr, cancel);
 }
 
 std::vector<std::shared_ptr<const MappingPlan>> PortfolioEngine::map_all(
     const std::vector<Instance>& instances) {
   std::vector<std::shared_ptr<const MappingPlan>> plans(instances.size());
+  const StageEnv env{registry_, options_, cache_, history_, pool_.get(), mapper_runs_};
 
   // One history snapshot pins the whole batch: every instance's selection is
   // decided against the same state regardless of scheduling, so the
@@ -377,7 +161,7 @@ std::vector<std::shared_ptr<const MappingPlan>> PortfolioEngine::map_all(
   // mid-batch only influence the *next* map/map_all call).
   HistorySnapshot batch_snapshot;
   const HistorySnapshot* snapshot = nullptr;
-  if (selection_enabled()) {
+  if (selection_enabled(options_)) {
     batch_snapshot = history_.snapshot();
     snapshot = &batch_snapshot;
   }
@@ -387,36 +171,25 @@ std::vector<std::shared_ptr<const MappingPlan>> PortfolioEngine::map_all(
     // below must reproduce plan-for-plan.
     for (std::size_t i = 0; i < instances.size(); ++i) {
       plans[i] = map_one(instances[i].grid, instances[i].stencil, instances[i].alloc,
-                         snapshot);
+                         snapshot, nullptr);
     }
     return plans;
   }
 
   // Pipelined: one cache probe per distinct signature, then every miss fans
   // its backends out onto the pool immediately — the queue holds instances x
-  // backends at once, so workers stay busy across instance boundaries.
+  // backends at once, so workers stay busy across instance boundaries. If
+  // resolution below throws (e.g. no usable backend for one instance), the
+  // ~RaceStage of every still-scheduled entry cancels and drains its tasks
+  // before `instances` (whose elements the tasks reference) unwinds.
   struct Scheduled {
-    std::unique_ptr<Race> race;
-    InstanceFeatures features;
-    std::vector<BackendPrediction> preds;
-    std::vector<std::future<BackendResult>> futures;  // kept backends, in order
+    SelectorPass selection;
+    std::unique_ptr<RaceStage> race;
   };
-  const std::vector<std::string>& names = registry_.names();
   std::vector<std::string> sigs(instances.size());
   std::vector<bool> deferred(instances.size(), false);  // duplicate of an earlier instance
   std::unordered_set<std::string> seen;
   std::unordered_map<std::string, Scheduled> scheduled;
-  // If resolution below throws (e.g. no usable backend for one instance),
-  // the other instances' tasks still hold pointers into `scheduled` and
-  // references into `instances` — cancel and drain them before unwinding.
-  struct Drain {
-    std::unordered_map<std::string, Scheduled>& scheduled;
-    ~Drain() {
-      for (auto& entry : scheduled) {
-        drain_race(entry.second.race->cancels, entry.second.futures);
-      }
-    }
-  } drain{scheduled};
   // Plan of every first occurrence, so duplicates survive even if the cache
   // evicts (or is disabled) mid-batch.
   std::unordered_map<std::string, std::shared_ptr<const MappingPlan>> batch_plans;
@@ -434,25 +207,12 @@ std::vector<std::shared_ptr<const MappingPlan>> PortfolioEngine::map_all(
       continue;
     }
     Scheduled s;
-    s.race = std::make_unique<Race>(names.size());
-    if (selection_enabled() || recording_enabled()) {
-      s.features = extract_features(inst.grid, inst.stencil, inst.alloc);
-    }
     // instance_hash(...) == fnv1a_hash(signature); sigs[i] is the signature.
-    s.preds = predict(s.features, refresh_due(fnv1a_hash(sigs[i])) ? nullptr : snapshot);
-    s.futures.reserve(names.size());
-    for (std::size_t b = 0; b < names.size(); ++b) {
-      if (!s.preds[b].keep) continue;  // pruned: synthesized at resolution
-      const std::chrono::nanoseconds budget = s.preds[b].deadline.count() > 0
-                                                  ? s.preds[b].deadline
-                                                  : options_.backend_budget;
-      const double predicted = s.preds[b].predicted_seconds;
-      s.futures.push_back(pool_->submit(
-          [this, b, &name = names[b], &inst, race = s.race.get(), budget, predicted] {
-            return run_backend(name, b, inst.grid, inst.stencil, inst.alloc, race,
-                               budget, predicted);
-          }));
-    }
+    s.selection = SelectorPass::run(env, inst.grid, inst.stencil, inst.alloc, snapshot,
+                                    fnv1a_hash(sigs[i]));
+    s.race = std::make_unique<RaceStage>(env, inst.grid, inst.stencil, inst.alloc,
+                                         s.selection);
+    s.race->schedule();
     scheduled.emplace(sigs[i], std::move(s));
   }
 
@@ -467,16 +227,9 @@ std::vector<std::shared_ptr<const MappingPlan>> PortfolioEngine::map_all(
       continue;
     }
     Scheduled& s = scheduled.at(sigs[i]);
-    std::vector<BackendResult> results;
-    results.reserve(names.size());
-    std::size_t next_future = 0;
-    for (std::size_t b = 0; b < names.size(); ++b) {
-      results.push_back(s.preds[b].keep ? s.futures[next_future++].get()
-                                        : pruned_result(s.preds[b]));
-    }
-    rescue_pruned(instances[i].grid, instances[i].stencil, instances[i].alloc, results);
-    record_race(s.features, results);
-    plans[i] = build_and_cache_plan(sigs[i], results);
+    const std::vector<BackendResult> results = s.race->collect();
+    RecordStage::record(env, s.selection.features, results);
+    plans[i] = RecordStage::commit(env, sigs[i], results);
     batch_plans.emplace(sigs[i], plans[i]);
   }
   return plans;

@@ -31,6 +31,12 @@
 // backend with no extra deadline, i.e. exactly the unpruned race above.
 // Every race's usable outcomes are recorded back into the history, which
 // persists across runs via EngineOptions::history_file.
+//
+// Structure: the map path itself (cache probe -> selector pass -> race ->
+// record/commit) lives in engine/race.{hpp,cpp} as four explicit stages;
+// this class is the thin orchestration that wires its own state (registry,
+// cache, history, pool) into those stages. The MappingService
+// (engine/service.hpp) builds an asynchronous request queue on top.
 #pragma once
 
 #include <atomic>
@@ -144,6 +150,11 @@ struct EngineOptions {
 
 class PortfolioEngine {
  public:
+  /// Validates `options` (throws std::invalid_argument on negative budgets
+  /// or thread counts, selector quantile/slack out of range, a zero
+  /// min_backends floor, or selection enabled with outcome recording
+  /// disabled) and warm-starts cache and history from their configured
+  /// files. Throws when the registry is empty.
   explicit PortfolioEngine(MapperRegistry registry, EngineOptions options = {});
 
   /// Persists the plan cache to EngineOptions::cache_file, if configured.
@@ -157,6 +168,23 @@ class PortfolioEngine {
   /// applicable backend timed out).
   std::shared_ptr<const MappingPlan> map(const CartesianGrid& grid, const Stencil& stencil,
                                          const NodeAllocation& alloc);
+
+  /// map() that additionally watches an external cancellation flag (the
+  /// MappingService wires an abandoned request's CancelSource here). Once
+  /// the flag is set the race stops cooperatively and CancelledError is
+  /// thrown; a cancelled request never records outcomes or caches a plan.
+  /// A null `cancel` is exactly map().
+  std::shared_ptr<const MappingPlan> map(const CartesianGrid& grid, const Stencil& stencil,
+                                         const NodeAllocation& alloc,
+                                         const std::atomic<bool>* cancel);
+
+  /// Probes the plan cache by canonical signature without racing anything —
+  /// the MappingService's synchronous fast path. A hit counts and refreshes
+  /// recency exactly like the probe at the head of map(); a miss is not
+  /// counted (the authoritative probe inside map() follows and counts it).
+  std::shared_ptr<const MappingPlan> cached(const std::string& signature) {
+    return cache_.probe(signature);
+  }
 
   /// Batch variant: maps every instance, reusing the pool and the cache.
   /// With a pool, all instances' backends are scheduled up-front as one
@@ -179,6 +207,7 @@ class PortfolioEngine {
   static int select_winner(Objective objective, const std::vector<BackendResult>& results);
 
   const MapperRegistry& registry() const noexcept { return registry_; }
+  const EngineOptions& options() const noexcept { return options_; }
   Objective objective() const noexcept { return options_.objective; }
   int threads() const noexcept;
 
@@ -196,66 +225,15 @@ class PortfolioEngine {
   std::uint64_t mapper_runs() const noexcept;
 
  private:
-  /// Shared cancellation state of one race (defined in portfolio.cpp): one
-  /// CancelSource per backend plus the smallest unbeatable index seen.
-  struct Race;
-
-  /// Pruning/budget decisions apply, or outcomes are recorded — either way
-  /// the selector machinery is live for this engine.
-  bool selection_enabled() const noexcept {
-    return options_.max_backends > 0 || options_.adaptive_budgets;
-  }
-  bool recording_enabled() const noexcept {
-    return options_.history_capacity > 0 &&
-           (selection_enabled() || !options_.history_file.empty());
-  }
-
-  /// Selector verdict for every backend, index-aligned with
-  /// registry().names(). `snapshot` may be null when selection is disabled.
-  std::vector<BackendPrediction> predict(const InstanceFeatures& features,
-                                         const HistorySnapshot* snapshot) const;
-
-  /// Whether this instance (by signature hash) is a full-race refresh
-  /// sample (see EngineOptions::full_race_every).
-  bool refresh_due(std::uint64_t instance_hash) const noexcept;
-
-  /// Safety net run after a race: if no result is usable, re-runs the
-  /// backends the selector held back — pruned ones, and (with adaptive
-  /// budgets) ones that timed out under a history-derived deadline — with
-  /// the fixed budget, in place. The selector must never turn a servable
-  /// instance into a "no applicable backend" failure (e.g. when the only
-  /// backends applicable to this instance scored poorly on unrelated ones,
-  /// or when deadlines learned on small instances strangle a large one).
-  void rescue_pruned(const CartesianGrid& grid, const Stencil& stencil,
-                     const NodeAllocation& alloc, std::vector<BackendResult>& results);
-
-  /// Records every usable result of a finished race into the history.
-  void record_race(const InstanceFeatures& features,
-                   const std::vector<BackendResult>& results);
-
-  /// evaluate_all against an explicit history snapshot (null = take one now
-  /// if selection needs it). map_all uses this to pin one snapshot for a
-  /// whole batch.
-  std::vector<BackendResult> evaluate_with(const CartesianGrid& grid,
-                                           const Stencil& stencil,
-                                           const NodeAllocation& alloc,
-                                           const HistorySnapshot* snapshot);
-
-  /// map() against an explicit history snapshot — the single implementation
-  /// shared by map() (snapshot = null) and the sequential map_all loop.
+  /// map() against an explicit history snapshot and optional external
+  /// cancellation flag — the single staged implementation shared by map()
+  /// (snapshot = null) and the sequential map_all loop. The stages
+  /// themselves live in engine/race.hpp.
   std::shared_ptr<const MappingPlan> map_one(const CartesianGrid& grid,
                                              const Stencil& stencil,
                                              const NodeAllocation& alloc,
-                                             const HistorySnapshot* snapshot);
-
-  BackendResult run_backend(const std::string& name, std::size_t index,
-                            const CartesianGrid& grid, const Stencil& stencil,
-                            const NodeAllocation& alloc, Race* race,
-                            std::chrono::nanoseconds budget, double predicted_seconds);
-
-  /// Selects the winner from `results`, builds the plan, caches it.
-  std::shared_ptr<const MappingPlan> build_and_cache_plan(
-      const std::string& signature, const std::vector<BackendResult>& results);
+                                             const HistorySnapshot* snapshot,
+                                             const std::atomic<bool>* cancel);
 
   MapperRegistry registry_;
   EngineOptions options_;

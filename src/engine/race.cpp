@@ -1,0 +1,298 @@
+#include "engine/race.hpp"
+
+#include <limits>
+
+#include "core/types.hpp"
+#include "engine/signature.hpp"
+
+namespace gridmap::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// The synthesized result of a backend the selector pruned from a race.
+BackendResult pruned_result(const BackendPrediction& p) {
+  BackendResult pruned;
+  pruned.name = p.name;
+  pruned.pruned = true;
+  pruned.predicted_seconds = p.predicted_seconds;
+  return pruned;
+}
+
+/// Selector verdict for every backend, index-aligned with registry names.
+/// A null snapshot (or disabled selection) keeps every backend under the
+/// fixed budget — exactly the pre-selector behavior.
+std::vector<BackendPrediction> predict(const StageEnv& env, const InstanceFeatures& features,
+                                       const HistorySnapshot* snapshot) {
+  const std::vector<std::string>& names = env.registry.names();
+  if (snapshot == nullptr || !selection_enabled(env.options)) {
+    std::vector<BackendPrediction> keep_all(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i) keep_all[i].name = names[i];
+    return keep_all;
+  }
+  SelectorOptions opts = env.options.selector;
+  opts.max_backends = env.options.max_backends;
+  opts.derive_budgets = env.options.adaptive_budgets;
+  opts.budget_clamp = env.options.backend_budget;
+  return PortfolioSelector::select(names, features, *snapshot, opts);
+}
+
+/// Whether this instance (by signature hash) is a full-race refresh sample
+/// (see EngineOptions::full_race_every).
+bool refresh_due(const EngineOptions& options, std::uint64_t instance_hash) noexcept {
+  if (!selection_enabled(options) || options.full_race_every == 0) return false;
+  return instance_hash % options.full_race_every == 0;
+}
+
+}  // namespace
+
+bool selection_enabled(const EngineOptions& options) noexcept {
+  return options.max_backends > 0 || options.adaptive_budgets;
+}
+
+bool recording_enabled(const EngineOptions& options) noexcept {
+  return options.history_capacity > 0 &&
+         (selection_enabled(options) || !options.history_file.empty());
+}
+
+// ------------------------------------------------------------- CacheProbe --
+
+CacheProbe CacheProbe::run(const StageEnv& env, const CartesianGrid& grid,
+                           const Stencil& stencil, const NodeAllocation& alloc) {
+  CacheProbe probe;
+  probe.signature = instance_signature(grid, stencil, alloc, env.options.objective);
+  probe.plan = env.cache.get(probe.signature);
+  return probe;
+}
+
+// ----------------------------------------------------------- SelectorPass --
+
+SelectorPass SelectorPass::run(const StageEnv& env, const CartesianGrid& grid,
+                               const Stencil& stencil, const NodeAllocation& alloc,
+                               const HistorySnapshot* snapshot,
+                               std::optional<std::uint64_t> hash) {
+  SelectorPass out;
+  if (selection_enabled(env.options) || recording_enabled(env.options)) {
+    out.features = extract_features(grid, stencil, alloc);
+  }
+  // A refresh instance ignores the snapshot entirely: predict(features,
+  // nullptr) keeps every backend under the fixed budget (full race).
+  bool refresh = false;
+  if (selection_enabled(env.options) && env.options.full_race_every != 0) {
+    const std::uint64_t h =
+        hash ? *hash : instance_hash(grid, stencil, alloc, env.options.objective);
+    refresh = refresh_due(env.options, h);
+  }
+  HistorySnapshot local;
+  if (!refresh && selection_enabled(env.options) && snapshot == nullptr) {
+    local = env.history.snapshot();
+    snapshot = &local;
+  }
+  out.preds = predict(env, out.features, refresh ? nullptr : snapshot);
+  return out;
+}
+
+// -------------------------------------------------------------- RaceStage --
+
+RaceStage::RaceStage(const StageEnv& env, const CartesianGrid& grid,
+                     const Stencil& stencil, const NodeAllocation& alloc,
+                     const SelectorPass& selection, const std::atomic<bool>* abandon)
+    : env_(env),
+      grid_(grid),
+      stencil_(stencil),
+      alloc_(alloc),
+      preds_(selection.preds),
+      abandon_(abandon),
+      cancels_(preds_.size()),
+      unbeatable_at_(std::numeric_limits<int>::max()) {}
+
+RaceStage::~RaceStage() {
+  // If collect() never consumed the futures (an exception unwound the
+  // orchestration), no worker task may outlive the objects its lambda
+  // captured: cancel everything still running, then block until done.
+  bool pending = false;
+  for (const std::future<BackendResult>& f : futures_) pending = pending || f.valid();
+  if (!pending) return;
+  for (CancelSource& c : cancels_) c.cancel();
+  for (std::future<BackendResult>& f : futures_) {
+    if (f.valid()) f.wait();
+  }
+}
+
+void RaceStage::report_unbeatable(int index) {
+  int current = unbeatable_at_.load(std::memory_order_relaxed);
+  while (index < current &&
+         !unbeatable_at_.compare_exchange_weak(current, index, std::memory_order_relaxed)) {
+  }
+  const int cutoff = unbeatable_at_.load(std::memory_order_relaxed);
+  for (std::size_t j = static_cast<std::size_t>(cutoff) + 1; j < cancels_.size(); ++j) {
+    cancels_[j].cancel();
+  }
+}
+
+BackendResult RaceStage::run_backend(const std::string& name, std::size_t index,
+                                     std::chrono::nanoseconds budget,
+                                     double predicted_seconds, bool racing) {
+  BackendResult result;
+  result.name = name;
+  result.predicted_seconds = predicted_seconds;
+  result.budget_seconds = std::chrono::duration<double>(budget).count();
+  try {
+    const std::unique_ptr<Mapper> mapper = env_.registry.create(name);
+    if (!mapper->applicable(grid_, stencil_, alloc_)) return result;  // skipped
+    result.applicable = true;
+
+    const std::atomic<bool>* token = racing ? cancels_[index].token() : nullptr;
+    ExecContext ctx = budget.count() > 0 ? ExecContext::with_deadline(budget, token)
+                                         : ExecContext::with_token(token);
+    if (abandon_ != nullptr) ctx.also_watch(abandon_);
+
+    env_.mapper_runs.fetch_add(1, std::memory_order_relaxed);
+    const auto remap_start = Clock::now();
+    try {
+      Remapping remapping = mapper->remap(grid_, stencil_, alloc_, ctx);
+      result.remap_seconds = seconds_since(remap_start);
+      const auto eval_start = Clock::now();
+      result.cost = evaluate_mapping(grid_, stencil_, remapping, alloc_);
+      result.eval_seconds = seconds_since(eval_start);
+      result.remapping = std::move(remapping);
+    } catch (const CancelledError& e) {
+      result.remap_seconds = seconds_since(remap_start);
+      if (e.reason() == CancelledError::Reason::kDeadline) {
+        result.timed_out = true;
+      } else {
+        result.cancelled = true;
+      }
+      return result;
+    }
+
+    if (racing && env_.options.cancel_losers &&
+        unbeatable(env_.options.objective, result.cost, env_.options.optimal_bound)) {
+      report_unbeatable(static_cast<int>(index));
+    }
+  } catch (const std::exception& e) {
+    result.failed = true;
+    result.remapping.reset();
+    result.error = e.what();
+  }
+  return result;
+}
+
+BackendResult RaceStage::run_kept(std::size_t index) {
+  const BackendPrediction& p = preds_[index];
+  const std::chrono::nanoseconds budget =
+      p.deadline.count() > 0 ? p.deadline : env_.options.backend_budget;
+  return run_backend(p.name, index, budget, p.predicted_seconds, /*racing=*/true);
+}
+
+void RaceStage::schedule() {
+  if (env_.pool == nullptr || scheduled_) return;
+  scheduled_ = true;
+  // Kept backends only go to the pool; pruned results are synthesized on
+  // the collecting thread.
+  futures_.reserve(preds_.size());
+  for (std::size_t i = 0; i < preds_.size(); ++i) {
+    if (!preds_[i].keep) continue;
+    futures_.push_back(env_.pool->submit([this, i] { return run_kept(i); }));
+  }
+}
+
+std::vector<BackendResult> RaceStage::collect() {
+  schedule();
+  std::vector<BackendResult> results;
+  results.reserve(preds_.size());
+  if (env_.pool == nullptr) {
+    for (std::size_t i = 0; i < preds_.size(); ++i) {
+      results.push_back(preds_[i].keep ? run_kept(i) : pruned_result(preds_[i]));
+    }
+  } else {
+    std::size_t next_future = 0;
+    for (std::size_t i = 0; i < preds_.size(); ++i) {
+      results.push_back(preds_[i].keep ? futures_[next_future++].get()
+                                       : pruned_result(preds_[i]));
+    }
+  }
+  // An abandoned request stops here: no rescue re-runs, no recording, no
+  // cached plan. Checked after the gather so the worker tasks are done.
+  if (abandoned()) throw CancelledError(CancelledError::Reason::kCancelled);
+  rescue(results);
+  return results;
+}
+
+void RaceStage::rescue(std::vector<BackendResult>& results) {
+  if (select_winner(env_.options.objective, results) >= 0) return;
+  // A timed-out result is only the selector's doing when adaptive budgets
+  // are on and the run's budget was actually tighter than the fixed one; a
+  // re-run under the same (or no larger) budget would just time out again.
+  const double fixed = std::chrono::duration<double>(env_.options.backend_budget).count();
+  const auto held_back = [this, fixed](const BackendResult& r) {
+    if (r.pruned) return true;
+    if (!env_.options.adaptive_budgets || !r.timed_out) return false;
+    return r.budget_seconds > 0.0 && (fixed == 0.0 || r.budget_seconds < fixed);
+  };
+  bool any = false;
+  for (const BackendResult& r : results) any = any || held_back(r);
+  if (!any) return;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!held_back(results[i])) continue;
+    results[i] = run_backend(results[i].name, i, env_.options.backend_budget,
+                             results[i].predicted_seconds, /*racing=*/false);
+  }
+}
+
+// ------------------------------------------------------------ RecordStage --
+
+void RecordStage::record(const StageEnv& env, const InstanceFeatures& features,
+                         const std::vector<BackendResult>& results) {
+  if (!recording_enabled(env.options)) return;
+  const int winner = select_winner(env.options.objective, results);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BackendResult& r = results[i];
+    if (!r.usable()) continue;
+    BackendOutcome outcome;
+    outcome.features = features;
+    outcome.remap_seconds = r.remap_seconds;
+    outcome.jsum = r.cost.jsum;
+    outcome.jmax = r.cost.jmax;
+    outcome.won = static_cast<int>(i) == winner;
+    env.history.record(r.name, outcome);
+  }
+}
+
+std::shared_ptr<const MappingPlan> RecordStage::commit(
+    const StageEnv& env, const std::string& signature,
+    const std::vector<BackendResult>& results) {
+  const int winner = select_winner(env.options.objective, results);
+  GRIDMAP_CHECK(winner >= 0, "no applicable backend for instance: " + signature);
+
+  const BackendResult& best = results[static_cast<std::size_t>(winner)];
+  auto plan = std::make_shared<MappingPlan>();
+  plan->signature = signature;
+  plan->mapper = best.name;
+  plan->objective = env.options.objective;
+  plan->jsum = best.cost.jsum;
+  plan->jmax = best.cost.jmax;
+  plan->cell_of_rank = best.remapping->cell_of_rank();
+  env.cache.put(signature, plan);
+  return plan;
+}
+
+int select_winner(Objective objective, const std::vector<BackendResult>& results) {
+  int winner = -1;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BackendResult& r = results[i];
+    if (!r.usable()) continue;
+    if (winner < 0 ||
+        better(objective, r.cost, results[static_cast<std::size_t>(winner)].cost)) {
+      winner = static_cast<int>(i);
+    }
+  }
+  return winner;
+}
+
+}  // namespace gridmap::engine

@@ -1,0 +1,299 @@
+#include "engine/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/types.hpp"
+#include "engine/signature.hpp"
+
+namespace gridmap::engine {
+
+namespace detail {
+
+/// One joiner of a request: its promise and whether it already abandoned.
+struct ServiceWaiter {
+  std::promise<std::shared_ptr<const MappingPlan>> promise;
+  bool cancelled = false;
+};
+
+/// One queued or in-flight race, shared by every joiner's ticket. All
+/// mutable fields are guarded by the service mutex except `abandon`, whose
+/// flag is the cross-thread cancellation channel into the running race.
+struct ServiceRequest {
+  ServiceRequest(std::string signature_in, Instance instance_in, Priority priority_in)
+      : signature(std::move(signature_in)),
+        instance(std::move(instance_in)),
+        priority(priority_in) {}
+
+  std::string signature;
+  Instance instance;  // owned copies: the caller's objects may die first
+  Priority priority;
+  std::vector<ServiceWaiter> waiters;
+  std::size_t active = 0;  // waiters that have not cancelled
+  CancelSource abandon;    // fired once every waiter has cancelled
+  bool running = false;
+  bool done = false;
+};
+
+}  // namespace detail
+
+namespace {
+
+int idx(Priority priority) noexcept { return static_cast<int>(priority); }
+
+/// Removes `request` from the single-flight index — but only if the index
+/// still points at it. Once a request is abandoned mid-race, a fresh entry
+/// with the same signature may already have taken its slot; erasing by
+/// signature alone would orphan that newer race's joiners.
+void unindex(std::unordered_map<std::string, std::shared_ptr<detail::ServiceRequest>>& index,
+             const std::shared_ptr<detail::ServiceRequest>& request) {
+  const auto it = index.find(request->signature);
+  if (it != index.end() && it->second == request) index.erase(it);
+}
+
+std::exception_ptr cancelled_error() {
+  return std::make_exception_ptr(CancelledError(CancelledError::Reason::kCancelled));
+}
+
+}  // namespace
+
+std::string_view to_string(Priority priority) {
+  switch (priority) {
+    case Priority::kHigh:
+      return "high";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kLow:
+      return "low";
+  }
+  return "normal";
+}
+
+Priority priority_from_string(std::string_view name) {
+  if (name == "high") return Priority::kHigh;
+  if (name == "normal") return Priority::kNormal;
+  if (name == "low") return Priority::kLow;
+  throw_invalid("unknown priority (want high|normal|low): " + std::string(name));
+}
+
+std::string_view to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kQueueFull:
+      return "queue-full";
+    case RejectReason::kShuttingDown:
+      return "shutting-down";
+  }
+  return "queue-full";
+}
+
+void MapTicket::cancel() {
+  if (service_ == nullptr || request_ == nullptr) return;
+  service_->cancel_waiter(request_, waiter_);
+}
+
+MappingService::MappingService(MapperRegistry registry, EngineOptions engine_options,
+                               ServiceOptions service_options)
+    : engine_(std::move(registry), std::move(engine_options)),
+      options_(service_options) {
+  GRIDMAP_CHECK(options_.workers >= 1, "ServiceOptions::workers must be >= 1");
+  GRIDMAP_CHECK(options_.queue_capacity >= 1,
+                "ServiceOptions::queue_capacity must be >= 1");
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+MappingService::~MappingService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    // Queued-but-never-started requests are rejected, not silently dropped:
+    // every live waiter's future fails with a shutdown AdmissionError.
+    for (auto& queue : queues_) {
+      for (const std::shared_ptr<detail::ServiceRequest>& request : queue) {
+        for (detail::ServiceWaiter& waiter : request->waiters) {
+          if (waiter.cancelled) continue;
+          waiter.promise.set_exception(
+              std::make_exception_ptr(AdmissionError(RejectReason::kShuttingDown)));
+          ++counters_.rejected_shutdown;
+        }
+        request->done = true;
+        unindex(inflight_, request);
+      }
+      queue.clear();
+    }
+    counters_.queue_depth = 0;
+  }
+  work_.notify_all();
+  // In-flight races finish and deliver normally; the dispatchers then see
+  // stopping_ with empty queues and exit.
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t MappingService::depth_locked() const {
+  return queues_[0].size() + queues_[1].size() + queues_[2].size();
+}
+
+std::shared_ptr<detail::ServiceRequest> MappingService::pop_locked() {
+  for (auto& queue : queues_) {
+    if (queue.empty()) continue;
+    std::shared_ptr<detail::ServiceRequest> request = queue.front();
+    queue.pop_front();
+    return request;
+  }
+  return nullptr;
+}
+
+MapTicket MappingService::map_async(const CartesianGrid& grid, const Stencil& stencil,
+                                    const NodeAllocation& alloc, Priority priority) {
+  const std::string signature =
+      instance_signature(grid, stencil, alloc, engine_.objective());
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.submitted;
+  if (stopping_) {
+    ++counters_.rejected_shutdown;
+    throw AdmissionError(RejectReason::kShuttingDown);
+  }
+
+  MapTicket ticket;
+  if (options_.probe_cache) {
+    if (std::shared_ptr<const MappingPlan> plan = engine_.cached(signature)) {
+      ++counters_.cache_hits;
+      std::promise<std::shared_ptr<const MappingPlan>> ready;
+      ticket.future_ = ready.get_future();
+      ready.set_value(std::move(plan));
+      ticket.cache_hit_ = true;
+      return ticket;
+    }
+  }
+
+  if (options_.single_flight) {
+    const auto it = inflight_.find(signature);
+    if (it != inflight_.end()) {
+      // Join the twin's race instead of consuming a queue slot.
+      const std::shared_ptr<detail::ServiceRequest>& request = it->second;
+      ++counters_.deduped;
+      ticket.service_ = this;
+      ticket.request_ = request;
+      ticket.waiter_ = request->waiters.size();
+      ticket.deduped_ = true;
+      request->waiters.emplace_back();
+      ticket.future_ = request->waiters.back().promise.get_future();
+      ++request->active;
+      if (!request->running && idx(priority) < idx(request->priority)) {
+        // A stronger joiner promotes the whole queued race.
+        auto& old_queue = queues_[idx(request->priority)];
+        old_queue.erase(std::find(old_queue.begin(), old_queue.end(), request));
+        request->priority = priority;
+        queues_[idx(priority)].push_back(request);
+      }
+      return ticket;
+    }
+  }
+
+  if (depth_locked() >= options_.queue_capacity) {
+    ++counters_.rejected_full;
+    throw AdmissionError(RejectReason::kQueueFull);
+  }
+
+  auto request = std::make_shared<detail::ServiceRequest>(
+      signature, Instance{grid, stencil, alloc}, priority);
+  request->waiters.emplace_back();
+  request->active = 1;
+  ticket.service_ = this;
+  ticket.request_ = request;
+  ticket.waiter_ = 0;
+  ticket.future_ = request->waiters.back().promise.get_future();
+  queues_[idx(priority)].push_back(request);
+  if (options_.single_flight) inflight_.emplace(signature, std::move(request));
+  ++counters_.admitted;
+  counters_.queue_depth = depth_locked();
+  counters_.max_queue_depth = std::max(counters_.max_queue_depth, counters_.queue_depth);
+  work_.notify_one();
+  return ticket;
+}
+
+void MappingService::cancel_waiter(const std::shared_ptr<detail::ServiceRequest>& request,
+                                   std::size_t waiter_index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (request->done) return;
+  detail::ServiceWaiter& waiter = request->waiters[waiter_index];
+  if (waiter.cancelled) return;
+  waiter.cancelled = true;
+  waiter.promise.set_exception(cancelled_error());
+  ++counters_.cancelled;
+  --request->active;
+  if (request->active > 0) return;  // other joiners still want the plan
+  if (request->running) {
+    // Last joiner gone mid-race: stop it cooperatively. The dispatcher
+    // catches the resulting CancelledError and finds nobody to deliver to.
+    // The doomed race must leave the single-flight index NOW — a new
+    // same-signature submission needs a fresh race, not this one.
+    request->abandon.cancel();
+    if (options_.single_flight) unindex(inflight_, request);
+    return;
+  }
+  // Still queued: drop it before a dispatcher wastes a race on it.
+  auto& queue = queues_[idx(request->priority)];
+  queue.erase(std::find(queue.begin(), queue.end(), request));
+  if (options_.single_flight) unindex(inflight_, request);
+  request->done = true;
+  counters_.queue_depth = depth_locked();
+}
+
+void MappingService::worker_loop() {
+  for (;;) {
+    std::shared_ptr<detail::ServiceRequest> request;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_.wait(lock, [this] { return stopping_ || depth_locked() > 0; });
+      request = pop_locked();
+      if (request == nullptr) return;  // stopping_ and drained
+      counters_.queue_depth = depth_locked();
+      request->running = true;
+      ++counters_.in_flight;
+    }
+
+    std::shared_ptr<const MappingPlan> plan;
+    std::exception_ptr error;
+    try {
+      plan = engine_.map(request->instance.grid, request->instance.stencil,
+                         request->instance.alloc, request->abandon.token());
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Deliver to every joiner that is still waiting. Joiners that attach
+    // while the race runs are in this list too — attachment and delivery
+    // are both under the mutex, so none can be missed.
+    for (detail::ServiceWaiter& waiter : request->waiters) {
+      if (waiter.cancelled) continue;
+      if (error) {
+        waiter.promise.set_exception(error);
+      } else {
+        waiter.promise.set_value(plan);
+      }
+    }
+    if (request->active > 0) {
+      if (error) {
+        ++counters_.failed;
+      } else {
+        ++counters_.completed;
+      }
+    }
+    request->done = true;
+    request->running = false;
+    --counters_.in_flight;
+    if (options_.single_flight) unindex(inflight_, request);
+  }
+}
+
+ServiceCounters MappingService::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace gridmap::engine

@@ -1,0 +1,209 @@
+// MappingService: the asynchronous serving front of a PortfolioEngine —
+// "mapping as a service" instead of re-deriving plans per run. The service
+// owns an engine plus a bounded request queue drained by dispatcher
+// threads, and layers the serving concerns on top of the staged map path
+// (engine/race.hpp):
+//
+//   admission control — the queue is bounded; a submission that would
+//     exceed it is rejected synchronously with AdmissionError(kQueueFull),
+//     so a request storm degrades by shedding load, never by unbounded
+//     memory growth or deadlock.
+//   priority classes  — kHigh requests are dispatched before kNormal before
+//     kLow; FIFO within a class. A duplicate joining a queued race promotes
+//     it to the stronger class.
+//   single-flight     — concurrent requests with the same canonical
+//     signature (instance + objective) join one in-flight race and receive
+//     the same plan object; only the first consumes a queue slot.
+//   cache fast path   — a submission whose plan is already cached completes
+//     synchronously without touching the queue.
+//   cancellation      — a ticket can abandon its request: queued-only
+//     requests are dropped, and when every joiner of a running race has
+//     cancelled, the race itself is stopped cooperatively through the
+//     ExecContext machinery (PortfolioEngine::map's cancel flag).
+//
+// Plans served here are bit-identical to direct PortfolioEngine::map calls
+// with the same options — the service adds scheduling, not policy.
+//
+// Thread model: one mutex guards the queue, the single-flight index, the
+// per-request waiter lists, and the counters. Races run outside the lock;
+// promise fulfillment happens under it, so a joiner can never be missed or
+// completed twice. Tickets must not outlive the service that issued them.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/portfolio.hpp"
+
+namespace gridmap::engine {
+
+class MappingService;
+
+namespace detail {
+struct ServiceRequest;  // one queued/in-flight race; defined in service.cpp
+}
+
+/// Dispatch classes, strongest first. The queue always serves the strongest
+/// non-empty class; within a class, first come first served.
+enum class Priority { kHigh = 0, kNormal = 1, kLow = 2 };
+
+std::string_view to_string(Priority priority);
+/// Parses "high" | "normal" | "low"; throws std::invalid_argument otherwise.
+Priority priority_from_string(std::string_view name);
+
+/// Why a submission was refused at the door.
+enum class RejectReason {
+  kQueueFull,     ///< the bounded queue is at capacity
+  kShuttingDown,  ///< the service is stopping (or was stopped)
+};
+
+std::string_view to_string(RejectReason reason);
+
+/// Thrown synchronously by map_async when a request is not admitted, and
+/// delivered through the future of queued requests a shutdown rejects.
+class AdmissionError : public std::runtime_error {
+ public:
+  explicit AdmissionError(RejectReason reason)
+      : std::runtime_error(reason == RejectReason::kQueueFull
+                               ? "mapping request rejected: queue full"
+                               : "mapping request rejected: service shutting down"),
+        reason_(reason) {}
+
+  RejectReason reason() const noexcept { return reason_; }
+
+ private:
+  RejectReason reason_;
+};
+
+struct ServiceOptions {
+  /// Dispatcher threads executing races (each runs one engine map() at a
+  /// time; the engine's own pool parallelizes within a race). Must be >= 1.
+  int workers = 1;
+  /// Maximum requests awaiting a dispatcher; a submission that would exceed
+  /// it is rejected with kQueueFull. Must be >= 1. Deduplicated joiners and
+  /// cache hits never consume a slot.
+  std::size_t queue_capacity = 64;
+  /// Join concurrent same-signature requests onto one in-flight race. Off:
+  /// every admitted request races independently (benchmark baseline).
+  bool single_flight = true;
+  /// Probe the engine's plan cache at submission and complete hits
+  /// synchronously. Off: even cached instances go through the queue.
+  bool probe_cache = true;
+};
+
+/// Monotonic counters plus point-in-time gauges, readable while serving.
+struct ServiceCounters {
+  std::uint64_t submitted = 0;          ///< map_async calls
+  std::uint64_t admitted = 0;           ///< consumed a queue slot
+  std::uint64_t rejected_full = 0;      ///< refused: queue at capacity
+  std::uint64_t rejected_shutdown = 0;  ///< refused: service stopping
+  std::uint64_t deduped = 0;            ///< joined an in-flight race
+  std::uint64_t cache_hits = 0;         ///< completed synchronously from the cache
+  std::uint64_t completed = 0;          ///< races that produced a plan
+  std::uint64_t failed = 0;             ///< races that threw (delivered via future)
+  std::uint64_t cancelled = 0;          ///< waiters abandoned via MapTicket::cancel
+  std::size_t queue_depth = 0;          ///< gauge: requests awaiting dispatch
+  std::size_t in_flight = 0;            ///< gauge: races running right now
+  std::size_t max_queue_depth = 0;      ///< high-water mark of queue_depth
+};
+
+/// Handle of one admitted (or cache-served) request. Move-only; must not
+/// outlive its MappingService.
+class MapTicket {
+ public:
+  MapTicket() = default;
+
+  /// Blocks for the plan. Rethrows the race's failure, CancelledError after
+  /// cancel(), or AdmissionError(kShuttingDown) if the service shut down
+  /// while the request was still queued.
+  std::shared_ptr<const MappingPlan> get() { return future_.get(); }
+
+  std::future<std::shared_ptr<const MappingPlan>>& future() noexcept { return future_; }
+  bool valid() const noexcept { return future_.valid(); }
+
+  /// This request joined a race another submission started.
+  bool deduped() const noexcept { return deduped_; }
+  /// This request completed synchronously from the plan cache.
+  bool cache_hit() const noexcept { return cache_hit_; }
+
+  /// Abandons this requester: its future fails with CancelledError
+  /// immediately. The shared race is only stopped (cooperatively, via the
+  /// engine's ExecContext machinery) once every joiner has cancelled — a
+  /// single cancel never steals the result from other waiters. Idempotent;
+  /// a no-op after completion or on a cache-hit ticket.
+  void cancel();
+
+ private:
+  friend class MappingService;
+
+  std::future<std::shared_ptr<const MappingPlan>> future_;
+  std::shared_ptr<detail::ServiceRequest> request_;  // null for cache hits
+  std::size_t waiter_ = 0;                           // index into the request's waiters
+  MappingService* service_ = nullptr;
+  bool deduped_ = false;
+  bool cache_hit_ = false;
+};
+
+class MappingService {
+ public:
+  /// Builds the service's own engine from `registry` + `engine_options`
+  /// (validated there) and starts the dispatchers. Throws
+  /// std::invalid_argument on invalid ServiceOptions.
+  MappingService(MapperRegistry registry, EngineOptions engine_options = {},
+                 ServiceOptions service_options = {});
+
+  /// Stops admission, fails every still-queued request with
+  /// AdmissionError(kShuttingDown), lets in-flight races finish and deliver,
+  /// then joins the dispatchers.
+  ~MappingService();
+
+  MappingService(const MappingService&) = delete;
+  MappingService& operator=(const MappingService&) = delete;
+
+  /// Submits one mapping request. Returns a ticket whose future yields the
+  /// winning plan; completes synchronously on a cache hit, joins an
+  /// in-flight twin when single-flight applies, otherwise consumes a queue
+  /// slot. Throws AdmissionError when the request is not admitted.
+  MapTicket map_async(const CartesianGrid& grid, const Stencil& stencil,
+                      const NodeAllocation& alloc, Priority priority = Priority::kNormal);
+
+  ServiceCounters counters() const;
+
+  /// The engine this service fronts — for cache/history stats and for
+  /// comparing served plans against direct map() calls.
+  PortfolioEngine& engine() noexcept { return engine_; }
+  const PortfolioEngine& engine() const noexcept { return engine_; }
+
+ private:
+  friend class MapTicket;
+
+  void worker_loop();
+  /// Pops the strongest-class request; null when queues are empty.
+  std::shared_ptr<detail::ServiceRequest> pop_locked();
+  std::size_t depth_locked() const;
+  void cancel_waiter(const std::shared_ptr<detail::ServiceRequest>& request,
+                     std::size_t waiter);
+
+  PortfolioEngine engine_;
+  ServiceOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_;
+  std::deque<std::shared_ptr<detail::ServiceRequest>> queues_[3];  // by Priority
+  std::unordered_map<std::string, std::shared_ptr<detail::ServiceRequest>> inflight_;
+  ServiceCounters counters_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gridmap::engine

@@ -4,6 +4,12 @@
 // across map() calls so batch APIs reuse warm threads; map_all floods it
 // with instances x backends as one flat queue, which is what keeps every
 // worker busy while a slow backend of an earlier instance still runs.
+//
+// Exception contract: a task that throws never terminates a worker — the
+// exception is captured in the task's shared state (std::packaged_task) and
+// rethrown to the submitter when the future is awaited. A future dropped
+// without get() simply discards the stored exception. Workers therefore
+// only ever exit at pool destruction, after the queue has drained.
 #pragma once
 
 #include <condition_variable>
@@ -38,7 +44,9 @@ class ThreadPool {
   }
 
   /// Schedules `task` and returns a future for its result. Exceptions thrown
-  /// by the task surface when the future is awaited.
+  /// by the task (std::exception-derived or not) are stored and rethrown by
+  /// future.get() — they never reach worker_loop, so no task can kill a
+  /// worker or terminate the process.
   template <class F>
   std::future<std::invoke_result_t<F>> submit(F task) {
     using R = std::invoke_result_t<F>;

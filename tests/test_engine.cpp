@@ -139,6 +139,27 @@ TEST(ThreadPool, ReportsPendingTasksAndDrains) {
   EXPECT_EQ(pool.pending(), 0u);
 }
 
+TEST(ThreadPool, FuturesRethrowTaskExceptions) {
+  ThreadPool pool(1);
+  auto thrower = pool.submit([]() -> int { throw std::runtime_error("task boom"); });
+  try {
+    thrower.get();
+    FAIL() << "expected the future to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task boom");
+  }
+  // The worker survived the throwing task and keeps serving.
+  auto after = pool.submit([] { return 7; });
+  EXPECT_EQ(after.get(), 7);
+}
+
+TEST(ThreadPool, UnretrievedTaskExceptionDoesNotTerminate) {
+  ThreadPool pool(1);
+  { auto dropped = pool.submit([]() -> int { throw std::runtime_error("ignored"); }); }
+  auto after = pool.submit([] { return 1; });
+  EXPECT_EQ(after.get(), 1);
+}  // ~ThreadPool drains with the stored exception never retrieved — no crash
+
 // -------------------------------------------------------------- objective --
 
 TEST(Objective, RoundTripsThroughStrings) {
@@ -356,6 +377,79 @@ TEST(Portfolio, SkipsInapplicableBackendsInsteadOfCrashing) {
 
   const auto plan = engine.map(grid, nn(2), alloc);  // must not throw
   EXPECT_NE(plan->mapper, "nodecart");
+}
+
+TEST(Portfolio, ThrowingMapperIsRecordedAsFailedNotFatal) {
+  // A backend whose remap throws must become a failed result carrying the
+  // message — propagated through the pool's future, never terminating a
+  // worker — and the race still picks a winner from the healthy backends.
+  class ThrowingMapper final : public Mapper {
+   public:
+    using Mapper::remap;
+    std::string_view name() const noexcept override { return "Throwing"; }
+    Remapping remap(const CartesianGrid&, const Stencil&, const NodeAllocation&,
+                    ExecContext&) const override {
+      throw std::runtime_error("mapper exploded");
+    }
+  };
+  MapperRegistry registry;
+  registry.add("throwing", [] { return std::make_unique<ThrowingMapper>(); });
+  registry.add("blocked", [] { return std::make_unique<BlockedMapper>(); });
+  for (int threads : {1, 4}) {
+    EngineOptions options;
+    options.threads = threads;
+    PortfolioEngine engine(registry, options);
+    const CartesianGrid grid({4, 4});
+    const NodeAllocation alloc = NodeAllocation::homogeneous(4, 4);
+    const auto results = engine.evaluate_all(grid, nn(2), alloc);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].failed) << "threads=" << threads;
+    EXPECT_EQ(results[0].error, "mapper exploded");
+    EXPECT_TRUE(results[1].usable());
+    EXPECT_EQ(engine.map(grid, nn(2), alloc)->mapper, "blocked");
+  }
+}
+
+// ------------------------------------------------------- option validation --
+
+TEST(EngineOptionsValidation, RejectsOutOfRangeOptions) {
+  const MapperRegistry registry = MapperRegistry::with_default_backends();
+  const auto expect_invalid = [&registry](auto mutate) {
+    EngineOptions options;
+    mutate(options);
+    EXPECT_THROW(PortfolioEngine(registry, options), std::invalid_argument);
+  };
+  expect_invalid([](EngineOptions& o) { o.threads = -2; });
+  expect_invalid([](EngineOptions& o) { o.backend_budget = std::chrono::seconds(-1); });
+  expect_invalid([](EngineOptions& o) { o.selector.min_budget = std::chrono::seconds(-1); });
+  expect_invalid([](EngineOptions& o) { o.selector.budget_clamp = std::chrono::seconds(-1); });
+  expect_invalid([](EngineOptions& o) { o.selector.budget_quantile = 0.0; });
+  expect_invalid([](EngineOptions& o) { o.selector.budget_quantile = 1.5; });
+  expect_invalid([](EngineOptions& o) { o.selector.budget_slack = 0.0; });
+  expect_invalid([](EngineOptions& o) { o.selector.budget_slack = -3.0; });
+  expect_invalid([](EngineOptions& o) { o.selector.min_backends = 0; });
+  expect_invalid([](EngineOptions& o) { o.selector.neighbors = 0; });
+  // Selection without recording could never warm up — reject the combination.
+  expect_invalid([](EngineOptions& o) {
+    o.max_backends = 3;
+    o.history_capacity = 0;
+  });
+  expect_invalid([](EngineOptions& o) {
+    o.adaptive_budgets = true;
+    o.history_capacity = 0;
+  });
+}
+
+TEST(EngineOptionsValidation, AcceptsDisabledAndDefaultKnobs) {
+  const MapperRegistry registry = MapperRegistry::with_default_backends();
+  EXPECT_NO_THROW(PortfolioEngine(registry, EngineOptions{}));
+  EngineOptions zeros;
+  zeros.threads = 0;             // hardware concurrency
+  zeros.cache_capacity = 0;      // caching off
+  zeros.backend_budget = {};     // unlimited
+  zeros.history_capacity = 0;    // recording off (selection also off)
+  zeros.full_race_every = 0;     // refresh off
+  EXPECT_NO_THROW(PortfolioEngine(registry, zeros));
 }
 
 TEST(Portfolio, MapAllBatchesAndDeduplicatesViaCache) {

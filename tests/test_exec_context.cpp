@@ -78,6 +78,42 @@ TEST(ExecContext, TokenCancellationReportsCancelledReason) {
   }
 }
 
+TEST(ExecContext, AlsoWatchAddsASecondCancellationFlag) {
+  CancelSource race_token, abandon;
+  ExecContext ctx = ExecContext::with_token(race_token.token());
+  ctx.also_watch(abandon.token());
+  EXPECT_TRUE(ctx.limited());
+  EXPECT_FALSE(ctx.cancelled());
+  abandon.cancel();  // only the extra flag fires
+  EXPECT_TRUE(ctx.cancelled());
+  try {
+    for (int i = 0; i < 1000; ++i) ctx.checkpoint();
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.reason(), CancelledError::Reason::kCancelled);
+  }
+}
+
+TEST(ExecContext, AlsoWatchAloneLimitsAnUnlimitedContext) {
+  CancelSource abandon;
+  ExecContext ctx;
+  ctx.also_watch(abandon.token());
+  EXPECT_TRUE(ctx.limited());
+  EXPECT_NO_THROW(ctx.checkpoint());
+  abandon.cancel();
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 1000; ++i) ctx.checkpoint();
+      },
+      CancelledError);
+}
+
+TEST(ExecContext, SharedNoneContextRefusesAlsoWatch) {
+  CancelSource source;
+  EXPECT_THROW(ExecContext::none().also_watch(source.token()), std::logic_error);
+  EXPECT_FALSE(ExecContext::none().limited());
+}
+
 TEST(ExecContext, StopScoreRoundTrips) {
   ExecContext ctx;
   EXPECT_FALSE(ctx.stop_score().has_value());

@@ -1,0 +1,434 @@
+// MappingService tests: admission control, priority classes, single-flight
+// deduplication, cancellation, shutdown semantics, and the bit-identical
+// contract against direct PortfolioEngine::map calls. Runs under the CI
+// TSan job (label `engine`), so the timing-sensitive tests lean on a
+// cooperative SlowMapper occupying the single dispatcher — submissions that
+// must observe a busy service happen while that race provably spins.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "baselines/blocked.hpp"
+#include "engine/service.hpp"
+#include "engine/signature.hpp"
+
+namespace gridmap::engine {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// Deliberately slow cooperative mapper: spins for `spin` wall time while
+/// polling the ExecContext, then returns the identity mapping.
+class SlowMapper final : public Mapper {
+ public:
+  using Mapper::remap;
+
+  explicit SlowMapper(milliseconds spin) : spin_(spin) {}
+
+  std::string_view name() const noexcept override { return "Slow"; }
+
+  Remapping remap(const CartesianGrid& grid, const Stencil& /*stencil*/,
+                  const NodeAllocation& /*alloc*/, ExecContext& ctx) const override {
+    const auto start = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - start < spin_) ctx.checkpoint();
+    return Remapping::identity(grid);
+  }
+
+ private:
+  milliseconds spin_;
+};
+
+/// blocked + a slow backend: every race takes at least `spin`, so a
+/// single-dispatcher service stays provably busy while tests submit.
+MapperRegistry slow_registry(milliseconds spin) {
+  MapperRegistry registry;
+  registry.add("blocked", [] { return std::make_unique<BlockedMapper>(); });
+  registry.add("slow", [spin] { return std::make_unique<SlowMapper>(spin); });
+  return registry;
+}
+
+Instance instance_2d(int a, int b) {
+  return {CartesianGrid({a, b}), Stencil::nearest_neighbor(2),
+          NodeAllocation::homogeneous(a, b)};
+}
+
+MapTicket submit(MappingService& service, const Instance& inst,
+                 Priority priority = Priority::kNormal) {
+  return service.map_async(inst.grid, inst.stencil, inst.alloc, priority);
+}
+
+/// Blocks until `n` races are in flight — i.e. a just-submitted occupier has
+/// actually been popped off the queue, so later submissions really observe
+/// a busy dispatcher rather than racing it for the queue slots.
+void wait_until_running(MappingService& service, std::size_t n = 1) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (service.counters().in_flight < n &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  ASSERT_GE(service.counters().in_flight, n) << "dispatcher never started the race";
+}
+
+// ------------------------------------------------------- served == direct --
+
+TEST(MappingService, ServesPlansBitIdenticalToDirectEngine) {
+  const std::vector<Instance> instances = {instance_2d(4, 6), instance_2d(6, 4),
+                                           instance_2d(5, 5)};
+  PortfolioEngine direct(MapperRegistry::with_default_backends(), {});
+  MappingService service(MapperRegistry::with_default_backends(), {}, {});
+  for (const Instance& inst : instances) {
+    const auto served = submit(service, inst).get();
+    const auto direct_plan = direct.map(inst.grid, inst.stencil, inst.alloc);
+    EXPECT_EQ(*served, *direct_plan);
+  }
+}
+
+TEST(MappingService, CacheHitCompletesSynchronouslyWithTheSamePlanObject) {
+  MappingService service(MapperRegistry::with_default_backends(), {}, {});
+  const Instance inst = instance_2d(4, 4);
+  const auto first = submit(service, inst).get();
+  MapTicket again = submit(service, inst);
+  EXPECT_TRUE(again.cache_hit());
+  EXPECT_EQ(again.get(), first);  // the identical shared plan object
+  EXPECT_EQ(service.counters().cache_hits, 1u);
+  EXPECT_EQ(service.counters().admitted, 1u);
+}
+
+// ------------------------------------------------------------ single-flight --
+
+TEST(MappingService, SingleFlightJoinsConcurrentTwinsOntoOneRace) {
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  engine_options.cache_capacity = 0;  // dedup, not the cache, must carry this
+  ServiceOptions service_options;
+  service_options.workers = 1;
+  MappingService service(slow_registry(milliseconds(200)), engine_options,
+                         service_options);
+
+  // Occupy the only dispatcher so the twins below are all queued together.
+  MapTicket occupier = submit(service, instance_2d(3, 3));
+  wait_until_running(service);
+  const Instance twin = instance_2d(4, 5);
+  std::vector<MapTicket> tickets;
+  for (int i = 0; i < 8; ++i) tickets.push_back(submit(service, twin));
+
+  for (int i = 1; i < 8; ++i) EXPECT_TRUE(tickets[static_cast<std::size_t>(i)].deduped());
+  const std::shared_ptr<const MappingPlan> plan = tickets[0].get();
+  for (std::size_t i = 1; i < tickets.size(); ++i) {
+    EXPECT_EQ(tickets[i].get(), plan);  // same object, not a copy
+  }
+  (void)occupier.get();
+
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.deduped, 7u);
+  EXPECT_EQ(c.admitted, 2u);    // occupier + first twin
+  EXPECT_EQ(c.completed, 2u);   // exactly two races ran
+  // Two races x two backends: the 7 joiners ran no mappers of their own.
+  EXPECT_EQ(service.engine().mapper_runs(), 4u);
+}
+
+TEST(MappingService, SingleFlightDisabledRacesEveryAdmission) {
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  engine_options.cache_capacity = 0;
+  ServiceOptions service_options;
+  service_options.workers = 1;
+  service_options.single_flight = false;
+  MappingService service(slow_registry(milliseconds(50)), engine_options,
+                         service_options);
+
+  MapTicket occupier = submit(service, instance_2d(3, 3));
+  wait_until_running(service);
+  const Instance twin = instance_2d(4, 5);
+  std::vector<MapTicket> tickets;
+  for (int i = 0; i < 3; ++i) tickets.push_back(submit(service, twin));
+  for (MapTicket& t : tickets) {
+    EXPECT_FALSE(t.deduped());
+    EXPECT_NE(t.get(), nullptr);
+  }
+  (void)occupier.get();
+
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.deduped, 0u);
+  EXPECT_EQ(c.admitted, 4u);
+  EXPECT_EQ(service.engine().mapper_runs(), 8u);  // four full races
+}
+
+// -------------------------------------------------------- admission control --
+
+TEST(MappingService, RejectsWithQueueFullWhenTheBoundIsHit) {
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  ServiceOptions service_options;
+  service_options.workers = 1;
+  service_options.queue_capacity = 2;
+  MappingService service(slow_registry(milliseconds(200)), engine_options,
+                         service_options);
+
+  MapTicket occupier = submit(service, instance_2d(3, 3));  // running, no slot
+  wait_until_running(service);
+  MapTicket queued1 = submit(service, instance_2d(4, 4));
+  MapTicket queued2 = submit(service, instance_2d(5, 4));
+  EXPECT_LE(service.counters().queue_depth, 2u);
+  try {
+    submit(service, instance_2d(6, 4));
+    FAIL() << "expected AdmissionError";
+  } catch (const AdmissionError& e) {
+    EXPECT_EQ(e.reason(), RejectReason::kQueueFull);
+    EXPECT_EQ(to_string(e.reason()), "queue-full");
+  }
+
+  // Shedding load must not wedge the admitted work: everything completes.
+  EXPECT_NE(occupier.get(), nullptr);
+  EXPECT_NE(queued1.get(), nullptr);
+  EXPECT_NE(queued2.get(), nullptr);
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.rejected_full, 1u);
+  EXPECT_EQ(c.admitted, 3u);
+  EXPECT_LE(c.max_queue_depth, 2u);
+}
+
+TEST(MappingService, QueueFullStormNeverExceedsTheBoundNorDeadlocks) {
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  ServiceOptions service_options;
+  service_options.workers = 1;
+  service_options.queue_capacity = 4;
+  MappingService service(slow_registry(milliseconds(10)), engine_options,
+                         service_options);
+
+  std::vector<MapTicket> admitted;
+  std::size_t rejected = 0;
+  for (int i = 0; i < 64; ++i) {
+    try {
+      admitted.push_back(submit(service, instance_2d(3 + i, 4)));
+    } catch (const AdmissionError&) {
+      ++rejected;
+    }
+  }
+  for (MapTicket& t : admitted) EXPECT_NE(t.get(), nullptr);
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.admitted + c.rejected_full, 64u);
+  EXPECT_EQ(c.rejected_full, rejected);
+  EXPECT_LE(c.max_queue_depth, 4u);
+}
+
+// ---------------------------------------------------------------- priority --
+
+TEST(MappingService, HighPriorityDispatchesBeforeEarlierLowPriority) {
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  ServiceOptions service_options;
+  service_options.workers = 1;
+  MappingService service(slow_registry(milliseconds(300)), engine_options,
+                         service_options);
+
+  MapTicket occupier = submit(service, instance_2d(3, 3));
+  wait_until_running(service);
+  MapTicket low = submit(service, instance_2d(4, 4), Priority::kLow);
+  MapTicket high = submit(service, instance_2d(5, 4), Priority::kHigh);
+
+  // The high request finishes first; the low one is still queued or just
+  // started (its own race takes another 300 ms) when high delivers.
+  EXPECT_NE(high.get(), nullptr);
+  EXPECT_NE(low.future().wait_for(milliseconds(0)), std::future_status::ready);
+  EXPECT_NE(low.get(), nullptr);
+  (void)occupier.get();
+}
+
+// ------------------------------------------------------------- cancellation --
+
+TEST(MappingService, CancelQueuedRequestFailsFastAndSkipsTheRace) {
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  ServiceOptions service_options;
+  service_options.workers = 1;
+  MappingService service(slow_registry(milliseconds(200)), engine_options,
+                         service_options);
+
+  MapTicket occupier = submit(service, instance_2d(3, 3));
+  wait_until_running(service);
+  MapTicket doomed = submit(service, instance_2d(4, 4));
+  doomed.cancel();
+  EXPECT_THROW(doomed.get(), CancelledError);
+  doomed.cancel();  // idempotent
+
+  (void)occupier.get();
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.cancelled, 1u);
+  EXPECT_EQ(c.completed, 1u);  // only the occupier raced
+  EXPECT_EQ(service.engine().mapper_runs(), 2u);
+}
+
+TEST(MappingService, CancellingEveryJoinerStopsAnInFlightRace) {
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  ServiceOptions service_options;
+  service_options.workers = 1;
+  // A race that would spin for 10 s if cancellation did not reach it.
+  MappingService service(slow_registry(std::chrono::seconds(10)), engine_options,
+                         service_options);
+
+  const auto start = std::chrono::steady_clock::now();
+  MapTicket ticket = submit(service, instance_2d(3, 3));
+  std::this_thread::sleep_for(milliseconds(50));  // let the dispatcher start it
+  ticket.cancel();
+  EXPECT_THROW(ticket.get(), CancelledError);
+
+  // The dispatcher must come free long before the 10 s spin would end; this
+  // second request only completes promptly if the first race really stopped.
+  MapTicket after = submit(service, instance_2d(4, 4));
+  after.cancel();
+  EXPECT_THROW(after.get(), CancelledError);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(8));
+
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.cancelled, 2u);
+  EXPECT_EQ(c.failed, 0u);  // an abandoned race is not a failure
+}
+
+TEST(MappingService, NewTwinAfterAbandonedRaceGetsAFreshRaceNotTheDoomedOne) {
+  // Once the last joiner abandons a running race, that race is doomed to
+  // throw CancelledError — a *new* same-signature submission must not be
+  // joined onto it (it would inherit a cancellation it never asked for).
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  engine_options.cache_capacity = 0;
+  ServiceOptions service_options;
+  service_options.workers = 1;
+  MappingService service(slow_registry(milliseconds(300)), engine_options,
+                         service_options);
+
+  MapTicket first = submit(service, instance_2d(4, 5));
+  wait_until_running(service);
+  first.cancel();  // abandons the in-flight race
+  EXPECT_THROW(first.get(), CancelledError);
+  MapTicket second = submit(service, instance_2d(4, 5));  // same signature
+  EXPECT_FALSE(second.deduped());
+  EXPECT_NE(second.get(), nullptr);  // a fresh race delivered a real plan
+}
+
+TEST(MappingService, CancellingOneJoinerDoesNotStealTheTwinsResult) {
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  engine_options.cache_capacity = 0;
+  ServiceOptions service_options;
+  service_options.workers = 1;
+  MappingService service(slow_registry(milliseconds(200)), engine_options,
+                         service_options);
+
+  MapTicket occupier = submit(service, instance_2d(3, 3));
+  wait_until_running(service);
+  const Instance twin = instance_2d(4, 5);
+  MapTicket keeper = submit(service, twin);
+  MapTicket quitter = submit(service, twin);
+  EXPECT_TRUE(quitter.deduped());
+  quitter.cancel();
+  EXPECT_THROW(quitter.get(), CancelledError);
+  EXPECT_NE(keeper.get(), nullptr);  // the shared race still delivered
+  (void)occupier.get();
+}
+
+// ----------------------------------------------------------------- shutdown --
+
+TEST(MappingService, ShutdownRejectsQueuedAndDeliversInFlight) {
+  MapTicket running, queued1, queued2;
+  {
+    EngineOptions engine_options;
+    engine_options.threads = 1;
+    ServiceOptions service_options;
+    service_options.workers = 1;
+    MappingService service(slow_registry(milliseconds(200)), engine_options,
+                           service_options);
+    running = submit(service, instance_2d(3, 3));
+    wait_until_running(service);
+    queued1 = submit(service, instance_2d(4, 4));
+    queued2 = submit(service, instance_2d(5, 4));
+  }  // ~MappingService: queued requests rejected, in-flight race delivered
+
+  EXPECT_NE(running.get(), nullptr);
+  for (MapTicket* t : {&queued1, &queued2}) {
+    try {
+      t->get();
+      FAIL() << "expected AdmissionError";
+    } catch (const AdmissionError& e) {
+      EXPECT_EQ(e.reason(), RejectReason::kShuttingDown);
+    }
+  }
+}
+
+// --------------------------------------------------------------- validation --
+
+TEST(MappingService, InvalidServiceOptionsThrow) {
+  ServiceOptions no_workers;
+  no_workers.workers = 0;
+  EXPECT_THROW(MappingService(MapperRegistry::with_default_backends(), {}, no_workers),
+               std::invalid_argument);
+  ServiceOptions no_queue;
+  no_queue.queue_capacity = 0;
+  EXPECT_THROW(MappingService(MapperRegistry::with_default_backends(), {}, no_queue),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------- concurrent storm --
+
+TEST(MappingService, ConcurrentSubmissionStormStaysConsistent) {
+  EngineOptions engine_options;
+  engine_options.threads = 2;
+  ServiceOptions service_options;
+  service_options.workers = 2;
+  service_options.queue_capacity = 8;
+  MappingService service(slow_registry(milliseconds(5)), engine_options,
+                         service_options);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::atomic<std::uint64_t> plans{0}, rejections{0}, cancels{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&service, &plans, &rejections, &cancels, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        try {
+          MapTicket ticket =
+              submit(service, instance_2d(3 + (i % 5), 4),
+                     i % 3 == 0 ? Priority::kHigh : Priority::kNormal);
+          if ((t + i) % 7 == 0) {
+            ticket.cancel();
+            try {
+              ticket.get();
+            } catch (const CancelledError&) {
+            }
+            ++cancels;
+            continue;
+          }
+          if (ticket.get() != nullptr) ++plans;
+        } catch (const AdmissionError&) {
+          ++rejections;
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+
+  EXPECT_EQ(plans + rejections + cancels,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  // A race abandoned by the last submitter may still be winding down; give
+  // the gauges a moment to settle before asserting they return to zero.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (service.counters().in_flight > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.submitted, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_LE(c.max_queue_depth, 8u);
+  EXPECT_EQ(c.queue_depth, 0u);
+  EXPECT_EQ(c.in_flight, 0u);
+}
+
+}  // namespace
+}  // namespace gridmap::engine
