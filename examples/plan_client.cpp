@@ -1,71 +1,148 @@
-// plan_client: the matching client for plan_server — sends one request line
-// over the server's AF_UNIX socket and prints the response. For "map"
-// requests the received plan block is re-parsed with plan_io::parse_plan
-// before printing, so every served plan is round-trip-verified against the
-// text format spec (docs/FORMATS.md) on the client side too.
+// plan_client: the matching client for plan_server — connects over AF_UNIX
+// or TCP, verifies the server's GRIDMAP/1 hello, sends one request line and
+// prints the response. For "map" requests the received plan block is
+// re-parsed with plan_io::parse_plan before printing, so every served plan
+// is round-trip-verified against the text format spec (docs/FORMATS.md) on
+// the client side too.
 //
 // Usage:
-//   plan_client <socket-path> map 6x8 00 nn 6 8 [high|normal|low]
-//   plan_client <socket-path> stats
-//   plan_client <socket-path> shutdown
+//   plan_client --unix /tmp/gridmap.sock map 6x8 00 nn 6 8 [high|normal|low]
+//   plan_client --tcp 127.0.0.1:7070 map 6x8 00 nn 6 8
+//   plan_client (--unix PATH | --tcp HOST:PORT) stats
+//   plan_client (--unix PATH | --tcp HOST:PORT) shutdown
+#include <netdb.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <csignal>
 #include <cstring>
 #include <iostream>
 #include <string>
 
 #include "engine/plan_io.hpp"
+#include "engine/wire.hpp"
 
 namespace {
 
+using gridmap::engine::wire::FdTransport;
+
 int usage() {
-  std::cerr << "usage: plan_client <socket-path> <map ...|stats|shutdown>\n"
-               "       plan_client /tmp/gridmap.sock map 6x8 00 nn 6 8\n";
+  std::cerr << "usage: plan_client (--unix PATH | --tcp HOST:PORT)"
+               " <map ...|stats|shutdown>\n"
+               "       plan_client --unix /tmp/gridmap.sock map 6x8 00 nn 6 8\n"
+               "       plan_client --tcp 127.0.0.1:7070 stats\n";
   return 2;
 }
 
-bool send_all(int fd, const std::string& text) {
-  std::size_t sent = 0;
-  while (sent < text.size()) {
-    const ssize_t n = ::write(fd, text.data() + sent, text.size() - sent);
-    if (n <= 0) return false;
-    sent += static_cast<std::size_t>(n);
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return -1;
   }
-  return true;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    std::cerr << "socket path too long: " << path << "\n";
+    ::close(fd);
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    std::perror("connect");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_tcp(const std::string& host_port) {
+  const std::size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == host_port.size()) {
+    std::cerr << "--tcp wants HOST:PORT, got: " << host_port << "\n";
+    return -1;
+  }
+  const std::string host = host_port.substr(0, colon);
+  const std::string port = host_port.substr(colon + 1);
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &found);
+  if (rc != 0) {
+    std::cerr << "resolve " << host << ": " << ::gai_strerror(rc) << "\n";
+    return -1;
+  }
+  int fd = -1;
+  for (const addrinfo* ai = found; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(found);
+  if (fd < 0) std::cerr << "could not connect to " << host_port << "\n";
+  return fd;
+}
+
+/// Reads one '\n'-terminated line (the hello) off the transport.
+bool read_line(FdTransport& transport, std::string& line) {
+  line.clear();
+  char byte = 0;
+  while (line.size() < 256) {
+    const long n = transport.read_some(&byte, 1);
+    if (n <= 0) return false;
+    if (byte == '\n') return true;
+    line.push_back(byte);
+  }
+  return false;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const std::string socket_path = argv[1];
+  if (argc < 4) return usage();
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const std::string transport_flag = argv[1];
+  int fd = -1;
+  if (transport_flag == "--unix") {
+    fd = connect_unix(argv[2]);
+  } else if (transport_flag == "--tcp") {
+    fd = connect_tcp(argv[2]);
+  } else {
+    return usage();
+  }
+  if (fd < 0) return 1;
+
   std::string request;
-  for (int i = 2; i < argc; ++i) {
-    if (i > 2) request += ' ';
+  for (int i = 3; i < argc; ++i) {
+    if (i > 3) request += ' ';
     request += argv[i];
   }
   request += '\n';
 
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("socket");
-    return 1;
-  }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof addr.sun_path) {
-    std::cerr << "socket path too long: " << socket_path << "\n";
-    return 1;
-  }
-  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-    std::perror("connect");
+  FdTransport transport(fd);
+
+  // Version check: the server leads with its hello line; refuse to speak to
+  // anything that is not GRIDMAP/1.
+  std::string hello;
+  if (!read_line(transport, hello)) {
+    std::cerr << "no hello from server\n";
     ::close(fd);
     return 1;
   }
-  if (!send_all(fd, request)) {
+  if (hello != gridmap::engine::wire::kProtocol) {
+    std::cerr << "protocol mismatch: server speaks '" << hello << "', want '"
+              << gridmap::engine::wire::kProtocol << "'\n";
+    ::close(fd);
+    return 1;
+  }
+
+  if (!transport.write_all(request)) {
     std::cerr << "failed to send request\n";
     ::close(fd);
     return 1;
@@ -85,8 +162,9 @@ int main(int argc, char** argv) {
     return response.find("\nend\n") != std::string::npos;
   };
   while (!complete()) {
-    const ssize_t n = ::read(fd, chunk, sizeof chunk);
-    if (n <= 0) break;
+    const long n = transport.read_some(chunk, sizeof chunk);
+    if (n == 0) break;
+    if (n < 0) continue;
     response.append(chunk, static_cast<std::size_t>(n));
   }
   ::close(fd);

@@ -1,25 +1,30 @@
-// plan_server: a plan-serving front-end over a local (AF_UNIX) socket —
-// "mapping as a service" across processes. One MappingService (engine +
-// request queue) serves every connected client; concurrent identical
-// requests from different processes join one race via single-flight
-// deduplication, and repeated instances come straight from the plan cache.
+// plan_server: the networked front-end of a ShardedService — "mapping as a
+// service" across processes and hosts. One sharded service (N independent
+// engines, requests routed by signature hash) serves every connected
+// client over AF_UNIX and/or TCP listeners; concurrent identical requests
+// from different processes join one race via per-shard single-flight
+// deduplication, and repeated instances come straight from that shard's
+// plan cache.
 //
-// Line protocol (requests are single lines, '\n'-terminated):
+// The protocol is GRIDMAP/1 (src/engine/wire.hpp, spec in docs/FORMATS.md):
+// the server sends a "GRIDMAP/1\n" hello on connect, then answers one-line
+// requests (map/stats/shutdown) with a plan block or an ok/err line.
 //
-//   map <e0>x<e1>[x...] <periodic-bits> <nn|hops|component> <nodes> <ppn> [prio]
-//       -> the winning plan in plan_io text form ("gridmap-plan v1" ...
-//          "end"), or "err <reason>" on one line. [prio] is high|normal|low
-//          (default normal).
-//   stats
-//       -> "ok <counter>=<value> ..." on one line (service counters plus
-//          cache hit rate and total mapper runs).
-//   shutdown
-//       -> "ok bye"; the server stops accepting and exits once idle.
+// Robustness: SIGPIPE is ignored (writes to vanished peers fail instead of
+// killing the server); reads and writes are EINTR-safe and carry socket
+// timeouts so a half-open peer cannot pin a connection thread; SIGTERM and
+// SIGINT trigger a graceful shutdown — listeners close, connection threads
+// finish their current request, and the service destructor delivers every
+// in-flight race before the process exits.
 //
-// Usage: plan_server <socket-path> [engine-threads] [queue-capacity] [workers]
+// Usage:
+//   plan_server (--unix PATH | --tcp PORT) [--shards N] [--threads T]
+//               [--queue CAP] [--workers W]
 //
-// See plan_client.cpp for the matching client; README "Mapping as a
-// service" walks through a two-process demo.
+// Both --unix and --tcp may be given to serve local and remote clients at
+// once. See plan_client.cpp for the matching client; README "Mapping as a
+// service" walks through the multi-process demo.
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <sys/un.h>
@@ -27,200 +32,186 @@
 
 #include <atomic>
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <iostream>
 #include <memory>
-#include <sstream>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "engine/plan_io.hpp"
-#include "engine/service.hpp"
+#include "engine/sharded_service.hpp"
+#include "engine/wire.hpp"
 
 namespace {
 
 using namespace gridmap;
 using namespace gridmap::engine;
 
+std::atomic<bool> g_stop{false};
+// Listener fds the signal handler shuts down to unblock the accept loops.
+// Plain ints set before any signal can arrive; -1 means "not listening".
+std::atomic<int> g_listeners[2] = {-1, -1};
+
+void request_stop() {
+  g_stop.store(true);
+  for (const std::atomic<int>& listener : g_listeners) {
+    const int fd = listener.load();
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+// Async-signal-safe: an atomic store plus the shutdown() syscall.
+void on_signal(int) { request_stop(); }
+
 int usage() {
-  std::cerr << "usage: plan_server <socket-path> [engine-threads] [queue-capacity]"
-               " [workers]\n";
+  std::cerr << "usage: plan_server (--unix PATH | --tcp PORT) [--shards N]"
+               " [--threads T] [--queue CAP] [--workers W]\n";
   return 2;
 }
 
-/// Parses "6x8" / "16x12x8" into grid extents.
-Dims parse_dims(const std::string& spec) {
-  Dims dims;
-  std::size_t pos = 0;
-  while (pos <= spec.size()) {
-    const std::size_t next = spec.find('x', pos);
-    const std::string part = spec.substr(pos, next - pos);
-    if (part.empty() || part.size() > 9 ||
-        part.find_first_not_of("0123456789") != std::string::npos) {
-      throw_invalid("bad dims spec (want e.g. 6x8 or 16x12x8): " + spec);
-    }
-    dims.push_back(std::stoi(part));
-    if (next == std::string::npos) break;
-    pos = next + 1;
+int make_unix_listener(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket(unix)");
+    return -1;
   }
-  return dims;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    std::cerr << "socket path too long: " << path << "\n";
+    ::close(fd);
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    std::perror("bind/listen(unix)");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
 }
 
-Stencil parse_stencil(const std::string& kind, int ndims) {
-  if (kind == "nn") return Stencil::nearest_neighbor(ndims);
-  if (kind == "hops") return Stencil::nearest_neighbor_with_hops(ndims);
-  if (kind == "component") return Stencil::component(ndims);
-  throw_invalid("unknown stencil kind (want nn|hops|component): " + kind);
+int make_tcp_listener(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket(tcp)");
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    std::perror("bind/listen(tcp)");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
 }
 
-/// Handles one "map ..." request line; returns the response text.
-std::string handle_map(MappingService& service, std::istringstream& args) {
-  std::string dims_spec, periodic_bits, kind;
-  int nodes = 0, ppn = 0;
-  if (!(args >> dims_spec >> periodic_bits >> kind >> nodes >> ppn)) {
-    return "err map wants: <dims> <periodic-bits> <nn|hops|component> <nodes> <ppn>"
-           " [high|normal|low]\n";
-  }
-  std::string prio_word;
-  const Priority priority =
-      (args >> prio_word) ? priority_from_string(prio_word) : Priority::kNormal;
-
-  const Dims dims = parse_dims(dims_spec);
-  if (periodic_bits.size() != dims.size()) {
-    return "err periodic-bits length must match dimensionality\n";
-  }
-  std::vector<bool> periodic;
-  for (const char bit : periodic_bits) {
-    if (bit != '0' && bit != '1') return "err periodic-bits must be 0s and 1s\n";
-    periodic.push_back(bit == '1');
-  }
-
-  const CartesianGrid grid(dims, periodic);
-  const Stencil stencil = parse_stencil(kind, grid.ndims());
-  const NodeAllocation alloc = NodeAllocation::homogeneous(nodes, ppn);
-
-  MapTicket ticket = service.map_async(grid, stencil, alloc, priority);
-  return serialize_plan(*ticket.get());
-}
-
-std::string handle_stats(MappingService& service) {
-  const ServiceCounters c = service.counters();
-  const CacheStats cache = service.engine().cache_stats();
-  std::ostringstream out;
-  out << "ok submitted=" << c.submitted << " admitted=" << c.admitted
-      << " rejected_full=" << c.rejected_full
-      << " rejected_shutdown=" << c.rejected_shutdown << " deduped=" << c.deduped
-      << " cache_hits=" << c.cache_hits << " completed=" << c.completed
-      << " failed=" << c.failed << " cancelled=" << c.cancelled
-      << " queue_depth=" << c.queue_depth << " max_queue_depth=" << c.max_queue_depth
-      << " cache_hit_rate=" << cache.hit_rate()
-      << " mapper_runs=" << service.engine().mapper_runs() << "\n";
-  return out.str();
-}
-
-bool send_all(int fd, const std::string& text) {
-  std::size_t sent = 0;
-  while (sent < text.size()) {
-    const ssize_t n = ::write(fd, text.data() + sent, text.size() - sent);
-    if (n <= 0) return false;
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// Serves one connection: request lines in, responses out, until EOF (or
-/// shutdown — reads time out every 500 ms so an idle connection notices
-/// `stop` and lets the server exit instead of pinning it open forever).
-void serve_connection(int fd, MappingService& service, std::atomic<bool>& stop,
-                      int listen_fd) {
+/// Serves one accepted connection over the wire protocol, with read/write
+/// timeouts so an idle or half-open peer notices `g_stop` within 500 ms /
+/// cannot wedge a writer for more than 5 s.
+void serve_fd(int fd, ShardedService& service) {
   timeval read_timeout{};
   read_timeout.tv_usec = 500 * 1000;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &read_timeout, sizeof read_timeout);
-  std::string buffer;
-  char chunk[4096];
-  for (;;) {
-    const std::size_t newline = buffer.find('\n');
-    if (newline == std::string::npos) {
-      const ssize_t n = ::read(fd, chunk, sizeof chunk);
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        if (stop.load()) break;  // idle while shutting down — hang up
-        continue;
-      }
-      if (n <= 0) break;  // client closed (or errored) — done
-      buffer.append(chunk, static_cast<std::size_t>(n));
-      continue;
-    }
-    const std::string line = buffer.substr(0, newline);
-    buffer.erase(0, newline + 1);
-    if (line.empty()) continue;
+  timeval write_timeout{};
+  write_timeout.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &write_timeout, sizeof write_timeout);
 
-    std::istringstream args(line);
-    std::string command;
-    args >> command;
-    std::string response;
-    try {
-      if (command == "map") {
-        response = handle_map(service, args);
-      } else if (command == "stats") {
-        response = handle_stats(service);
-      } else if (command == "shutdown") {
-        response = "ok bye\n";
-        stop.store(true);
-        // Unblock the accept loop; its next accept() fails and it exits.
-        ::shutdown(listen_fd, SHUT_RDWR);
-      } else {
-        response = "err unknown command (want map|stats|shutdown): " + command + "\n";
-      }
-    } catch (const std::exception& e) {
-      response = std::string("err ") + e.what() + "\n";
-    }
-    if (!send_all(fd, response)) break;
-    if (stop.load()) break;
-  }
+  wire::FdTransport transport(fd);
+  wire::serve_connection(transport, service, g_stop, request_stop);
   ::close(fd);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string socket_path = argv[1];
-
+  std::string unix_path;
+  int tcp_port = -1;
+  int shards = 1;
   EngineOptions engine_options;
-  if (argc > 2) engine_options.threads = std::stoi(argv[2]);
   ServiceOptions service_options;
-  if (argc > 3) service_options.queue_capacity = std::stoul(argv[3]);
-  if (argc > 4) service_options.workers = std::stoi(argv[4]);
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::invalid_argument(flag + " wants a value");
+        return argv[++i];
+      };
+      if (flag == "--unix") {
+        unix_path = value();
+      } else if (flag == "--tcp") {
+        tcp_port = std::stoi(value());
+        if (tcp_port < 1 || tcp_port > 65535) {
+          throw std::invalid_argument("--tcp wants a port in [1, 65535]");
+        }
+      } else if (flag == "--shards") {
+        shards = std::stoi(value());
+      } else if (flag == "--threads") {
+        engine_options.threads = std::stoi(value());
+      } else if (flag == "--queue") {
+        service_options.queue_capacity = std::stoul(value());
+      } else if (flag == "--workers") {
+        service_options.workers = std::stoi(value());
+      } else {
+        std::cerr << "unknown flag: " << flag << "\n";
+        return usage();
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return usage();
+  }
+  if (unix_path.empty() && tcp_port < 0) return usage();
 
-  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    std::perror("socket");
-    return 1;
+  std::signal(SIGPIPE, SIG_IGN);  // a vanished peer fails the write, not the server
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  std::vector<int> listeners;
+  if (!unix_path.empty()) {
+    const int fd = make_unix_listener(unix_path);
+    if (fd < 0) return 1;
+    g_listeners[0].store(fd);
+    listeners.push_back(fd);
   }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof addr.sun_path) {
-    std::cerr << "socket path too long: " << socket_path << "\n";
-    return 1;
-  }
-  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
-  ::unlink(socket_path.c_str());  // stale socket from a previous run
-  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(listen_fd, 16) != 0) {
-    std::perror("bind/listen");
-    ::close(listen_fd);
-    return 1;
+  if (tcp_port >= 0) {
+    const int fd = make_tcp_listener(tcp_port);
+    if (fd < 0) return 1;
+    g_listeners[1].store(fd);
+    listeners.push_back(fd);
   }
 
-  MappingService service(MapperRegistry::with_default_backends(), engine_options,
-                         service_options);
-  std::cout << "plan_server listening on " << socket_path << " ("
-            << service.engine().registry().size() << " backends, "
-            << service.engine().threads() << " engine threads)\n"
+  // Option validation (shards >= 1, engine/service option ranges) throws
+  // from the constructors — report it as a usage error, not a terminate().
+  std::unique_ptr<ShardedService> service_owner;
+  try {
+    service_owner = std::make_unique<ShardedService>(
+        MapperRegistry::with_default_backends(), engine_options, service_options, shards);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    for (const int fd : listeners) ::close(fd);
+    if (!unix_path.empty()) ::unlink(unix_path.c_str());
+    return usage();
+  }
+  ShardedService& service = *service_owner;
+  std::cout << "plan_server (" << wire::kProtocol << ") listening on";
+  if (!unix_path.empty()) std::cout << " unix:" << unix_path;
+  if (tcp_port >= 0) std::cout << " tcp:" << tcp_port;
+  std::cout << " — " << service.shards() << " shard(s), "
+            << service.shard(0).engine().registry().size() << " backends, "
+            << service.shard(0).engine().threads() << " engine thread(s) each\n"
             << std::flush;
 
-  std::atomic<bool> stop{false};
   // One thread per connection, reaped as they finish so a long-running
   // server does not accumulate joinable handles for every client ever seen.
   struct Connection {
@@ -228,6 +219,7 @@ int main(int argc, char** argv) {
     std::shared_ptr<std::atomic<bool>> finished;
   };
   std::vector<Connection> connections;
+  std::mutex connections_mutex;  // both acceptors push into `connections`
   const auto reap = [&connections](bool all) {
     for (auto it = connections.begin(); it != connections.end();) {
       if (all || it->finished->load()) {
@@ -238,22 +230,39 @@ int main(int argc, char** argv) {
       }
     }
   };
-  while (!stop.load()) {
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) break;  // listener shut down (or fatal error)
-    reap(/*all=*/false);
-    auto finished = std::make_shared<std::atomic<bool>>(false);
-    connections.push_back({std::thread([fd, &service, &stop, listen_fd, finished] {
-                             serve_connection(fd, service, stop, listen_fd);
-                             finished->store(true);
-                           }),
-                           finished});
-  }
-  stop.store(true);  // listener gone: wake idle connections out of their reads
-  reap(/*all=*/true);
-  ::close(listen_fd);
-  ::unlink(socket_path.c_str());
 
-  std::cout << handle_stats(service);
+  // One accept loop per listener; each exits when its listener is shut down
+  // by a signal or the wire shutdown command.
+  std::vector<std::thread> acceptors;
+  for (const int listen_fd : listeners) {
+    acceptors.emplace_back([listen_fd, &service, &connections, &connections_mutex, &reap] {
+      while (!g_stop.load()) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+          if (errno == EINTR) continue;
+          break;  // listener shut down (or fatal error)
+        }
+        std::lock_guard<std::mutex> lock(connections_mutex);
+        reap(/*all=*/false);
+        auto finished = std::make_shared<std::atomic<bool>>(false);
+        connections.push_back({std::thread([fd, &service, finished] {
+                                 serve_fd(fd, service);
+                                 finished->store(true);
+                               }),
+                               finished});
+      }
+    });
+  }
+  for (std::thread& acceptor : acceptors) acceptor.join();
+
+  request_stop();  // listeners gone: wake idle connections out of their reads
+  reap(/*all=*/true);
+  for (const int fd : listeners) ::close(fd);
+  if (!unix_path.empty()) ::unlink(unix_path.c_str());
+
+  // ~ShardedService drains: in-flight races deliver, queued requests are
+  // rejected with shutting-down — the graceful-SIGTERM contract.
+  bool ignored = false;
+  std::cout << wire::handle_request(service, "stats", ignored);
   return 0;
 }

@@ -1,0 +1,97 @@
+#include "engine/sharded_service.hpp"
+
+#include <algorithm>
+
+#include "core/types.hpp"
+#include "engine/signature.hpp"
+
+namespace gridmap::engine {
+
+std::string ShardedService::shard_file(const std::string& path, int index) {
+  return path + ".shard" + std::to_string(index);
+}
+
+ShardedService::ShardedService(const MapperRegistry& registry, EngineOptions engine_options,
+                               ServiceOptions service_options, int shards)
+    : objective_(engine_options.objective) {
+  GRIDMAP_CHECK(shards >= 1, "ShardedService: shards must be >= 1");
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    EngineOptions shard_options = engine_options;
+    if (!shard_options.cache_file.empty()) {
+      shard_options.cache_file = shard_file(engine_options.cache_file, i);
+    }
+    if (!shard_options.history_file.empty()) {
+      shard_options.history_file = shard_file(engine_options.history_file, i);
+    }
+    shards_.push_back(std::make_unique<MappingService>(registry, std::move(shard_options),
+                                                       service_options));
+  }
+}
+
+std::uint64_t ShardedService::route_hash(std::string_view signature) noexcept {
+  // splitmix64 finalizer over the FNV-1a hash: fixed constants, so the
+  // shard of a signature never changes across runs, builds, or platforms.
+  std::uint64_t x = fnv1a_hash(signature);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::size_t ShardedService::shard_of(const std::string& signature) const noexcept {
+  return static_cast<std::size_t>(route_hash(signature) % shards_.size());
+}
+
+MapTicket ShardedService::map_async(const CartesianGrid& grid, const Stencil& stencil,
+                                    const NodeAllocation& alloc, Priority priority) {
+  const std::string signature = instance_signature(grid, stencil, alloc, objective_);
+  return shards_[shard_of(signature)]->map_async(grid, stencil, alloc, priority);
+}
+
+ServiceCounters ShardedService::counters() const {
+  ServiceCounters total;
+  for (const std::unique_ptr<MappingService>& shard : shards_) {
+    const ServiceCounters c = shard->counters();
+    total.submitted += c.submitted;
+    total.admitted += c.admitted;
+    total.rejected_full += c.rejected_full;
+    total.rejected_shutdown += c.rejected_shutdown;
+    total.deduped += c.deduped;
+    total.cache_hits += c.cache_hits;
+    total.completed += c.completed;
+    total.failed += c.failed;
+    total.cancelled += c.cancelled;
+    total.queue_depth += c.queue_depth;
+    total.in_flight += c.in_flight;
+    total.max_queue_depth = std::max(total.max_queue_depth, c.max_queue_depth);
+  }
+  return total;
+}
+
+CacheStats ShardedService::cache_stats() const {
+  CacheStats total;
+  for (const std::unique_ptr<MappingService>& shard : shards_) {
+    const CacheStats c = shard->engine().cache_stats();
+    total.hits += c.hits;
+    total.misses += c.misses;
+    total.evictions += c.evictions;
+    total.inserts += c.inserts;
+    total.refreshes += c.refreshes;
+    total.size += c.size;
+    total.capacity += c.capacity;
+  }
+  return total;
+}
+
+std::uint64_t ShardedService::mapper_runs() const noexcept {
+  std::uint64_t total = 0;
+  for (const std::unique_ptr<MappingService>& shard : shards_) {
+    total += shard->engine().mapper_runs();
+  }
+  return total;
+}
+
+}  // namespace gridmap::engine

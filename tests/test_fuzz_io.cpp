@@ -17,6 +17,7 @@
 #include "engine/plan_cache.hpp"
 #include "engine/plan_io.hpp"
 #include "engine/portfolio.hpp"
+#include "engine/wire.hpp"
 
 namespace gridmap::engine {
 namespace {
@@ -298,6 +299,84 @@ TEST(FuzzEngine, EngineStaysUsableWithCorruptPersistenceFiles) {
   EXPECT_GT(history.load(options.history_file), 0u);
   std::remove(options.cache_file.c_str());
   std::remove(options.history_file.c_str());
+}
+
+// ------------------------------------------------------------- wire lines --
+// The GRIDMAP/1 request-line splitter (engine/wire.hpp) faces raw network
+// bytes, so it gets the same treatment as the file loaders: arbitrary torn
+// input must never crash it, never buffer unboundedly, and never change
+// which lines are extracted.
+
+TEST(FuzzWire, ChunkBoundariesNeverChangeTheExtractedLines) {
+  std::mt19937 rng(kSeed);
+  const std::string text =
+      "map 6x8 00 nn 6 8\nstats\nmap 16x12x8 000 hops 32 48 high\nshutdown\n";
+  std::vector<std::string> reference;
+  {
+    wire::LineBuffer lines;
+    lines.feed(text);
+    std::string line;
+    while (lines.next(line) == wire::LineBuffer::Status::kLine) reference.push_back(line);
+  }
+  ASSERT_EQ(reference.size(), 4u);
+
+  for (int round = 0; round < 200; ++round) {
+    wire::LineBuffer lines;
+    std::vector<std::string> got;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      std::uniform_int_distribution<std::size_t> pick(1, text.size() - pos);
+      const std::size_t n = pick(rng);
+      lines.feed(std::string_view(text).substr(pos, n));
+      pos += n;
+      std::string line;
+      while (lines.next(line) == wire::LineBuffer::Status::kLine) got.push_back(line);
+    }
+    EXPECT_EQ(got, reference) << "round " << round;
+  }
+}
+
+TEST(FuzzWire, RandomGarbageNeverCrashesAndMemoryStaysBounded) {
+  std::mt19937 rng(kSeed + 1);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<std::size_t> chunk_size(1, 512);
+  for (int round = 0; round < 100; ++round) {
+    wire::LineBuffer lines;
+    for (int chunk = 0; chunk < 64; ++chunk) {
+      std::string data(chunk_size(rng), '\0');
+      for (char& c : data) c = static_cast<char>(byte(rng));
+      lines.feed(data);
+      std::string line;
+      wire::LineBuffer::Status status;
+      while ((status = lines.next(line)) == wire::LineBuffer::Status::kLine) {
+        EXPECT_LE(line.size(), wire::kMaxRequestLine);
+      }
+      // Whatever arrived, the buffer never exceeds cap + one feed chunk.
+      EXPECT_LE(lines.buffered(), wire::kMaxRequestLine + data.size());
+      if (status == wire::LineBuffer::Status::kTooLong ||
+          status == wire::LineBuffer::Status::kBadByte) {
+        // Faults stick and hold no memory — exactly like the file loaders'
+        // all-or-nothing contract, there is no partial state to leak.
+        EXPECT_EQ(lines.buffered(), 0u);
+      }
+    }
+  }
+}
+
+TEST(FuzzWire, NewlineFreeFloodTripsTooLongAtTheCapNotAtOom) {
+  wire::LineBuffer lines;
+  std::string line;
+  std::size_t fed = 0;
+  // Feed far more newline-free data than the cap; the buffer must fault at
+  // the cap instead of absorbing all of it.
+  for (int i = 0; i < 64; ++i) {
+    lines.feed(std::string(1024, 'z'));
+    fed += 1024;
+    if (lines.next(line) == wire::LineBuffer::Status::kTooLong) break;
+  }
+  EXPECT_EQ(lines.next(line), wire::LineBuffer::Status::kTooLong);
+  EXPECT_LE(fed, wire::kMaxRequestLine + 1024);
+  EXPECT_EQ(lines.buffered(), 0u);
 }
 
 }  // namespace
