@@ -24,23 +24,41 @@
 //       count is the only parallelism axis) — sharded throughput must be
 //       >= single-shard (small timer-noise allowance; the ISSUE 5
 //       acceptance pin).
+//   (8) Telemetry overhead: the section-6 dedup storm with ObsOptions fully
+//       off vs fully on (metrics + tracing), best of 3 each — instrumented
+//       must stay within 3% (+5 ms timer epsilon) of uninstrumented (the
+//       ISSUE 6 acceptance pin). The instrumented run also yields the
+//       latency quantiles reported in the JSON trajectory.
+//
+// `bench_engine --json [FILE]` additionally writes the machine-readable
+// perf trajectory (default BENCH_engine.json, committed to the repo): a
+// flat JSON object of dotted keys — per-section throughput (*_per_sec,
+// delta-gated by tools/check_bench_delta.py), latency quantiles, and
+// plan-quality checksums (*_checksum, must match exactly across runs).
+// Schema spec: docs/FORMATS.md.
 //
 // Plain chrono timing — runs everywhere, no Google Benchmark dependency.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <numeric>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/dims_create.hpp"
+#include "engine/plan_io.hpp"
 #include "engine/portfolio.hpp"
 #include "engine/service.hpp"
 #include "engine/sharded_service.hpp"
+#include "engine/signature.hpp"
+#include "engine/telemetry.hpp"
 #include "report/table.hpp"
 
 namespace {
@@ -52,6 +70,59 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
+
+/// FNV-1a over arbitrary text — the plan-quality checksums. Deterministic
+/// across runs and platforms, so committed values in BENCH_engine.json only
+/// change when mapping results actually change.
+std::uint64_t fnv1a(std::string_view text, std::uint64_t seed = 14695981039346656037ULL) {
+  std::uint64_t hash = seed;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// Collects the machine-readable perf trajectory: a flat, insertion-ordered
+/// JSON object of "section.key" entries (schema: docs/FORMATS.md).
+/// Key conventions consumed by tools/check_bench_delta.py:
+///   *_per_sec   throughput — gated against the committed baseline
+///   *_checksum  plan quality (hex string) — must match exactly
+///   everything else is informational trend data.
+class BenchJson {
+ public:
+  void put(const std::string& key, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.9g", value);
+    entries_.emplace_back(key, buffer);
+  }
+  void put_count(const std::string& key, std::uint64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void put_bool(const std::string& key, bool value) {
+    entries_.emplace_back(key, value ? "true" : "false");
+  }
+  void put_checksum(const std::string& key, std::uint64_t value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "\"%016llx\"",
+                  static_cast<unsigned long long>(value));
+    entries_.emplace_back(key, buffer);
+  }
+
+  bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n  \"schema\": \"gridmap-bench-engine/1\"";
+    for (const auto& [key, value] : entries_) {
+      out << ",\n  \"" << key << "\": " << value;
+    }
+    out << "\n}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 struct NamedInstance {
   std::string name;
@@ -85,7 +156,21 @@ std::vector<NamedInstance> bench_instances() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool emit_json = false;
+  std::string json_path = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--json") {
+      emit_json = true;
+      if (i + 1 < argc) json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_engine [--json [FILE]]\n";
+      return 2;
+    }
+  }
+  BenchJson json;
+
   const std::vector<NamedInstance> instances = bench_instances();
 
   // ---- (1) sequential vs. parallel portfolio race ------------------------
@@ -104,6 +189,7 @@ int main() {
 
   Table race({"Instance", "sequential", "parallel", "speedup", "winner"});
   double seq_total = 0.0, par_total = 0.0;
+  std::string race_winners;  // "instance=winner\n" lines -> checksummed
   for (const NamedInstance& ni : instances) {
     const auto& [grid, stencil, alloc] = ni.instance;
 
@@ -118,6 +204,10 @@ int main() {
     const int winner = PortfolioEngine::select_winner(Objective::kLexJmaxJsum, par_results);
     seq_total += seq_s;
     par_total += par_s;
+    race_winners += ni.name + "=" +
+                    (winner >= 0 ? par_results[static_cast<std::size_t>(winner)].name
+                                 : std::string("-")) +
+                    "\n";
 
     std::ostringstream speedup;
     speedup << std::fixed << std::setprecision(2) << seq_s / par_s << "x";
@@ -131,6 +221,11 @@ int main() {
   std::cout << "Overall speedup: " << std::fixed << std::setprecision(2)
             << seq_total / par_total << "x (" << seq_total * 1e3 << " ms -> "
             << par_total * 1e3 << " ms)\n\n";
+  json.put("race.sequential_seconds", seq_total);
+  json.put("race.parallel_seconds", par_total);
+  json.put("race.speedup", seq_total / par_total);
+  json.put("race.instances_per_sec", static_cast<double>(instances.size()) / par_total);
+  json.put_checksum("race.winners_checksum", fnv1a(race_winners));
 
   // ---- (2) plan cache on a skewed request stream -------------------------
   // Deterministic Zipf-ish stream: instance i appears ~1/(i+1) as often.
@@ -163,6 +258,11 @@ int main() {
             << "  uncached mean " << std::setprecision(3) << cold_s / cold_n * 1e3
             << " ms (" << cold_n << " calls), cached mean " << warm_s / warm_n * 1e6
             << " us (" << warm_n << " calls)\n\n";
+  json.put_count("cache.requests", stream.size());
+  json.put("cache.hit_rate", stats.hit_rate());
+  json.put("cache.uncached_mean_ms", cold_s / static_cast<double>(cold_n) * 1e3);
+  json.put("cache.cached_mean_us", warm_s / static_cast<double>(warm_n) * 1e6);
+  json.put("cache.cached_lookups_per_sec", static_cast<double>(warm_n) / warm_s);
 
   // ---- (3) budgeted race on a large grid ---------------------------------
   // 64x64 ranks: the VieM-style multilevel mapper dominates the race here,
@@ -194,6 +294,9 @@ int main() {
             << (wu >= 0 ? unlimited_results[static_cast<std::size_t>(wu)].name : "-")
             << ", budgeted: "
             << (wb >= 0 ? budgeted_results[static_cast<std::size_t>(wb)].name : "-") << "\n\n";
+  json.put("budget.unlimited_seconds", unlimited_s);
+  json.put("budget.budgeted_seconds", budgeted_s);
+  json.put_count("budget.timed_out", timed_out);  // timing-dependent: no checksum
 
   // ---- (4) serial map() loop vs. pipelined map_all -----------------------
   // >= 8 distinct instances; same engine configuration, caches cleared
@@ -232,6 +335,15 @@ int main() {
             << pipelined_s * 1e3 << " ms (" << std::setprecision(2)
             << serial_s / pipelined_s << "x), plans "
             << (identical ? "bit-identical" : "MISMATCH") << "\n\n";
+  std::uint64_t plans_checksum = fnv1a("");
+  for (const auto& plan : pipelined_plans) {
+    plans_checksum = fnv1a(serialize_plan(*plan), plans_checksum);
+  }
+  json.put("map_all.serial_seconds", serial_s);
+  json.put("map_all.pipelined_seconds", pipelined_s);
+  json.put("map_all.instances_per_sec", static_cast<double>(batch.size()) / pipelined_s);
+  json.put_bool("map_all.identical", identical);
+  json.put_checksum("map_all.plans_checksum", plans_checksum);
 
   // ---- (5) adaptive selection: warmed pruned map_all vs. full race -------
   // A mixed batch of distinct instances; the full race warms the history,
@@ -322,6 +434,11 @@ int main() {
             << " (" << std::setprecision(1) << agreement * 100
             << "%, target >= 95%), runs strictly fewer: "
             << (pruned_runs < full_runs ? "yes" : "NO") << "\n";
+  json.put("selection.agreement", agreement);
+  json.put_count("selection.full_runs", full_runs);
+  json.put_count("selection.pruned_runs", pruned_runs);
+  json.put("selection.full_seconds", full_s);
+  json.put("selection.pruned_seconds", pruned_s);
 
   // ---- (6) MappingService: single-flight dedup + admission control -------
   // A duplicate-heavy request storm over 3 small distinct instances, cache
@@ -381,6 +498,11 @@ int main() {
             << static_cast<double>(independent.runs) /
                    static_cast<double>(deduped.runs == 0 ? 1 : deduped.runs)
             << "x fewer)\n\n";
+  json.put("service_storm.dedup_seconds", deduped.seconds);
+  json.put("service_storm.dedup_requests_per_sec", kStormRequests / deduped.seconds);
+  json.put("service_storm.nodedup_seconds", independent.seconds);
+  json.put_count("service_storm.dedup_runs", deduped.runs);
+  json.put_count("service_storm.nodedup_runs", independent.runs);
 
   // Admission flood: 200 distinct instances against an 8-slot queue. The
   // bound must hold (max depth <= capacity), load must shed (rejections),
@@ -415,6 +537,9 @@ int main() {
             << gate_counters.max_queue_depth << ", all admitted delivered: "
             << (delivered == admitted.size() ? "yes" : "NO") << " ("
             << std::setprecision(1) << gate_s * 1e3 << " ms, no deadlock)\n";
+  json.put_count("admission.admitted", admitted.size());
+  json.put_count("admission.rejected", rejected);
+  json.put_count("admission.max_queue_depth", gate_counters.max_queue_depth);
 
   // ---- (7) sharding: 1 shard vs 4 on a mixed-signature storm -------------
   // 200 requests over 25 distinct signatures. Every shard gets exactly one
@@ -480,7 +605,104 @@ int main() {
             << " mapper runs, " << sharded.counters.deduped << " deduped, "
             << sharded.counters.cache_hits << " cache hits)\n"
             << "  sharded throughput >= single-shard: " << (sharding_ok ? "yes" : "NO")
-            << " (" << std::setprecision(2) << sharded_rps / single_rps << "x)\n";
+            << " (" << std::setprecision(2) << sharded_rps / single_rps << "x)\n\n";
+  json.put("sharded_storm.single_requests_per_sec", single_rps);
+  json.put("sharded_storm.sharded_requests_per_sec", sharded_rps);
+  json.put("sharded_storm.speedup", sharded_rps / single_rps);
 
-  return identical && selection_ok && dedup_ok && admission_ok && sharding_ok ? 0 : 1;
+  // ---- (8) telemetry overhead on the dedup storm -------------------------
+  // The section-6 workload (60 duplicate-heavy requests, cache off, 2
+  // workers, single-flight on) rerun with ObsOptions fully off vs fully on
+  // (histograms + trace ring). Best of 3 per configuration irons out
+  // scheduler noise; the instrumented best must stay within 3% of the
+  // uninstrumented best plus a 5 ms absolute epsilon for timer jitter on
+  // sub-100ms runs — the ISSUE 6 "instrumentation is cheap" pin. The
+  // instrumented run also supplies the latency quantiles for the JSON
+  // trajectory, straight from the histograms the `metrics` verb exposes.
+  struct ObsStorm {
+    double seconds = 0.0;
+    obs::HistogramSnapshot request;     // race + dedup outcomes pooled
+    obs::HistogramSnapshot queue_wait;
+  };
+  const auto run_obs_storm = [&storm_instances, &par_options](obs::ObsOptions obs_options) {
+    EngineOptions engine_options = par_options;
+    engine_options.cache_capacity = 0;
+    engine_options.obs = obs_options;
+    ServiceOptions service_options;
+    service_options.workers = 2;
+    service_options.queue_capacity = kStormRequests + 8;
+    service_options.probe_cache = false;
+    MappingService service(MapperRegistry::with_default_backends(), engine_options,
+                           service_options);
+    const auto t = Clock::now();
+    std::vector<MapTicket> tickets;
+    tickets.reserve(kStormRequests);
+    for (int r = 0; r < kStormRequests; ++r) {
+      const Instance& inst = storm_instances[static_cast<std::size_t>(r) %
+                                             storm_instances.size()];
+      tickets.push_back(service.map_async(inst.grid, inst.stencil, inst.alloc));
+    }
+    for (MapTicket& ticket : tickets) (void)ticket.get();
+    ObsStorm out;
+    out.seconds = seconds_since(t);
+    const EngineTelemetry* telemetry = service.engine().telemetry();
+    if (telemetry != nullptr && telemetry->metrics()) {
+      out.request = telemetry->request_race->snapshot();
+      out.request.merge(telemetry->request_dedup->snapshot());
+      out.queue_wait = telemetry->queue_wait->snapshot();
+    }
+    return out;
+  };
+  const auto best_of_three = [&run_obs_storm](const obs::ObsOptions& obs_options) {
+    ObsStorm best = run_obs_storm(obs_options);
+    for (int i = 0; i < 2; ++i) {
+      ObsStorm next = run_obs_storm(obs_options);
+      if (next.seconds < best.seconds) best = std::move(next);
+    }
+    return best;
+  };
+  obs::ObsOptions obs_off;
+  obs_off.metrics = false;
+  obs_off.trace = false;
+  obs::ObsOptions obs_on;
+  obs_on.metrics = true;
+  obs_on.trace = true;
+  const ObsStorm plain = best_of_three(obs_off);
+  const ObsStorm instrumented = best_of_three(obs_on);
+  const double overhead = instrumented.seconds / plain.seconds - 1.0;
+  const bool overhead_ok = instrumented.seconds <= plain.seconds * 1.03 + 0.005;
+
+  std::cout << "Telemetry overhead (dedup storm, best of 3): off "
+            << std::setprecision(1) << plain.seconds * 1e3 << " ms -> on "
+            << instrumented.seconds * 1e3 << " ms ("
+            << std::showpos << std::setprecision(2) << overhead * 100 << std::noshowpos
+            << "%, gate <= 3% + 5 ms epsilon: " << (overhead_ok ? "yes" : "NO") << ")\n"
+            << "  instrumented request latency: p50 " << std::setprecision(1)
+            << instrumented.request.quantile_nanos(0.5) / 1e3 << " us, p90 "
+            << instrumented.request.quantile_nanos(0.9) / 1e3 << " us, p99 "
+            << instrumented.request.quantile_nanos(0.99) / 1e3 << " us ("
+            << instrumented.request.count << " requests); queue wait p50 "
+            << instrumented.queue_wait.quantile_nanos(0.5) / 1e3 << " us, p99 "
+            << instrumented.queue_wait.quantile_nanos(0.99) / 1e3 << " us\n";
+  json.put("telemetry.off_seconds", plain.seconds);
+  json.put("telemetry.on_seconds", instrumented.seconds);
+  json.put("telemetry.overhead_fraction", overhead);
+  json.put_bool("telemetry.overhead_ok", overhead_ok);
+  json.put("telemetry.on_requests_per_sec", kStormRequests / instrumented.seconds);
+  json.put("telemetry.request_p50_us", instrumented.request.quantile_nanos(0.5) / 1e3);
+  json.put("telemetry.request_p90_us", instrumented.request.quantile_nanos(0.9) / 1e3);
+  json.put("telemetry.request_p99_us", instrumented.request.quantile_nanos(0.99) / 1e3);
+  json.put("telemetry.queue_wait_p50_us", instrumented.queue_wait.quantile_nanos(0.5) / 1e3);
+  json.put("telemetry.queue_wait_p99_us", instrumented.queue_wait.quantile_nanos(0.99) / 1e3);
+
+  const bool all_ok =
+      identical && selection_ok && dedup_ok && admission_ok && sharding_ok && overhead_ok;
+  if (emit_json) {
+    if (!json.write(json_path)) {
+      std::cerr << "could not write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "\nperf trajectory written to " << json_path << "\n";
+  }
+  return all_ok ? 0 : 1;
 }

@@ -10,15 +10,26 @@
 //   plan_client --tcp 127.0.0.1:7070 map 6x8 00 nn 6 8
 //   plan_client (--unix PATH | --tcp HOST:PORT) stats
 //   plan_client (--unix PATH | --tcp HOST:PORT) shutdown
+//   plan_client (--unix PATH | --tcp HOST:PORT) --stats     # pretty-printed
+//   plan_client (--unix PATH | --tcp HOST:PORT) --metrics   # Prometheus text
+//
+// `--stats` fetches the stats line and prints one aligned counter per line;
+// `--metrics` fetches the metrics block and prints the Prometheus-style
+// exposition body (ready to pipe into a file a scraper serves). The raw
+// verbs ("stats", "metrics") still print the unmodified frames.
 #include <netdb.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <csignal>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "engine/plan_io.hpp"
 #include "engine/wire.hpp"
@@ -29,10 +40,29 @@ using gridmap::engine::wire::FdTransport;
 
 int usage() {
   std::cerr << "usage: plan_client (--unix PATH | --tcp HOST:PORT)"
-               " <map ...|stats|shutdown>\n"
+               " <map ...|stats|metrics|shutdown|--stats|--metrics>\n"
                "       plan_client --unix /tmp/gridmap.sock map 6x8 00 nn 6 8\n"
-               "       plan_client --tcp 127.0.0.1:7070 stats\n";
+               "       plan_client --tcp 127.0.0.1:7070 --stats\n"
+               "       plan_client --tcp 127.0.0.1:7070 --metrics\n";
   return 2;
+}
+
+/// "ok shards=4 submitted=9 ..." -> one aligned "key  value" row per counter.
+void print_stats_pretty(const std::string& ok_line) {
+  std::istringstream words(ok_line);
+  std::string word;
+  words >> word;  // "ok"
+  std::vector<std::pair<std::string, std::string>> rows;
+  std::size_t width = 0;
+  while (words >> word) {
+    const std::size_t eq = word.find('=');
+    if (eq == std::string::npos) continue;
+    rows.emplace_back(word.substr(0, eq), word.substr(eq + 1));
+    width = std::max(width, rows.back().first.size());
+  }
+  for (const auto& [key, value] : rows) {
+    std::cout << key << std::string(width - key.size() + 2, ' ') << value << "\n";
+  }
 }
 
 int connect_unix(const std::string& path) {
@@ -125,6 +155,17 @@ int main(int argc, char** argv) {
   }
   request += '\n';
 
+  // Pretty-printing subcommands wrap the raw verbs.
+  bool pretty_stats = false;
+  bool pretty_metrics = false;
+  if (request == "--stats\n") {
+    request = "stats\n";
+    pretty_stats = true;
+  } else if (request == "--metrics\n") {
+    request = "metrics\n";
+    pretty_metrics = true;
+  }
+
   FdTransport transport(fd);
 
   // Version check: the server leads with its hello line; refuse to speak to
@@ -172,6 +213,22 @@ int main(int argc, char** argv) {
   if (response.rfind("err ", 0) == 0) {
     std::cerr << response;
     return 1;
+  }
+  if (pretty_stats) {
+    std::string first_line = response.substr(0, response.find('\n'));
+    print_stats_pretty(first_line);
+    return 0;
+  }
+  if (pretty_metrics) {
+    const std::size_t header_end = response.find('\n');
+    const std::size_t terminator = response.rfind("end\n");
+    if (response.rfind("gridmap-metrics ", 0) != 0 || header_end == std::string::npos ||
+        terminator == std::string::npos || terminator < header_end) {
+      std::cerr << "malformed metrics block\n";
+      return 1;
+    }
+    std::cout << response.substr(header_end + 1, terminator - header_end - 1);
+    return 0;
   }
   std::cout << response;
   if (response.rfind("gridmap-plan", 0) == 0) {

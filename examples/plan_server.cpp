@@ -8,7 +8,8 @@
 //
 // The protocol is GRIDMAP/1 (src/engine/wire.hpp, spec in docs/FORMATS.md):
 // the server sends a "GRIDMAP/1\n" hello on connect, then answers one-line
-// requests (map/stats/shutdown) with a plan block or an ok/err line.
+// requests (map/stats/metrics/shutdown) with a plan or metrics block or an
+// ok/err line.
 //
 // Robustness: SIGPIPE is ignored (writes to vanished peers fail instead of
 // killing the server); reads and writes are EINTR-safe and carry socket
@@ -19,11 +20,15 @@
 //
 // Usage:
 //   plan_server (--unix PATH | --tcp PORT) [--shards N] [--threads T]
-//               [--queue CAP] [--workers W]
+//               [--queue CAP] [--workers W] [--trace FILE] [--no-metrics]
 //
 // Both --unix and --tcp may be given to serve local and remote clients at
-// once. See plan_client.cpp for the matching client; README "Mapping as a
-// service" walks through the multi-process demo.
+// once. --trace FILE records per-request spans into each shard's bounded
+// ring and writes the merged Chrome trace-event JSON (Perfetto-loadable) to
+// FILE on shutdown; --no-metrics turns the latency histograms off (the
+// `metrics` verb then exposes only the service counters). See
+// plan_client.cpp for the matching client; README "Mapping as a service"
+// walks through the multi-process demo.
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/time.h>
@@ -34,6 +39,7 @@
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -67,7 +73,8 @@ void on_signal(int) { request_stop(); }
 
 int usage() {
   std::cerr << "usage: plan_server (--unix PATH | --tcp PORT) [--shards N]"
-               " [--threads T] [--queue CAP] [--workers W]\n";
+               " [--threads T] [--queue CAP] [--workers W] [--trace FILE]"
+               " [--no-metrics]\n";
   return 2;
 }
 
@@ -136,6 +143,7 @@ void serve_fd(int fd, ShardedService& service) {
 
 int main(int argc, char** argv) {
   std::string unix_path;
+  std::string trace_file;
   int tcp_port = -1;
   int shards = 1;
   EngineOptions engine_options;
@@ -149,6 +157,11 @@ int main(int argc, char** argv) {
       };
       if (flag == "--unix") {
         unix_path = value();
+      } else if (flag == "--trace") {
+        trace_file = value();
+        engine_options.obs.trace = true;
+      } else if (flag == "--no-metrics") {
+        engine_options.obs.metrics = false;
       } else if (flag == "--tcp") {
         tcp_port = std::stoi(value());
         if (tcp_port < 1 || tcp_port > 65535) {
@@ -264,5 +277,15 @@ int main(int argc, char** argv) {
   // rejected with shutting-down — the graceful-SIGTERM contract.
   bool ignored = false;
   std::cout << wire::handle_request(service, "stats", ignored);
+
+  if (!trace_file.empty()) {
+    std::ofstream trace(trace_file);
+    if (trace) {
+      service.write_trace(trace);
+      std::cout << "trace written to " << trace_file << "\n";
+    } else {
+      std::cerr << "could not write trace to " << trace_file << "\n";
+    }
+  }
   return 0;
 }

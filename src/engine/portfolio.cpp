@@ -10,6 +10,7 @@
 #include "core/types.hpp"
 #include "engine/race.hpp"
 #include "engine/signature.hpp"
+#include "engine/telemetry.hpp"
 
 namespace gridmap::engine {
 
@@ -48,6 +49,8 @@ void validate_options(const EngineOptions& options) {
                   "history_capacity > 0 — with recording disabled the selector "
                   "could never warm up");
   }
+  GRIDMAP_CHECK(!options.obs.trace || options.obs.trace_capacity >= 1,
+                "ObsOptions::trace_capacity must be >= 1 when tracing is enabled");
 }
 
 }  // namespace
@@ -59,6 +62,9 @@ PortfolioEngine::PortfolioEngine(MapperRegistry registry, EngineOptions options)
       history_(options_.history_capacity) {
   validate_options(options_);
   GRIDMAP_CHECK(registry_.size() > 0, "portfolio engine needs at least one backend");
+  if (options_.obs.any()) {
+    telemetry_ = std::make_unique<EngineTelemetry>(options_.obs, registry_.names());
+  }
   const int threads = resolve_threads(options_.threads);
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
   if (!options_.cache_file.empty() && options_.cache_capacity > 0) {
@@ -110,7 +116,12 @@ std::uint64_t PortfolioEngine::mapper_runs() const noexcept {
 std::vector<BackendResult> PortfolioEngine::evaluate_all(const CartesianGrid& grid,
                                                          const Stencil& stencil,
                                                          const NodeAllocation& alloc) {
-  const StageEnv env{registry_, options_, cache_, history_, pool_.get(), mapper_runs_};
+  StageEnv env{registry_, options_, cache_,      history_,
+               pool_.get(), mapper_runs_, telemetry_.get()};
+  if (telemetry_ != nullptr && telemetry_->tracing()) {
+    env.trace_track = telemetry_->trace().new_track();
+  }
+  TraceScope request_span(telemetry_.get(), "evaluate_all", "engine", env.trace_track);
   const SelectorPass selection = SelectorPass::run(env, grid, stencil, alloc, nullptr);
   RaceStage race(env, grid, stencil, alloc, selection);
   std::vector<BackendResult> results = race.collect();
@@ -126,7 +137,12 @@ int PortfolioEngine::select_winner(Objective objective,
 std::shared_ptr<const MappingPlan> PortfolioEngine::map_one(
     const CartesianGrid& grid, const Stencil& stencil, const NodeAllocation& alloc,
     const HistorySnapshot* snapshot, const std::atomic<bool>* cancel) {
-  const StageEnv env{registry_, options_, cache_, history_, pool_.get(), mapper_runs_};
+  StageEnv env{registry_, options_, cache_,      history_,
+               pool_.get(), mapper_runs_, telemetry_.get()};
+  if (telemetry_ != nullptr && telemetry_->tracing()) {
+    env.trace_track = telemetry_->trace().new_track();
+  }
+  TraceScope request_span(telemetry_.get(), "map", "engine", env.trace_track);
   const CacheProbe probe = CacheProbe::run(env, grid, stencil, alloc);
   if (probe.hit()) return probe.plan;
   const SelectorPass selection =
@@ -153,7 +169,12 @@ std::shared_ptr<const MappingPlan> PortfolioEngine::map(const CartesianGrid& gri
 std::vector<std::shared_ptr<const MappingPlan>> PortfolioEngine::map_all(
     const std::vector<Instance>& instances) {
   std::vector<std::shared_ptr<const MappingPlan>> plans(instances.size());
-  const StageEnv env{registry_, options_, cache_, history_, pool_.get(), mapper_runs_};
+  // Batch env: no per-request trace track (the pipelined path interleaves
+  // instances), so stage spans are skipped — backend runs still trace on
+  // their own tracks, and the sequential path below goes through map_one,
+  // which opens a request track per instance.
+  const StageEnv env{registry_, options_, cache_,      history_,
+                     pool_.get(), mapper_runs_, telemetry_.get()};
 
   // One history snapshot pins the whole batch: every instance's selection is
   // decided against the same state regardless of scheduling, so the

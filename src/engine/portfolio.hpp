@@ -57,8 +57,11 @@
 #include "engine/registry.hpp"
 #include "engine/selector.hpp"
 #include "engine/thread_pool.hpp"
+#include "obs/options.hpp"
 
 namespace gridmap::engine {
+
+class EngineTelemetry;
 
 /// One mapping problem; the unit of map()/map_all().
 struct Instance {
@@ -146,6 +149,11 @@ struct EngineOptions {
   /// Per-backend outcome window of the history store; 0 disables outcome
   /// recording (and thereby selection ever warming up in-process).
   std::size_t history_capacity = 512;
+  /// Telemetry toggles: latency histograms/counters (`metrics`, default on)
+  /// and per-request trace spans (`trace`, default off). Both off means the
+  /// engine allocates no telemetry at all and the hot path pays only
+  /// null-pointer checks. See src/obs/ and docs/OBSERVABILITY.md.
+  obs::ObsOptions obs;
 };
 
 class PortfolioEngine {
@@ -224,6 +232,10 @@ class PortfolioEngine {
   /// backend does not — it never ran).
   std::uint64_t mapper_runs() const noexcept;
 
+  /// The engine's telemetry (latency histograms, counters, trace ring), or
+  /// null when EngineOptions::obs disables metrics and tracing both.
+  EngineTelemetry* telemetry() const noexcept { return telemetry_.get(); }
+
  private:
   /// map() against an explicit history snapshot and optional external
   /// cancellation flag — the single staged implementation shared by map()
@@ -240,6 +252,7 @@ class PortfolioEngine {
   PlanCache cache_;
   BackendHistory history_;
   std::unique_ptr<ThreadPool> pool_;  // null when sequential
+  std::unique_ptr<EngineTelemetry> telemetry_;  // null when ObsOptions disables all
   std::atomic<std::uint64_t> mapper_runs_{0};
 };
 

@@ -4,6 +4,7 @@
 
 #include "core/types.hpp"
 #include "engine/signature.hpp"
+#include "engine/telemetry.hpp"
 
 namespace gridmap::engine {
 
@@ -13,6 +14,34 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Per-stage instrumentation: wall time into `hist` (pass null when metrics
+/// are off — the caller reads the pre-bound pointer, which is null exactly
+/// then) and a span on the request's trace track. Both disabled = two null
+/// checks and one unused clock read.
+class StageScope {
+ public:
+  StageScope(const StageEnv& env, gridmap::obs::LatencyHistogram* hist, const char* name)
+      : hist_(hist), span_(env.telemetry, name, "engine", env.trace_track) {
+    if (hist_ != nullptr) start_ = Clock::now();
+  }
+  ~StageScope() {
+    if (hist_ != nullptr) hist_->record_seconds(seconds_since(start_));
+  }
+
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  gridmap::obs::LatencyHistogram* hist_;
+  TraceScope span_;
+  Clock::time_point start_;
+};
+
+gridmap::obs::LatencyHistogram* stage_hist(const StageEnv& env,
+                                           gridmap::obs::LatencyHistogram* EngineTelemetry::*hist) {
+  return env.telemetry != nullptr ? env.telemetry->*hist : nullptr;
 }
 
 /// The synthesized result of a backend the selector pruned from a race.
@@ -64,9 +93,18 @@ bool recording_enabled(const EngineOptions& options) noexcept {
 
 CacheProbe CacheProbe::run(const StageEnv& env, const CartesianGrid& grid,
                            const Stencil& stencil, const NodeAllocation& alloc) {
+  StageScope scope(env, stage_hist(env, &EngineTelemetry::stage_cache_probe), "cache_probe");
   CacheProbe probe;
   probe.signature = instance_signature(grid, stencil, alloc, env.options.objective);
-  probe.plan = env.cache.get(probe.signature);
+  gridmap::obs::LatencyHistogram* const probe_hist =
+      stage_hist(env, &EngineTelemetry::plan_cache_probe);
+  if (probe_hist != nullptr) {
+    const auto lookup_start = Clock::now();
+    probe.plan = env.cache.get(probe.signature);
+    probe_hist->record_seconds(seconds_since(lookup_start));
+  } else {
+    probe.plan = env.cache.get(probe.signature);
+  }
   return probe;
 }
 
@@ -76,6 +114,7 @@ SelectorPass SelectorPass::run(const StageEnv& env, const CartesianGrid& grid,
                                const Stencil& stencil, const NodeAllocation& alloc,
                                const HistorySnapshot* snapshot,
                                std::optional<std::uint64_t> hash) {
+  StageScope scope(env, stage_hist(env, &EngineTelemetry::stage_selector), "selector");
   SelectorPass out;
   if (selection_enabled(env.options) || recording_enabled(env.options)) {
     out.features = extract_features(grid, stencil, alloc);
@@ -138,6 +177,14 @@ void RaceStage::report_unbeatable(int index) {
 BackendResult RaceStage::run_backend(const std::string& name, std::size_t index,
                                      std::chrono::nanoseconds budget,
                                      double predicted_seconds, bool racing) {
+  EngineTelemetry* const tel = env_.telemetry;
+  const bool traced = tel != nullptr && tel->tracing();
+  // Each backend run traces on a fresh track: concurrent backends render as
+  // parallel rows with remap/eval nested inside the run span, never as a
+  // false interleaving on a shared row.
+  const std::uint64_t track = traced ? tel->trace().new_track() : 0;
+  TraceScope run_span(tel, traced ? "backend:" + name : std::string(), "backend", track);
+
   BackendResult result;
   result.name = name;
   result.predicted_seconds = predicted_seconds;
@@ -153,16 +200,27 @@ BackendResult RaceStage::run_backend(const std::string& name, std::size_t index,
     if (abandon_ != nullptr) ctx.also_watch(abandon_);
 
     env_.mapper_runs.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t remap_t0 = traced ? tel->trace().now_nanos() : 0;
     const auto remap_start = Clock::now();
     try {
       Remapping remapping = mapper->remap(grid_, stencil_, alloc_, ctx);
       result.remap_seconds = seconds_since(remap_start);
+      if (traced) tel->span("remap", "backend", track, remap_t0);
+      if (tel != nullptr && tel->metrics()) {
+        tel->backend_remap[index]->record_seconds(result.remap_seconds);
+      }
+      const std::uint64_t eval_t0 = traced ? tel->trace().now_nanos() : 0;
       const auto eval_start = Clock::now();
       result.cost = evaluate_mapping(grid_, stencil_, remapping, alloc_);
       result.eval_seconds = seconds_since(eval_start);
+      if (traced) tel->span("eval", "backend", track, eval_t0);
+      if (tel != nullptr && tel->metrics()) {
+        tel->backend_eval[index]->record_seconds(result.eval_seconds);
+      }
       result.remapping = std::move(remapping);
     } catch (const CancelledError& e) {
       result.remap_seconds = seconds_since(remap_start);
+      if (traced) tel->span("remap", "backend", track, remap_t0);
       if (e.reason() == CancelledError::Reason::kDeadline) {
         result.timed_out = true;
       } else {
@@ -203,6 +261,7 @@ void RaceStage::schedule() {
 }
 
 std::vector<BackendResult> RaceStage::collect() {
+  StageScope scope(env_, stage_hist(env_, &EngineTelemetry::stage_race), "race");
   schedule();
   std::vector<BackendResult> results;
   results.reserve(preds_.size());
@@ -240,6 +299,9 @@ void RaceStage::rescue(std::vector<BackendResult>& results) {
   if (!any) return;
   for (std::size_t i = 0; i < results.size(); ++i) {
     if (!held_back(results[i])) continue;
+    if (env_.telemetry != nullptr && env_.telemetry->metrics()) {
+      env_.telemetry->rescued_runs->inc();
+    }
     results[i] = run_backend(results[i].name, i, env_.options.backend_budget,
                              results[i].predicted_seconds, /*racing=*/false);
   }
@@ -249,6 +311,7 @@ void RaceStage::rescue(std::vector<BackendResult>& results) {
 
 void RecordStage::record(const StageEnv& env, const InstanceFeatures& features,
                          const std::vector<BackendResult>& results) {
+  TraceScope span(env.telemetry, "record_outcomes", "engine", env.trace_track);
   if (!recording_enabled(env.options)) return;
   const int winner = select_winner(env.options.objective, results);
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -267,6 +330,7 @@ void RecordStage::record(const StageEnv& env, const InstanceFeatures& features,
 std::shared_ptr<const MappingPlan> RecordStage::commit(
     const StageEnv& env, const std::string& signature,
     const std::vector<BackendResult>& results) {
+  StageScope scope(env, stage_hist(env, &EngineTelemetry::stage_record), "record");
   const int winner = select_winner(env.options.objective, results);
   GRIDMAP_CHECK(winner >= 0, "no applicable backend for instance: " + signature);
 

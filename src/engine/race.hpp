@@ -30,6 +30,8 @@
 
 namespace gridmap::engine {
 
+class EngineTelemetry;
+
 /// The engine state a stage runs against: registry and options are read-only,
 /// cache/history/mapper_runs are the shared mutable stores (each thread-safe
 /// on its own). A StageEnv is a value bundle of references — cheap to copy,
@@ -41,6 +43,12 @@ struct StageEnv {
   BackendHistory& history;
   ThreadPool* pool;  // null = run races on the calling thread
   std::atomic<std::uint64_t>& mapper_runs;
+  /// Engine telemetry; null when ObsOptions disables metrics and tracing.
+  EngineTelemetry* telemetry = nullptr;
+  /// Trace track of the current request — stage spans land here; 0 means no
+  /// request track (stage spans are skipped; backend runs still trace, each
+  /// on a fresh track of its own).
+  std::uint64_t trace_track = 0;
 };
 
 /// Pruning/budget decisions apply, or outcomes are recorded — either way the

@@ -1,19 +1,27 @@
 #include "engine/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "core/types.hpp"
 #include "engine/signature.hpp"
+#include "engine/telemetry.hpp"
 
 namespace gridmap::engine {
 
 namespace detail {
 
+using ServiceClock = std::chrono::steady_clock;
+
 /// One joiner of a request: its promise and whether it already abandoned.
+/// `submitted`/`deduped` feed the request-latency histogram at delivery;
+/// `submitted` is only set (and read) when telemetry metrics are on.
 struct ServiceWaiter {
   std::promise<std::shared_ptr<const MappingPlan>> promise;
   bool cancelled = false;
+  bool deduped = false;
+  ServiceClock::time_point submitted{};
 };
 
 /// One queued or in-flight race, shared by every joiner's ticket. All
@@ -33,6 +41,7 @@ struct ServiceRequest {
   CancelSource abandon;    // fired once every waiter has cancelled
   bool running = false;
   bool done = false;
+  ServiceClock::time_point enqueued{};  // set iff telemetry metrics are on
 };
 
 }  // namespace detail
@@ -147,6 +156,10 @@ std::shared_ptr<detail::ServiceRequest> MappingService::pop_locked() {
 
 MapTicket MappingService::map_async(const CartesianGrid& grid, const Stencil& stencil,
                                     const NodeAllocation& alloc, Priority priority) {
+  EngineTelemetry* const tel = engine_.telemetry();
+  const bool timed = tel != nullptr && tel->metrics();
+  const detail::ServiceClock::time_point submitted =
+      timed ? detail::ServiceClock::now() : detail::ServiceClock::time_point{};
   const std::string signature =
       instance_signature(grid, stencil, alloc, engine_.objective());
 
@@ -165,6 +178,10 @@ MapTicket MappingService::map_async(const CartesianGrid& grid, const Stencil& st
       ticket.future_ = ready.get_future();
       ready.set_value(std::move(plan));
       ticket.cache_hit_ = true;
+      if (timed) {
+        tel->request_hit->record_seconds(
+            std::chrono::duration<double>(detail::ServiceClock::now() - submitted).count());
+      }
       return ticket;
     }
   }
@@ -180,6 +197,8 @@ MapTicket MappingService::map_async(const CartesianGrid& grid, const Stencil& st
       ticket.waiter_ = request->waiters.size();
       ticket.deduped_ = true;
       request->waiters.emplace_back();
+      request->waiters.back().deduped = true;
+      request->waiters.back().submitted = submitted;
       ticket.future_ = request->waiters.back().promise.get_future();
       ++request->active;
       if (!request->running && idx(priority) < idx(request->priority)) {
@@ -201,6 +220,8 @@ MapTicket MappingService::map_async(const CartesianGrid& grid, const Stencil& st
   auto request = std::make_shared<detail::ServiceRequest>(
       signature, Instance{grid, stencil, alloc}, priority);
   request->waiters.emplace_back();
+  request->waiters.back().submitted = submitted;
+  request->enqueued = submitted;
   request->active = 1;
   ticket.service_ = this;
   ticket.request_ = request;
@@ -244,6 +265,8 @@ void MappingService::cancel_waiter(const std::shared_ptr<detail::ServiceRequest>
 }
 
 void MappingService::worker_loop() {
+  EngineTelemetry* const tel = engine_.telemetry();
+  const bool timed = tel != nullptr && tel->metrics();
   for (;;) {
     std::shared_ptr<detail::ServiceRequest> request;
     {
@@ -256,6 +279,21 @@ void MappingService::worker_loop() {
       ++counters_.in_flight;
     }
 
+    if (timed) {
+      const double wait =
+          std::chrono::duration<double>(detail::ServiceClock::now() - request->enqueued)
+              .count();
+      tel->queue_wait->record_seconds(wait);
+      if (tel->tracing()) {
+        // Reconstruct the span start from the measured wait: enqueue time
+        // was never captured in the trace clock's time base.
+        const std::uint64_t now = tel->trace().now_nanos();
+        const auto wait_nanos = static_cast<std::uint64_t>(wait * 1e9);
+        tel->trace().record({"queue_wait", "service", tel->trace().new_track(),
+                             now > wait_nanos ? now - wait_nanos : 0, wait_nanos});
+      }
+    }
+
     std::shared_ptr<const MappingPlan> plan;
     std::exception_ptr error;
     try {
@@ -265,6 +303,8 @@ void MappingService::worker_loop() {
       error = std::current_exception();
     }
 
+    const detail::ServiceClock::time_point delivered =
+        timed ? detail::ServiceClock::now() : detail::ServiceClock::time_point{};
     std::lock_guard<std::mutex> lock(mutex_);
     // Deliver to every joiner that is still waiting. Joiners that attach
     // while the race runs are in this list too — attachment and delivery
@@ -275,6 +315,11 @@ void MappingService::worker_loop() {
         waiter.promise.set_exception(error);
       } else {
         waiter.promise.set_value(plan);
+        if (timed) {
+          (waiter.deduped ? tel->request_dedup : tel->request_race)
+              ->record_seconds(
+                  std::chrono::duration<double>(delivered - waiter.submitted).count());
+        }
       }
     }
     if (request->active > 0) {
@@ -294,6 +339,56 @@ void MappingService::worker_loop() {
 ServiceCounters MappingService::counters() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return counters_;
+}
+
+obs::MetricsSnapshot MappingService::metrics() const {
+  obs::MetricsSnapshot out;
+  if (const EngineTelemetry* tel = engine_.telemetry()) out = tel->snapshot();
+
+  const auto series = [&out](obs::SeriesSnapshot::Kind kind, const char* name,
+                             obs::Labels labels, double value) {
+    obs::SeriesSnapshot s;
+    s.kind = kind;
+    s.name = name;
+    s.labels = std::move(labels);
+    s.value = value;
+    out.push_back(std::move(s));
+  };
+  const auto counter = [&series](const char* name, obs::Labels labels, std::uint64_t value) {
+    series(obs::SeriesSnapshot::Kind::kCounter, name, std::move(labels),
+           static_cast<double>(value));
+  };
+  const auto gauge = [&series](const char* name, double value) {
+    series(obs::SeriesSnapshot::Kind::kGauge, name, {}, value);
+  };
+
+  const ServiceCounters c = counters();
+  counter("gridmap_service_requests", {{"event", "submitted"}}, c.submitted);
+  counter("gridmap_service_requests", {{"event", "admitted"}}, c.admitted);
+  counter("gridmap_service_requests", {{"event", "rejected_full"}}, c.rejected_full);
+  counter("gridmap_service_requests", {{"event", "rejected_shutdown"}}, c.rejected_shutdown);
+  counter("gridmap_service_requests", {{"event", "deduped"}}, c.deduped);
+  counter("gridmap_service_requests", {{"event", "cache_hit"}}, c.cache_hits);
+  counter("gridmap_service_requests", {{"event", "completed"}}, c.completed);
+  counter("gridmap_service_requests", {{"event", "failed"}}, c.failed);
+  counter("gridmap_service_requests", {{"event", "cancelled"}}, c.cancelled);
+  gauge("gridmap_queue_depth", static_cast<double>(c.queue_depth));
+  gauge("gridmap_in_flight", static_cast<double>(c.in_flight));
+  // A per-queue high-water mark: summing it across shards would overstate
+  // it, which is exactly why it must stay a per-shard (shard=) series.
+  gauge("gridmap_queue_depth_max", static_cast<double>(c.max_queue_depth));
+
+  const CacheStats cache = engine_.cache_stats();
+  counter("gridmap_plan_cache_events", {{"event", "hit"}}, cache.hits);
+  counter("gridmap_plan_cache_events", {{"event", "miss"}}, cache.misses);
+  counter("gridmap_plan_cache_events", {{"event", "insert"}}, cache.inserts);
+  counter("gridmap_plan_cache_events", {{"event", "evict"}}, cache.evictions);
+  counter("gridmap_plan_cache_events", {{"event", "refresh"}}, cache.refreshes);
+  gauge("gridmap_plan_cache_size", static_cast<double>(cache.size));
+  gauge("gridmap_plan_cache_capacity", static_cast<double>(cache.capacity));
+
+  counter("gridmap_mapper_runs", {}, engine_.mapper_runs());
+  return out;
 }
 
 }  // namespace gridmap::engine

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "engine/portfolio.hpp"
+#include "obs/registry.hpp"
 
 namespace gridmap::engine {
 
@@ -178,6 +179,14 @@ class MappingService {
                       const NodeAllocation& alloc, Priority priority = Priority::kNormal);
 
   ServiceCounters counters() const;
+
+  /// This shard's metric series: the engine telemetry snapshot (latency
+  /// histograms, counters) plus the service counters, plan-cache stats, and
+  /// mapper-run count synthesized as series — the per-shard unit the
+  /// `metrics` wire verb aggregates. Synthesized series are present even
+  /// with ObsOptions::metrics off (they are maintained for the stats verb
+  /// anyway); histogram series need metrics on.
+  obs::MetricsSnapshot metrics() const;
 
   /// The engine this service fronts — for cache/history stats and for
   /// comparing served plans against direct map() calls.

@@ -1,9 +1,11 @@
 #include "engine/sharded_service.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "core/types.hpp"
 #include "engine/signature.hpp"
+#include "engine/telemetry.hpp"
 
 namespace gridmap::engine {
 
@@ -84,6 +86,54 @@ CacheStats ShardedService::cache_stats() const {
     total.capacity += c.capacity;
   }
   return total;
+}
+
+std::string ShardedService::metrics_text() const {
+  obs::MetricsSnapshot out;     // per-shard counter/gauge series, shard= tagged
+  obs::MetricsSnapshot pooled;  // histograms merged across shards
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    obs::MetricsSnapshot shard = shards_[i]->metrics();
+    obs::MetricsSnapshot histograms;
+    obs::MetricsSnapshot scalars;
+    for (obs::SeriesSnapshot& series : shard) {
+      (series.kind == obs::SeriesSnapshot::Kind::kHistogram ? histograms : scalars)
+          .push_back(std::move(series));
+    }
+    obs::merge_series(pooled, histograms);
+    obs::add_label(scalars, "shard", std::to_string(i));
+    for (obs::SeriesSnapshot& series : scalars) out.push_back(std::move(series));
+  }
+  for (obs::SeriesSnapshot& series : pooled) out.push_back(std::move(series));
+
+  obs::SeriesSnapshot shard_count;
+  shard_count.kind = obs::SeriesSnapshot::Kind::kGauge;
+  shard_count.name = "gridmap_shards";
+  shard_count.value = static_cast<double>(shards_.size());
+  out.push_back(std::move(shard_count));
+
+  std::ostringstream text;
+  obs::write_exposition(text, std::move(out));
+  return text.str();
+}
+
+bool ShardedService::tracing() const noexcept {
+  for (const std::unique_ptr<MappingService>& shard : shards_) {
+    const EngineTelemetry* tel = shard->engine().telemetry();
+    if (tel != nullptr && tel->tracing()) return true;
+  }
+  return false;
+}
+
+void ShardedService::write_trace(std::ostream& out) const {
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const EngineTelemetry* tel = shards_[i]->engine().telemetry();
+    if (tel == nullptr || !tel->tracing()) continue;
+    obs::write_chrome_trace_events(out, tel->trace().spans(), static_cast<int>(i) + 1,
+                                   "shard " + std::to_string(i), first);
+  }
+  out << "\n]}\n";
 }
 
 std::uint64_t ShardedService::mapper_runs() const noexcept {

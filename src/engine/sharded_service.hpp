@@ -37,6 +37,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,21 @@ class ShardedService {
 
   /// Plan-cache statistics summed over every shard's engine.
   CacheStats cache_stats() const;
+
+  /// Cross-shard Prometheus-style text exposition — the body of the
+  /// `metrics` wire verb. Counters and gauges stay one series per shard,
+  /// tagged shard="i" (so a per-shard high-water mark like
+  /// gridmap_queue_depth_max is never summed or averaged away); latency
+  /// histograms are pooled across shards with HistogramSnapshot::merge.
+  std::string metrics_text() const;
+
+  /// Whether any shard's engine records trace spans.
+  bool tracing() const noexcept;
+
+  /// Merged Chrome trace-event JSON for every shard's trace ring: one pid
+  /// per shard (pid = shard index + 1), span tracks as tids. Writes a valid
+  /// empty trace when tracing is off.
+  void write_trace(std::ostream& out) const;
 
   /// Total mapper executions across every shard's engine.
   std::uint64_t mapper_runs() const noexcept;

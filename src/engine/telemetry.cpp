@@ -1,0 +1,37 @@
+#include "engine/telemetry.hpp"
+
+namespace gridmap::engine {
+
+EngineTelemetry::EngineTelemetry(const obs::ObsOptions& options,
+                                 const std::vector<std::string>& backends)
+    : metrics_(options.metrics), trace_(options.trace ? options.trace_capacity : 0) {
+  if (!metrics_) return;
+  request_hit = &registry_.histogram("gridmap_request_seconds", {{"outcome", "hit"}});
+  request_dedup = &registry_.histogram("gridmap_request_seconds", {{"outcome", "dedup"}});
+  request_race = &registry_.histogram("gridmap_request_seconds", {{"outcome", "race"}});
+  queue_wait = &registry_.histogram("gridmap_queue_wait_seconds");
+  stage_cache_probe = &registry_.histogram("gridmap_stage_seconds", {{"stage", "cache_probe"}});
+  stage_selector = &registry_.histogram("gridmap_stage_seconds", {{"stage", "selector"}});
+  stage_race = &registry_.histogram("gridmap_stage_seconds", {{"stage", "race"}});
+  stage_record = &registry_.histogram("gridmap_stage_seconds", {{"stage", "record"}});
+  plan_cache_probe = &registry_.histogram("gridmap_plan_cache_probe_seconds");
+  rescued_runs = &registry_.counter("gridmap_rescued_backend_runs");
+  spans_dropped_ = &registry_.gauge("gridmap_trace_spans_dropped");
+  backend_remap.reserve(backends.size());
+  backend_eval.reserve(backends.size());
+  for (const std::string& backend : backends) {
+    backend_remap.push_back(
+        &registry_.histogram("gridmap_backend_remap_seconds", {{"backend", backend}}));
+    backend_eval.push_back(
+        &registry_.histogram("gridmap_backend_eval_seconds", {{"backend", backend}}));
+  }
+}
+
+obs::MetricsSnapshot EngineTelemetry::snapshot() const {
+  if (spans_dropped_ != nullptr) {
+    spans_dropped_->set(static_cast<std::int64_t>(trace_.dropped()));
+  }
+  return registry_.snapshot();
+}
+
+}  // namespace gridmap::engine

@@ -1,0 +1,115 @@
+// EngineTelemetry: the engine/service binding of the generic src/obs/
+// subsystem — one per PortfolioEngine (so one per shard), owning the
+// TelemetryRegistry, the trace ring, and pre-bound instruments for every
+// hot-path measurement, so recording a latency is one pointer deref plus a
+// few relaxed atomics (never a registry lookup).
+//
+// Metric names (spec: docs/OBSERVABILITY.md):
+//   gridmap_request_seconds{outcome="hit|dedup|race"}   service request latency
+//   gridmap_queue_wait_seconds                          admission -> dispatch
+//   gridmap_stage_seconds{stage="cache_probe|selector|race|record"}
+//   gridmap_backend_remap_seconds{backend=...}          per-backend remap time
+//   gridmap_backend_eval_seconds{backend=...}           per-backend scoring time
+//   gridmap_plan_cache_probe_seconds                    PlanCache lookup latency
+//   gridmap_rescued_backend_runs                        rescue() re-runs (counter)
+//   gridmap_trace_spans_dropped                         ring overwrites (gauge)
+//
+// Per-backend histograms are index-aligned with the registry's backend
+// names, matching BackendPrediction/BackendResult indexing in the race.
+// With ObsOptions::metrics off every instrument pointer is null and
+// callers' `telemetry != nullptr && telemetry->metrics()` guards skip all
+// recording; with trace off the recorder has capacity 0.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/options.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace gridmap::engine {
+
+class EngineTelemetry {
+ public:
+  EngineTelemetry(const obs::ObsOptions& options, const std::vector<std::string>& backends);
+
+  EngineTelemetry(const EngineTelemetry&) = delete;
+  EngineTelemetry& operator=(const EngineTelemetry&) = delete;
+
+  bool metrics() const noexcept { return metrics_; }
+  bool tracing() const noexcept { return trace_.enabled(); }
+
+  obs::TelemetryRegistry& registry() noexcept { return registry_; }
+  obs::TraceRecorder& trace() noexcept { return trace_; }
+  const obs::TraceRecorder& trace() const noexcept { return trace_; }
+
+  /// Registry snapshot with the trace-ring gauge refreshed — what the
+  /// `metrics` exposition reads per shard.
+  obs::MetricsSnapshot snapshot() const;
+
+  /// Records one complete span (no-op unless tracing). `start_nanos` comes
+  /// from trace().now_nanos() taken at scope entry.
+  void span(std::string name, std::string category, std::uint64_t track,
+            std::uint64_t start_nanos) {
+    if (!trace_.enabled()) return;
+    trace_.record({std::move(name), std::move(category), track, start_nanos,
+                   trace_.now_nanos() - start_nanos});
+  }
+
+  // Pre-bound instruments; null iff metrics() is false.
+  obs::LatencyHistogram* request_hit = nullptr;
+  obs::LatencyHistogram* request_dedup = nullptr;
+  obs::LatencyHistogram* request_race = nullptr;
+  obs::LatencyHistogram* queue_wait = nullptr;
+  obs::LatencyHistogram* stage_cache_probe = nullptr;
+  obs::LatencyHistogram* stage_selector = nullptr;
+  obs::LatencyHistogram* stage_race = nullptr;
+  obs::LatencyHistogram* stage_record = nullptr;
+  obs::LatencyHistogram* plan_cache_probe = nullptr;
+  obs::Counter* rescued_runs = nullptr;
+  std::vector<obs::LatencyHistogram*> backend_remap;  ///< by registry index
+  std::vector<obs::LatencyHistogram*> backend_eval;   ///< by registry index
+
+ private:
+  bool metrics_;
+  obs::Gauge* spans_dropped_ = nullptr;  // refreshed from the ring by snapshot()
+  obs::TelemetryRegistry registry_;
+  obs::TraceRecorder trace_;
+};
+
+/// RAII span: records `name` on `track` from construction to destruction.
+/// A null telemetry, tracing off, or track 0 makes the whole scope a no-op
+/// (no allocation, no clock read).
+class TraceScope {
+ public:
+  TraceScope(EngineTelemetry* telemetry, std::string_view name, const char* category,
+             std::uint64_t track) {
+    if (telemetry != nullptr && telemetry->tracing() && track != 0) {
+      telemetry_ = telemetry;
+      name_ = name;
+      category_ = category;
+      track_ = track;
+      start_ = telemetry->trace().now_nanos();
+    }
+  }
+  ~TraceScope() {
+    if (telemetry_ != nullptr) {
+      telemetry_->span(std::move(name_), category_, track_, start_);
+    }
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  EngineTelemetry* telemetry_ = nullptr;
+  std::string name_;
+  const char* category_ = "";
+  std::uint64_t track_ = 0;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace gridmap::engine

@@ -61,6 +61,17 @@ std::string stats_frame(const ShardedService& service) {
   return out.str();
 }
 
+/// The metrics response block:
+///   gridmap-metrics v1
+///   <Prometheus-style exposition lines>
+///   end
+/// Exposition lines always start with a metric name or "# TYPE", so none can
+/// collide with the bare "end" terminator — clients reuse their existing
+/// read-until-"end" block logic from plan frames.
+std::string metrics_frame(const ShardedService& service) {
+  return "gridmap-metrics v1\n" + service.metrics_text() + "end\n";
+}
+
 }  // namespace
 
 std::string hello_line() { return std::string(kProtocol) + "\n"; }
@@ -201,12 +212,13 @@ std::string handle_request(ShardedService& service, const std::string& line,
       return serialize_plan(*ticket.get());
     }
     if (command == "stats") return stats_frame(service);
+    if (command == "metrics") return metrics_frame(service);
     if (command == "shutdown") {
       want_shutdown = true;
       return "ok bye\n";
     }
     return error_frame(ErrorCode::kUnknownCommand,
-                       "want map|stats|shutdown: " + command);
+                       "want map|stats|metrics|shutdown: " + command);
   } catch (const AdmissionError& e) {
     return error_frame(ErrorCode::kBusy, to_string(e.reason()));
   } catch (const std::invalid_argument& e) {

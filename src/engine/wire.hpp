@@ -6,13 +6,15 @@
 //               anything else, so clients can reject a version mismatch
 //               instead of misparsing frames.
 //   requests  — single '\n'-terminated lines ("map ...", "stats",
-//               "shutdown"), at most kMaxRequestLine bytes and never
-//               containing NUL. An oversized or NUL-bearing line is answered
-//               with "err too-long ..." / "err bad-byte ..." and the
+//               "metrics", "shutdown"), at most kMaxRequestLine bytes and
+//               never containing NUL. An oversized or NUL-bearing line is
+//               answered with "err too-long ..." / "err bad-byte ..." and the
 //               connection is closed — the parser never buffers unboundedly.
 //   responses — one "ok ..." line, one "err <code> <detail>" line, or a
-//               plan block in plan_io text form terminated by its "end"
-//               line. Error codes are the closed set in ErrorCode.
+//               block response terminated by its "end" line: a plan block in
+//               plan_io text form ("map"), or a "gridmap-metrics v1" block
+//               carrying Prometheus-style text exposition ("metrics").
+//               Error codes are the closed set in ErrorCode.
 //
 // The protocol logic is written against the Transport byte-stream interface
 // rather than sockets, so tests drive the full server path — framing,
@@ -50,7 +52,14 @@ enum class ErrorCode {
   kTooLong,         ///< request line exceeded kMaxRequestLine
   kBadByte,         ///< NUL byte inside a request line
   kBadRequest,      ///< request parsed but was malformed/invalid
-  kUnknownCommand,  ///< first word is not map|stats|shutdown
+  /// First word is not a known command (map|stats|metrics|shutdown). The
+  /// command set may grow in later GRIDMAP/1 revisions WITHOUT a protocol
+  /// version bump: a new verb changes no existing frame, an old server
+  /// answers it with this error and keeps the connection open, and an old
+  /// client simply never sends it — so mixed-version deployments
+  /// interoperate. The err-code table in docs/FORMATS.md mirrors this
+  /// contract and must be extended together with this comment.
+  kUnknownCommand,
   kBusy,            ///< admission control refused (queue-full|shutting-down)
   kInternal,        ///< the race itself failed
 };

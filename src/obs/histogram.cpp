@@ -1,0 +1,93 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace gridmap::obs {
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t nanos) noexcept {
+  if (nanos < kSubBuckets) return static_cast<std::size_t>(nanos);
+  int msb = 63 - std::countl_zero(nanos);
+  if (msb >= kMaxExp) {
+    msb = kMaxExp - 1;
+    nanos = (1ULL << kMaxExp) - 1;  // clamp: everything slower shares the top bucket
+  }
+  const int shift = msb - kSubBits;
+  const std::uint64_t sub = (nanos >> shift) & (kSubBuckets - 1);
+  return static_cast<std::size_t>(msb - kSubBits + 1) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper_nanos(std::size_t index) noexcept {
+  if (index < kSubBuckets) return static_cast<std::uint64_t>(index);
+  const std::uint64_t msb = index / kSubBuckets + kSubBits - 1;
+  const std::uint64_t sub = index % kSubBuckets;
+  const std::uint64_t shift = msb - kSubBits;
+  // Largest value whose MSB is `msb` and whose sub-bucket bits equal `sub`:
+  // base of the sub-bucket plus a full span of low bits.
+  return (1ULL << msb) + ((sub + 1) << shift) - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t nanos) noexcept {
+  buckets_[bucket_index(nanos)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(nanos, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (nanos > seen &&
+         !max_.compare_exchange_weak(seen, nanos, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::record_seconds(double seconds) noexcept {
+  if (!(seconds > 0.0)) {  // negatives and NaN record as zero
+    record(0);
+    return;
+  }
+  const double nanos = seconds * 1e9;
+  record(nanos >= 9.2e18 ? (1ULL << kMaxExp) : static_cast<std::uint64_t>(nanos));
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kBuckets);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_nanos = sum_.load(std::memory_order_relaxed);
+  snap.max_nanos = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double HistogramSnapshot::quantile_nanos(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q >= 1.0) return static_cast<double>(max_nanos);
+  // Rank of the q-quantile among `count` sorted recordings (1-based, ceil —
+  // the "nearest rank" definition the unit tests check against).
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(
+                                     q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Never report beyond the observed maximum (the top bucket's upper
+      // bound can overshoot it by the quantization width).
+      return static_cast<double>(
+          std::min(LatencyHistogram::bucket_upper_nanos(i), max_nanos));
+    }
+  }
+  return static_cast<double>(max_nanos);  // straggling count: be conservative
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (buckets.size() < other.buckets.size()) buckets.resize(other.buckets.size());
+  for (std::size_t i = 0; i < other.buckets.size(); ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum_nanos += other.sum_nanos;
+  max_nanos = std::max(max_nanos, other.max_nanos);
+}
+
+}  // namespace gridmap::obs

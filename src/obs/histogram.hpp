@@ -1,0 +1,94 @@
+// LatencyHistogram: a lock-free, log-bucketed (HDR-style) latency histogram
+// built for hot serving paths. record() is a handful of relaxed atomic adds
+// — no mutex, no allocation — so it can sit inside the engine's map path and
+// the service's request loop without perturbing what it measures.
+//
+// Bucketing: values are nanoseconds. The first kSubBuckets buckets are exact
+// (one per nanosecond); above that, each power of two is split into
+// kSubBuckets sub-buckets keyed by the bits just below the MSB, so the
+// relative quantization error is bounded by 1/kSubBuckets (~3% with 5 sub
+// bits) across the whole range. Values beyond ~9 minutes clamp into the
+// last bucket — a mapping request that slow is an outage, not a latency.
+//
+// Readout: snapshot() copies the buckets into a plain HistogramSnapshot,
+// which knows count/sum/max and interpolates quantiles (p50/p90/p99/...).
+// Snapshots merge(), which is how the sharded service aggregates one
+// histogram per shard into a fleet-wide distribution — the atomic buckets
+// themselves never need cross-shard coordination.
+//
+// Thread model: record() may race with record() and with snapshot() freely.
+// A snapshot taken during concurrent recording is a consistent-enough view
+// (each bucket is atomically read; the total may straggle individual
+// buckets by in-flight records), which is exactly what monitoring needs.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gridmap::obs {
+
+/// Plain-value copy of a histogram, safe to merge, query, and ship around.
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  std::uint64_t sum_nanos = 0;
+  std::uint64_t max_nanos = 0;
+
+  /// Upper bound (inclusive, in nanoseconds) of the values a quantile can
+  /// report for rank q in [0, 1]. Returns 0 for an empty histogram; q = 1
+  /// returns the exact observed maximum.
+  double quantile_nanos(double q) const noexcept;
+  double quantile_seconds(double q) const noexcept { return quantile_nanos(q) / 1e9; }
+
+  double mean_nanos() const noexcept {
+    return count == 0 ? 0.0 : static_cast<double>(sum_nanos) / static_cast<double>(count);
+  }
+  double sum_seconds() const noexcept { return static_cast<double>(sum_nanos) / 1e9; }
+
+  /// Adds `other` into this snapshot bucket-by-bucket (count/sum add, max
+  /// takes the maximum). Merging snapshots from any set of histograms is
+  /// exact: the merged quantiles are those of the pooled recordings.
+  void merge(const HistogramSnapshot& other);
+};
+
+class LatencyHistogram {
+ public:
+  /// Sub-bucket resolution: each power of two splits into 2^kSubBits
+  /// buckets, so quantiles are exact to a relative error of 2^-kSubBits.
+  static constexpr int kSubBits = 5;
+  static constexpr std::uint64_t kSubBuckets = 1ULL << kSubBits;
+  /// Largest distinguishable value: 2^kMaxExp - 1 nanoseconds (~9 minutes);
+  /// anything larger clamps into the final bucket (max_nanos stays exact).
+  static constexpr int kMaxExp = 39;
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kMaxExp - kSubBits + 1) * kSubBuckets;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Lock-free: four relaxed atomic RMWs. Safe from any thread.
+  void record(std::uint64_t nanos) noexcept;
+  /// record() with seconds input; negative values clamp to zero.
+  void record_seconds(double seconds) noexcept;
+
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+
+  HistogramSnapshot snapshot() const;
+
+  /// The bucket a value lands in. Exposed for the boundary unit tests.
+  static std::size_t bucket_index(std::uint64_t nanos) noexcept;
+  /// Largest value (in ns) bucket `index` can hold — what quantiles report.
+  static std::uint64_t bucket_upper_nanos(std::size_t index) noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace gridmap::obs

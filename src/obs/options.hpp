@@ -1,0 +1,24 @@
+// ObsOptions: the telemetry toggles carried inside EngineOptions. Metrics
+// (histograms/counters, atomics-only) default on — they are what the
+// `metrics` wire verb exposes; span tracing defaults off (it buffers and
+// allocates) and is switched on by `plan_server --trace FILE` or tests.
+// Both off disables telemetry entirely: the engine allocates nothing and
+// the hot path pays only null-pointer checks.
+#pragma once
+
+#include <cstddef>
+
+namespace gridmap::obs {
+
+struct ObsOptions {
+  /// Latency histograms + telemetry counters. Lock-free on the hot path.
+  bool metrics = true;
+  /// Per-request trace spans into the bounded ring (see TraceRecorder).
+  bool trace = false;
+  /// Ring capacity in spans when tracing; must be >= 1 if trace is on.
+  std::size_t trace_capacity = 8192;
+
+  bool any() const noexcept { return metrics || trace; }
+};
+
+}  // namespace gridmap::obs

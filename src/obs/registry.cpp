@@ -1,0 +1,265 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace gridmap::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    if (!(alpha || (i > 0 && c >= '0' && c <= '9'))) return false;
+  }
+  return true;
+}
+
+void validate(const std::string& name, const Labels& labels) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("telemetry: bad metric name: " + name);
+  }
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (!valid_metric_name(labels[i].first)) {
+      throw std::invalid_argument("telemetry: bad label key: " + labels[i].first);
+    }
+    for (std::size_t j = i + 1; j < labels.size(); ++j) {
+      if (labels[i].first == labels[j].first) {
+        throw std::invalid_argument("telemetry: duplicate label key: " + labels[i].first);
+      }
+    }
+  }
+}
+
+/// Canonical lookup key: name plus labels sorted by key, so the same series
+/// is found regardless of the label order callers pass.
+std::string series_key(const std::string& name, const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name;
+  for (const auto& [k, v] : sorted) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += escape_label_value(labels[i].second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// `labels` plus one extra pair — used to splice quantile="..." into a
+/// histogram series' label set.
+Labels with(const Labels& labels, const char* key, const std::string& value) {
+  Labels out = labels;
+  out.emplace_back(key, value);
+  return out;
+}
+
+/// %.17g matches the repo's text formats: full round-trip precision,
+/// integral values stay integral-looking.
+std::string render_value(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+const char* type_name(SeriesSnapshot::Kind kind) {
+  switch (kind) {
+    case SeriesSnapshot::Kind::kCounter:
+      return "counter";
+    case SeriesSnapshot::Kind::kGauge:
+      return "gauge";
+    case SeriesSnapshot::Kind::kHistogram:
+      return "summary";
+  }
+  return "gauge";
+}
+
+/// Counters follow the Prometheus convention of a `_total` suffix; the
+/// other kinds expose their name as-is.
+std::string exposed_name(const SeriesSnapshot& series) {
+  if (series.kind == SeriesSnapshot::Kind::kCounter &&
+      !series.name.ends_with("_total")) {
+    return series.name + "_total";
+  }
+  return series.name;
+}
+
+}  // namespace
+
+TelemetryRegistry::Entry& TelemetryRegistry::find_or_create(SeriesSnapshot::Kind kind,
+                                                            const std::string& name,
+                                                            Labels labels) {
+  validate(name, labels);
+  const std::string key = series_key(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    Entry& entry = *entries_[it->second];
+    if (entry.kind != kind) {
+      throw std::invalid_argument("telemetry: series already registered with another kind: " +
+                                  name);
+    }
+    return entry;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = kind;
+  entry->name = name;
+  entry->labels = std::move(labels);
+  switch (kind) {
+    case SeriesSnapshot::Kind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case SeriesSnapshot::Kind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case SeriesSnapshot::Kind::kHistogram:
+      entry->histogram = std::make_unique<LatencyHistogram>();
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  index_.emplace(key, entries_.size() - 1);
+  return *entries_.back();
+}
+
+Counter& TelemetryRegistry::counter(const std::string& name, Labels labels) {
+  return *find_or_create(SeriesSnapshot::Kind::kCounter, name, std::move(labels)).counter;
+}
+
+Gauge& TelemetryRegistry::gauge(const std::string& name, Labels labels) {
+  return *find_or_create(SeriesSnapshot::Kind::kGauge, name, std::move(labels)).gauge;
+}
+
+LatencyHistogram& TelemetryRegistry::histogram(const std::string& name, Labels labels) {
+  return *find_or_create(SeriesSnapshot::Kind::kHistogram, name, std::move(labels)).histogram;
+}
+
+MetricsSnapshot TelemetryRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  out.reserve(entries_.size());
+  for (const std::unique_ptr<Entry>& entry : entries_) {
+    SeriesSnapshot series;
+    series.kind = entry->kind;
+    series.name = entry->name;
+    series.labels = entry->labels;
+    switch (entry->kind) {
+      case SeriesSnapshot::Kind::kCounter:
+        series.value = static_cast<double>(entry->counter->value());
+        break;
+      case SeriesSnapshot::Kind::kGauge:
+        series.value = static_cast<double>(entry->gauge->value());
+        break;
+      case SeriesSnapshot::Kind::kHistogram:
+        series.histogram = entry->histogram->snapshot();
+        break;
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+std::size_t TelemetryRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void write_exposition(std::ostream& out, MetricsSnapshot series) {
+  std::sort(series.begin(), series.end(),
+            [](const SeriesSnapshot& a, const SeriesSnapshot& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  std::string last_name;
+  for (const SeriesSnapshot& s : series) {
+    const std::string name = exposed_name(s);
+    if (name != last_name) {
+      out << "# TYPE " << name << ' ' << type_name(s.kind) << '\n';
+      last_name = name;
+    }
+    if (s.kind == SeriesSnapshot::Kind::kHistogram) {
+      const HistogramSnapshot& h = s.histogram;
+      // Quantile *labels* use the conventional short spelling ("0.9", not
+      // 0.9's 17-digit round-trip form); only sample values need %.17g.
+      for (const auto& [q, q_label] :
+           {std::pair<double, const char*>{0.5, "0.5"}, {0.9, "0.9"}, {0.99, "0.99"}}) {
+        out << name << render_labels(with(s.labels, "quantile", q_label)) << ' '
+            << render_value(h.quantile_seconds(q)) << '\n';
+      }
+      out << name << render_labels(with(s.labels, "quantile", "1")) << ' '
+          << render_value(static_cast<double>(h.max_nanos) / 1e9) << '\n';
+      out << name << "_count" << render_labels(s.labels) << ' ' << h.count << '\n';
+      out << name << "_sum" << render_labels(s.labels) << ' '
+          << render_value(h.sum_seconds()) << '\n';
+    } else {
+      out << name << render_labels(s.labels) << ' ' << render_value(s.value) << '\n';
+    }
+  }
+}
+
+void merge_series(MetricsSnapshot& into, const MetricsSnapshot& from) {
+  for (const SeriesSnapshot& s : from) {
+    const std::string key = series_key(s.name, s.labels);
+    SeriesSnapshot* match = nullptr;
+    for (SeriesSnapshot& candidate : into) {
+      if (series_key(candidate.name, candidate.labels) == key) {
+        match = &candidate;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      into.push_back(s);
+      continue;
+    }
+    if (match->kind != s.kind) {
+      throw std::invalid_argument("telemetry: kind mismatch merging series: " + s.name);
+    }
+    if (s.kind == SeriesSnapshot::Kind::kHistogram) {
+      match->histogram.merge(s.histogram);
+    } else {
+      match->value += s.value;
+    }
+  }
+}
+
+void add_label(MetricsSnapshot& snapshot, const std::string& key, const std::string& value) {
+  for (SeriesSnapshot& series : snapshot) {
+    bool present = false;
+    for (const auto& [k, v] : series.labels) present = present || k == key;
+    if (!present) series.labels.emplace_back(key, value);
+  }
+}
+
+}  // namespace gridmap::obs

@@ -1,0 +1,130 @@
+// TelemetryRegistry: named counters, gauges, and latency histograms with
+// label support (`backend=`, `shard=`, `outcome=`, ...), plus a
+// Prometheus-style text exposition.
+//
+// Instrument lookup (counter()/gauge()/histogram()) takes a mutex and is
+// meant for setup time: callers bind the returned reference once and then
+// update it lock-free on the hot path (every instrument is atomics-only).
+// References stay valid for the registry's lifetime — instruments are
+// heap-allocated and never removed.
+//
+// Readout is a two-step pipeline shared with the sharded service:
+//   snapshot()        -> MetricsSnapshot, a plain vector of series values
+//   write_exposition  -> renders any MetricsSnapshot as Prometheus text
+// Between the two, callers can merge_series() snapshots from several
+// registries (histograms pool, counters/gauges add) or add_label() a
+// `shard="i"` label to keep per-shard series distinguishable — which is
+// exactly how ShardedService builds its cross-shard `metrics` response.
+//
+// Exposition format (docs/OBSERVABILITY.md): counters render as
+// `name_total`, gauges as `name`, histograms as summaries —
+// `name{quantile="0.5|0.9|0.99|1"}` in seconds plus `name_count` and
+// `name_sum`. Series are sorted by (name, labels), so the output is
+// deterministic and golden-testable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace gridmap::obs {
+
+/// Monotonic counter. Lock-free.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time value that can move both ways. Lock-free.
+class Gauge {
+ public:
+  void set(std::int64_t value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  void add(std::int64_t delta) noexcept { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::int64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Label set of one series, in presentation order. Keys and values must not
+/// repeat a key; keys follow metric-name syntax.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// One series' point-in-time value — the unit of merging and exposition.
+struct SeriesSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  Kind kind = Kind::kCounter;
+  std::string name;
+  Labels labels;
+  double value = 0.0;           ///< counter/gauge reading
+  HistogramSnapshot histogram;  ///< histogram reading (kind == kHistogram)
+};
+
+using MetricsSnapshot = std::vector<SeriesSnapshot>;
+
+/// Renders `series` as Prometheus-style text exposition: one `# TYPE` line
+/// per metric name, then its series sorted by labels. Sorting makes the
+/// output deterministic; `series` is taken by value to sort it.
+void write_exposition(std::ostream& out, MetricsSnapshot series);
+
+/// Folds `from` into `into`: series with the same (name, labels) combine —
+/// counters and gauges add, histograms merge() — and unmatched series are
+/// appended. Kind mismatches on a matching series throw invalid_argument.
+void merge_series(MetricsSnapshot& into, const MetricsSnapshot& from);
+
+/// Appends `key`="`value`" to every series in `snapshot` (skipping series
+/// that already carry `key`).
+void add_label(MetricsSnapshot& snapshot, const std::string& key, const std::string& value);
+
+class TelemetryRegistry {
+ public:
+  TelemetryRegistry() = default;
+  TelemetryRegistry(const TelemetryRegistry&) = delete;
+  TelemetryRegistry& operator=(const TelemetryRegistry&) = delete;
+
+  /// Returns the instrument registered under (name, labels), creating it on
+  /// first use. Throws std::invalid_argument on a malformed metric/label
+  /// name, a duplicate label key, or when (name, labels) already names an
+  /// instrument of a different kind.
+  Counter& counter(const std::string& name, Labels labels = {});
+  Gauge& gauge(const std::string& name, Labels labels = {});
+  LatencyHistogram& histogram(const std::string& name, Labels labels = {});
+
+  /// Plain-value snapshot of every registered series, in registration
+  /// order. Thread-safe against concurrent instrument updates.
+  MetricsSnapshot snapshot() const;
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    SeriesSnapshot::Kind kind;
+    std::string name;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+
+  Entry& find_or_create(SeriesSnapshot::Kind kind, const std::string& name, Labels labels);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::unordered_map<std::string, std::size_t> index_;  // series key -> entries_ slot
+};
+
+}  // namespace gridmap::obs

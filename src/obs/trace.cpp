@@ -1,0 +1,124 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+namespace gridmap::obs {
+
+namespace {
+
+/// JSON string escaping for span names/categories (control bytes, quotes).
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Microseconds with nanosecond decimals — Chrome trace `ts`/`dur` units.
+std::string micros(std::uint64_t nanos) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%llu.%03llu",
+                static_cast<unsigned long long>(nanos / 1000),
+                static_cast<unsigned long long>(nanos % 1000));
+  return buffer;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity), epoch_(Clock::now()) {
+  if (capacity_ > 0) ring_.reserve(capacity_);
+}
+
+std::uint64_t TraceRecorder::now_nanos() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch_).count());
+}
+
+void TraceRecorder::record(TraceSpan span) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[total_ % capacity_] = std::move(span);
+  }
+  ++total_;
+}
+
+std::vector<TraceSpan> TraceRecorder::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (total_ <= capacity_) return ring_;
+  // The ring wrapped: oldest surviving span sits at total_ % capacity_.
+  std::vector<TraceSpan> out;
+  out.reserve(capacity_);
+  const std::size_t head = total_ % capacity_;
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    out.push_back(ring_[(head + i) % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::recorded() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::uint64_t TraceRecorder::dropped() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+void write_chrome_trace_events(std::ostream& out, const std::vector<TraceSpan>& spans,
+                               int pid, std::string_view process_name, bool& first) {
+  const auto comma = [&out, &first] {
+    if (!first) out << ",\n";
+    first = false;
+  };
+  comma();
+  out << R"({"name":"process_name","ph":"M","pid":)" << pid
+      << R"(,"args":{"name":")" << json_escape(process_name) << R"("}})";
+  for (const TraceSpan& span : spans) {
+    comma();
+    out << R"({"name":")" << json_escape(span.name) << R"(","cat":")"
+        << json_escape(span.category) << R"(","ph":"X","pid":)" << pid << R"(,"tid":)"
+        << span.track << R"(,"ts":)" << micros(span.start_nanos) << R"(,"dur":)"
+        << micros(span.duration_nanos) << "}";
+  }
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& out, int pid,
+                                       std::string_view process_name) const {
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  write_chrome_trace_events(out, spans(), pid, process_name, first);
+  out << "\n]}\n";
+}
+
+}  // namespace gridmap::obs

@@ -1,0 +1,92 @@
+// TraceRecorder: per-request trace spans in a bounded ring buffer,
+// exportable as Chrome trace-event JSON (load the file in Perfetto or
+// chrome://tracing to see where a request's milliseconds went).
+//
+// A span is a named [start, start+duration) interval on a *track*. Tracks
+// are cheap integer ids handed out by new_track(): the engine opens one
+// track per map request (its stage spans — cache-probe, selector, race,
+// record — nest inside the request span there) and one per backend run
+// (remap/eval nest inside the backend span), so concurrent backends render
+// as parallel rows instead of a false interleaving. The service records
+// queue-wait spans the same way.
+//
+// The ring holds the most recent `capacity` spans; older spans are
+// overwritten and counted in dropped(). record() takes a short mutex —
+// spans are recorded a handful of times per request (milliseconds apart),
+// so this is far off the hot path; the <3% overhead gate in bench_engine
+// covers it. A capacity of 0 disables recording entirely (record() is a
+// single predictable branch).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridmap::obs {
+
+struct TraceSpan {
+  std::string name;       ///< e.g. "race", "remap"
+  std::string category;   ///< "service" | "engine" | "backend"
+  std::uint64_t track = 0;
+  std::uint64_t start_nanos = 0;  ///< since the recorder's epoch
+  std::uint64_t duration_nanos = 0;
+};
+
+class TraceRecorder {
+ public:
+  /// `capacity` bounds the ring; 0 disables recording.
+  explicit TraceRecorder(std::size_t capacity);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  bool enabled() const noexcept { return capacity_ > 0; }
+
+  /// Nanoseconds since the recorder was constructed (steady clock) — the
+  /// time base every span's start_nanos is expressed in.
+  std::uint64_t now_nanos() const noexcept;
+
+  /// A fresh track id (1-based; 0 means "no track"). Lock-free.
+  std::uint64_t new_track() noexcept {
+    return next_track_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void record(TraceSpan span);
+
+  /// The ring's spans, oldest first. Safe concurrently with record().
+  std::vector<TraceSpan> spans() const;
+
+  std::uint64_t recorded() const noexcept;  ///< total record() calls kept or dropped
+  std::uint64_t dropped() const noexcept;   ///< spans overwritten by newer ones
+
+  /// Writes the ring as a Chrome trace-event JSON object
+  /// (`{"traceEvents": [...]}`, "X" complete events, microsecond
+  /// timestamps, `pid` = `pid`, `tid` = span track). Perfetto-loadable.
+  void write_chrome_trace(std::ostream& out, int pid = 1,
+                          std::string_view process_name = "gridmap") const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  const std::size_t capacity_;
+  const Clock::time_point epoch_;
+  std::atomic<std::uint64_t> next_track_{1};
+
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> ring_;     // ring_[i % capacity_]; size grows to capacity
+  std::uint64_t total_ = 0;         // record() calls so far
+};
+
+/// Appends the JSON event objects (no enclosing array) for `spans` to
+/// `out`, prefixing a process-name metadata event. Shared by
+/// write_chrome_trace and the sharded service's merged export, which emits
+/// one pid per shard into a single trace file.
+void write_chrome_trace_events(std::ostream& out, const std::vector<TraceSpan>& spans,
+                               int pid, std::string_view process_name, bool& first);
+
+}  // namespace gridmap::obs

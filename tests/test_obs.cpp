@@ -1,0 +1,539 @@
+// Telemetry subsystem tests: histogram bucket boundaries and quantile
+// accuracy against a sorted reference, snapshot merging, TSan-clean
+// concurrent recording, the registry's golden exposition format, the trace
+// ring's bounds and Chrome trace-event export, and the engine/service
+// metric surface (request quantiles by outcome, queue wait, per-backend
+// remap histograms, per-shard queue depth) — all socket-free.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/blocked.hpp"
+#include "engine/portfolio.hpp"
+#include "engine/service.hpp"
+#include "engine/sharded_service.hpp"
+#include "engine/telemetry.hpp"
+#include "obs/histogram.hpp"
+#include "obs/options.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace gridmap {
+namespace {
+
+using engine::EngineOptions;
+using engine::EngineTelemetry;
+using engine::Instance;
+using engine::MapperRegistry;
+using engine::MappingService;
+using engine::PortfolioEngine;
+using engine::ServiceOptions;
+using engine::ShardedService;
+using obs::HistogramSnapshot;
+using obs::Labels;
+using obs::LatencyHistogram;
+using obs::MetricsSnapshot;
+using obs::ObsOptions;
+using obs::SeriesSnapshot;
+using obs::TelemetryRegistry;
+using obs::TraceRecorder;
+using obs::TraceSpan;
+
+// ---------------------------------------------------------------- histogram --
+
+TEST(Histogram, SmallValuesHaveExactBuckets) {
+  // The first kSubBuckets values get one bucket per nanosecond: the bucket's
+  // upper bound IS the value, so sub-32ns latencies suffer zero quantization.
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    const std::size_t index = LatencyHistogram::bucket_index(v);
+    EXPECT_EQ(LatencyHistogram::bucket_upper_nanos(index), v) << "value " << v;
+  }
+}
+
+TEST(Histogram, BucketBoundsGiveBoundedRelativeError) {
+  // Above the exact range every value must land in a bucket whose upper
+  // bound overestimates it by at most 1/kSubBuckets (the log-bucket design
+  // contract the quantile accuracy rests on).
+  const std::vector<std::uint64_t> probes = {
+      32,   33,   63,        64,        65,         1000,       1023,      1024,
+      4097, 12345, 1u << 20, (1u << 20) + 1, 999999937u, 1ull << 38, (1ull << 39) - 1};
+  for (const std::uint64_t v : probes) {
+    const std::size_t index = LatencyHistogram::bucket_index(v);
+    const std::uint64_t upper = LatencyHistogram::bucket_upper_nanos(index);
+    EXPECT_GE(upper, v) << "value " << v;
+    EXPECT_LE(static_cast<double>(upper),
+              static_cast<double>(v) *
+                  (1.0 + 1.0 / static_cast<double>(LatencyHistogram::kSubBuckets)))
+        << "value " << v;
+  }
+}
+
+TEST(Histogram, BucketIndexIsMonotoneAndInRange) {
+  std::size_t last = 0;
+  for (std::uint64_t v = 0; v < (1u << 14); ++v) {
+    const std::size_t index = LatencyHistogram::bucket_index(v);
+    EXPECT_GE(index, last);
+    EXPECT_LT(index, LatencyHistogram::kBuckets);
+    last = index;
+  }
+  // Beyond the representable range everything clamps into the last bucket.
+  EXPECT_EQ(LatencyHistogram::bucket_index(~0ull), LatencyHistogram::kBuckets - 1);
+}
+
+TEST(Histogram, QuantilesMatchASortedReferenceWithinBucketError) {
+  // 10k deterministic pseudo-random latencies spanning ns to ms; every
+  // quantile the exposition reports must bracket the nearest-rank reference
+  // from the fully sorted sample within the 1/32 relative bucket error.
+  LatencyHistogram hist;
+  std::vector<std::uint64_t> reference;
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 10000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t value = (state >> 33) % 3000000;  // [0, 3ms)
+    reference.push_back(value);
+    hist.record(value);
+  }
+  std::sort(reference.begin(), reference.end());
+  const HistogramSnapshot snap = hist.snapshot();
+  ASSERT_EQ(snap.count, reference.size());
+
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(reference.size())));
+    const std::uint64_t expected = reference[rank == 0 ? 0 : rank - 1];
+    const double got = snap.quantile_nanos(q);
+    EXPECT_GE(got, static_cast<double>(expected)) << "q=" << q;
+    EXPECT_LE(got, static_cast<double>(expected) * (1.0 + 1.0 / 32.0) + 1.0) << "q=" << q;
+  }
+  // q=1 is the exact observed maximum, not a bucket bound.
+  EXPECT_EQ(snap.quantile_nanos(1.0), static_cast<double>(reference.back()));
+  EXPECT_EQ(snap.max_nanos, reference.back());
+}
+
+TEST(Histogram, EmptySnapshotReportsZeroes) {
+  const HistogramSnapshot snap = LatencyHistogram().snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.quantile_nanos(0.5), 0.0);
+  EXPECT_EQ(snap.quantile_nanos(1.0), 0.0);
+  EXPECT_EQ(snap.mean_nanos(), 0.0);
+}
+
+TEST(Histogram, RecordSecondsClampsNegativeAndHugeValues) {
+  LatencyHistogram hist;
+  hist.record_seconds(-1.0);                       // clamps to 0
+  hist.record_seconds(1e9);                        // clamps into the top bucket
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_GE(snap.max_nanos, (1ull << 39) - 1);
+}
+
+TEST(Histogram, MergedSnapshotEqualsThePooledRecording) {
+  // Merging per-shard snapshots must be exact: identical to one histogram
+  // that saw every recording (same buckets, counts, sums, max — hence the
+  // same quantiles). This is the property ShardedService::metrics_text
+  // relies on when pooling per-shard latency distributions.
+  LatencyHistogram a, b, pooled;
+  std::uint64_t state = 42;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t value = (state >> 33) % 1000000;
+    ((i % 2 == 0) ? a : b).record(value);
+    pooled.record(value);
+  }
+  HistogramSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  const HistogramSnapshot expected = pooled.snapshot();
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_EQ(merged.sum_nanos, expected.sum_nanos);
+  EXPECT_EQ(merged.max_nanos, expected.max_nanos);
+  EXPECT_EQ(merged.buckets, expected.buckets);
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(merged.quantile_nanos(q), expected.quantile_nanos(q));
+  }
+}
+
+TEST(Histogram, ConcurrentRecordingLosesNothing) {
+  // 8 threads hammer one histogram while a reader snapshots mid-flight;
+  // the final snapshot must account for every record. Run under TSan in CI.
+  LatencyHistogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.record(static_cast<std::uint64_t>(t * 1000 + i % 997));
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) (void)hist.snapshot();  // concurrent readers are legal
+  for (std::thread& t : threads) t.join();
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+// ----------------------------------------------------------------- registry --
+
+TEST(Registry, ExpositionGoldenFormat) {
+  // Integral instruments pin the exact exposition text: # TYPE lines,
+  // _total counter suffix, label rendering, and (name, labels) sort order.
+  // (Histogram sample values are floats and format-tested separately.)
+  TelemetryRegistry registry;
+  registry.counter("gridmap_requests", {{"event", "submitted"}}).inc(5);
+  registry.counter("gridmap_requests", {{"event", "completed"}}).inc(4);
+  registry.gauge("gridmap_queue_depth", {{"shard", "0"}}).set(3);
+  (void)registry.histogram("gridmap_request_seconds", {{"outcome", "race"}});
+
+  std::ostringstream out;
+  obs::write_exposition(out, registry.snapshot());
+  EXPECT_EQ(out.str(),
+            "# TYPE gridmap_queue_depth gauge\n"
+            "gridmap_queue_depth{shard=\"0\"} 3\n"
+            "# TYPE gridmap_request_seconds summary\n"
+            "gridmap_request_seconds{outcome=\"race\",quantile=\"0.5\"} 0\n"
+            "gridmap_request_seconds{outcome=\"race\",quantile=\"0.9\"} 0\n"
+            "gridmap_request_seconds{outcome=\"race\",quantile=\"0.99\"} 0\n"
+            "gridmap_request_seconds{outcome=\"race\",quantile=\"1\"} 0\n"
+            "gridmap_request_seconds_count{outcome=\"race\"} 0\n"
+            "gridmap_request_seconds_sum{outcome=\"race\"} 0\n"
+            "# TYPE gridmap_requests_total counter\n"
+            "gridmap_requests_total{event=\"completed\"} 4\n"
+            "gridmap_requests_total{event=\"submitted\"} 5\n");
+}
+
+TEST(Registry, SameSeriesReturnsTheSameInstrument) {
+  TelemetryRegistry registry;
+  obs::Counter& a = registry.counter("hits", {{"k", "v"}});
+  a.inc(2);
+  // Label order must not matter for identity; a second lookup binds the
+  // same underlying counter.
+  EXPECT_EQ(&registry.counter("hits", {{"k", "v"}}), &a);
+  EXPECT_EQ(registry.counter("hits", {{"k", "v"}}).value(), 2u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Registry, RejectsBadNamesAndKindMismatches) {
+  TelemetryRegistry registry;
+  EXPECT_THROW((void)registry.counter("bad name"), std::invalid_argument);
+  EXPECT_THROW((void)registry.counter("1leading"), std::invalid_argument);
+  EXPECT_THROW((void)registry.counter("ok", {{"bad key", "v"}}), std::invalid_argument);
+  EXPECT_THROW((void)registry.counter("ok", {{"k", "a"}, {"k", "b"}}),
+               std::invalid_argument);
+  (void)registry.counter("taken");
+  EXPECT_THROW((void)registry.gauge("taken"), std::invalid_argument);
+}
+
+TEST(Registry, LabelValuesAreEscapedInExposition) {
+  TelemetryRegistry registry;
+  registry.gauge("g", {{"k", "quo\"te\\back\nline"}}).set(1);
+  std::ostringstream out;
+  obs::write_exposition(out, registry.snapshot());
+  EXPECT_EQ(out.str(), "# TYPE g gauge\ng{k=\"quo\\\"te\\\\back\\nline\"} 1\n");
+}
+
+TEST(Registry, MergeSeriesAddsScalarsAndPoolsHistograms) {
+  TelemetryRegistry shard0, shard1;
+  shard0.counter("reqs").inc(3);
+  shard1.counter("reqs").inc(4);
+  shard0.histogram("lat").record(100);
+  shard1.histogram("lat").record(200);
+  shard1.counter("only_shard1").inc(1);
+
+  MetricsSnapshot merged = shard0.snapshot();
+  obs::merge_series(merged, shard1.snapshot());
+  ASSERT_EQ(merged.size(), 3u);
+  for (const SeriesSnapshot& s : merged) {
+    if (s.name == "reqs") EXPECT_EQ(s.value, 7.0);
+    if (s.name == "lat") {
+      EXPECT_EQ(s.histogram.count, 2u);
+      EXPECT_EQ(s.histogram.max_nanos, 200u);
+    }
+    if (s.name == "only_shard1") EXPECT_EQ(s.value, 1.0);
+  }
+}
+
+TEST(Registry, AddLabelSkipsSeriesThatAlreadyCarryTheKey) {
+  TelemetryRegistry registry;
+  registry.gauge("a").set(1);
+  registry.gauge("b", {{"shard", "7"}}).set(2);
+  MetricsSnapshot snapshot = registry.snapshot();
+  obs::add_label(snapshot, "shard", "0");
+  for (const SeriesSnapshot& s : snapshot) {
+    ASSERT_EQ(s.labels.size(), 1u);
+    EXPECT_EQ(s.labels[0].first, "shard");
+    EXPECT_EQ(s.labels[0].second, s.name == "b" ? "7" : "0");
+  }
+}
+
+// -------------------------------------------------------------------- trace --
+
+TEST(Trace, RingKeepsTheMostRecentSpansAndCountsDrops) {
+  TraceRecorder recorder(4);
+  ASSERT_TRUE(recorder.enabled());
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    recorder.record({"span" + std::to_string(i), "test", 1, i * 100, 50});
+  }
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  const std::vector<TraceSpan> spans = recorder.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first of the surviving tail: span6..span9.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(spans[i].name, "span" + std::to_string(6 + i));
+  }
+}
+
+TEST(Trace, ZeroCapacityDisablesRecording) {
+  TraceRecorder recorder(0);
+  EXPECT_FALSE(recorder.enabled());
+  recorder.record({"ignored", "test", 1, 0, 1});
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_TRUE(recorder.spans().empty());
+}
+
+TEST(Trace, TracksAreUniqueAndOneBased) {
+  TraceRecorder recorder(8);
+  const std::uint64_t a = recorder.new_track();
+  const std::uint64_t b = recorder.new_track();
+  EXPECT_GE(a, 1u);  // 0 is reserved for "no track"
+  EXPECT_EQ(b, a + 1);
+}
+
+TEST(Trace, ChromeExportIsWellFormedJson) {
+  TraceRecorder recorder(8);
+  recorder.record({"map", "engine", 1, 1500, 2000});
+  recorder.record({"quo\"te", "backend", 2, 2000, 100});
+  std::ostringstream out;
+  recorder.write_chrome_trace(out, /*pid=*/3, "shard 3");
+  const std::string json = out.str();
+
+  // Structure: a traceEvents array with one process_name metadata event and
+  // one "X" complete event per span, µs timestamps with ns decimals.
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find(R"({"name":"process_name","ph":"M","pid":3,"args":{"name":"shard 3"}})"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"({"name":"map","cat":"engine","ph":"X","pid":3,"tid":1,"ts":1.500,"dur":2.000})"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"("name":"quo\"te")"), std::string::npos);  // escaping
+  EXPECT_EQ(json.substr(json.size() - 4), "\n]}\n");
+  // Balanced braces/brackets outside strings — cheap structural JSON check.
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+      ASSERT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+// -------------------------------------------------- engine telemetry surface --
+
+MapperRegistry tiny_registry() {
+  MapperRegistry registry;
+  registry.add("blocked", [] { return std::make_unique<BlockedMapper>(); });
+  return registry;
+}
+
+Instance tiny_instance(int a = 6, int b = 8) {
+  return {CartesianGrid({a, b}), Stencil::nearest_neighbor(2),
+          NodeAllocation::homogeneous(a, b)};
+}
+
+TEST(EngineTelemetry, ObsOptionsOffMeansNoTelemetryAtAll) {
+  EngineOptions options;
+  options.threads = 1;
+  options.obs.metrics = false;
+  options.obs.trace = false;
+  PortfolioEngine engine(tiny_registry(), options);
+  EXPECT_EQ(engine.telemetry(), nullptr);  // nothing allocated, nothing recorded
+  const Instance inst = tiny_instance();
+  EXPECT_NE(engine.map(inst.grid, inst.stencil, inst.alloc), nullptr);
+}
+
+TEST(EngineTelemetry, MetricsOnBindsEveryInstrumentAndRecordsStages) {
+  EngineOptions options;
+  options.threads = 1;
+  PortfolioEngine engine(tiny_registry(), options);  // obs.metrics defaults on
+  ASSERT_NE(engine.telemetry(), nullptr);
+  EngineTelemetry& telemetry = *engine.telemetry();
+  EXPECT_TRUE(telemetry.metrics());
+  EXPECT_FALSE(telemetry.tracing());
+  ASSERT_EQ(telemetry.backend_remap.size(), 1u);
+
+  const Instance inst = tiny_instance();
+  (void)engine.map(inst.grid, inst.stencil, inst.alloc);
+  (void)engine.map(inst.grid, inst.stencil, inst.alloc);  // cache hit
+
+  EXPECT_EQ(telemetry.stage_race->count(), 1u);         // one uncached race
+  EXPECT_EQ(telemetry.backend_remap[0]->count(), 1u);   // one backend run
+  EXPECT_EQ(telemetry.backend_eval[0]->count(), 1u);
+  EXPECT_GE(telemetry.plan_cache_probe->count(), 2u);   // probed on both calls
+  EXPECT_GE(telemetry.stage_cache_probe->count(), 2u);
+}
+
+TEST(EngineTelemetry, TracingNestsStageSpansInsideTheRequestSpan) {
+  EngineOptions options;
+  options.threads = 1;
+  options.obs.trace = true;
+  options.obs.trace_capacity = 64;
+  PortfolioEngine engine(tiny_registry(), options);
+  const Instance inst = tiny_instance();
+  (void)engine.map(inst.grid, inst.stencil, inst.alloc);
+
+  ASSERT_NE(engine.telemetry(), nullptr);
+  const std::vector<TraceSpan> spans = engine.telemetry()->trace().spans();
+  ASSERT_FALSE(spans.empty());
+  const auto find = [&spans](const std::string& name) -> const TraceSpan* {
+    for (const TraceSpan& s : spans) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+  const TraceSpan* request = find("map");
+  const TraceSpan* race = find("race");
+  const TraceSpan* backend = find("backend:blocked");
+  ASSERT_NE(request, nullptr);
+  ASSERT_NE(race, nullptr);
+  ASSERT_NE(backend, nullptr);
+  // Stage spans share the request's track and nest within its interval
+  // (the property that makes the Perfetto view a per-request flame chart).
+  EXPECT_EQ(race->track, request->track);
+  EXPECT_GE(race->start_nanos, request->start_nanos);
+  EXPECT_LE(race->start_nanos + race->duration_nanos,
+            request->start_nanos + request->duration_nanos);
+  // Backend runs get their own track so concurrent backends don't interleave.
+  EXPECT_NE(backend->track, request->track);
+}
+
+TEST(ServiceMetrics, ExposesRequestOutcomesQueueWaitAndCounters) {
+  ServiceOptions service_options;
+  service_options.workers = 1;
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  MappingService service(tiny_registry(), engine_options, service_options);
+  const Instance a = tiny_instance(6, 8);
+  (void)service.map_async(a.grid, a.stencil, a.alloc).get();   // race
+  (void)service.map_async(a.grid, a.stencil, a.alloc).get();   // cache hit
+
+  std::ostringstream out;
+  obs::write_exposition(out, service.metrics());
+  const std::string text = out.str();
+  // Request latency quantiles by outcome, the queue-wait histogram, the
+  // per-backend remap histogram, and the synthesized service counters must
+  // all be present — the acceptance surface of the `metrics` verb.
+  EXPECT_NE(text.find("gridmap_request_seconds{outcome=\"race\",quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("gridmap_request_seconds_count{outcome=\"race\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("gridmap_request_seconds_count{outcome=\"hit\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("gridmap_queue_wait_seconds_count 1"), std::string::npos);
+  EXPECT_NE(text.find("gridmap_backend_remap_seconds{backend=\"blocked\""),
+            std::string::npos);
+  EXPECT_NE(text.find("gridmap_service_requests_total{event=\"submitted\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("gridmap_service_requests_total{event=\"cache_hit\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("gridmap_queue_depth "), std::string::npos);
+  EXPECT_NE(text.find("gridmap_stage_seconds_count{stage=\"race\"} 1"), std::string::npos);
+}
+
+TEST(ServiceMetrics, MetricsOffStillExposesServiceCounters) {
+  ServiceOptions service_options;
+  service_options.workers = 1;
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  engine_options.obs.metrics = false;
+  MappingService service(tiny_registry(), engine_options, service_options);
+  const Instance a = tiny_instance();
+  (void)service.map_async(a.grid, a.stencil, a.alloc).get();
+
+  std::ostringstream out;
+  obs::write_exposition(out, service.metrics());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("gridmap_service_requests_total{event=\"completed\"} 1"),
+            std::string::npos);
+  // No histograms without metrics — only the synthesized counter/gauge set.
+  EXPECT_EQ(text.find("gridmap_request_seconds"), std::string::npos);
+}
+
+TEST(ShardedMetrics, CountersStayPerShardWhileHistogramsPool) {
+  // The cross-shard exposition contract: scalar series carry shard="i" (a
+  // per-shard gauge like queue depth must never be summed or averaged
+  // away), histogram series pool into one fleet-wide distribution.
+  ServiceOptions service_options;
+  service_options.workers = 1;
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  ShardedService service(tiny_registry(), engine_options, service_options, 3);
+  // Distinct signatures so at least two shards see traffic.
+  for (int k = 0; k < 6; ++k) {
+    const Instance inst = tiny_instance(4 + k, 6);
+    (void)service.map_async(inst.grid, inst.stencil, inst.alloc).get();
+  }
+
+  const std::string text = service.metrics_text();
+  for (const std::string shard : {"0", "1", "2"}) {
+    EXPECT_NE(text.find("gridmap_queue_depth{shard=\"" + shard + "\"}"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(
+        text.find("gridmap_service_requests_total{event=\"submitted\",shard=\"" + shard +
+                  "\"}"),
+        std::string::npos);
+  }
+  EXPECT_NE(text.find("gridmap_shards 3"), std::string::npos);
+  // Pooled histograms: exactly one request-latency series per outcome, no
+  // shard label on it, counting all 6 races.
+  EXPECT_NE(text.find("gridmap_request_seconds_count{outcome=\"race\"} 6"),
+            std::string::npos);
+  EXPECT_EQ(text.find("gridmap_request_seconds{outcome=\"race\",quantile=\"0.5\",shard"),
+            std::string::npos);
+}
+
+TEST(ShardedMetrics, TraceExportMergesShardsAsSeparateProcesses) {
+  ServiceOptions service_options;
+  service_options.workers = 1;
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  engine_options.obs.trace = true;
+  engine_options.obs.trace_capacity = 128;
+  ShardedService service(tiny_registry(), engine_options, service_options, 2);
+  ASSERT_TRUE(service.tracing());
+  for (int k = 0; k < 4; ++k) {
+    const Instance inst = tiny_instance(4 + k, 6);
+    (void)service.map_async(inst.grid, inst.stencil, inst.alloc).get();
+  }
+
+  std::ostringstream out;
+  service.write_trace(out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  // One process per shard (pid = shard index + 1) with a name annotation.
+  EXPECT_NE(json.find(R"("args":{"name":"shard 0"})"), std::string::npos);
+  EXPECT_NE(json.find(R"("args":{"name":"shard 1"})"), std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"X")"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridmap

@@ -443,5 +443,86 @@ TEST(WireFrames, HelloAnnouncesTheProtocolVersion) {
   EXPECT_EQ(kProtocol, "GRIDMAP/1");
 }
 
+// ------------------------------------------------------------- metrics verb --
+
+TEST(WireMetrics, MetricsVerbReturnsAFramedPrometheusBlock) {
+  auto service = tiny_service(2);
+  bool want_shutdown = false;
+  (void)handle_request(*service, "map 6x8 00 nn 6 8", want_shutdown);
+
+  const std::string frame = handle_request(*service, "metrics", want_shutdown);
+  // Frame golden format: versioned header line, exposition body, bare "end"
+  // terminator — the same read-until-"\nend\n" block logic plan frames use.
+  EXPECT_EQ(frame.rfind("gridmap-metrics v1\n", 0), 0u) << frame;
+  ASSERT_GE(frame.size(), 4u);
+  EXPECT_EQ(frame.substr(frame.size() - 5), "\nend\n");
+  EXPECT_FALSE(want_shutdown);
+
+  const std::string body =
+      frame.substr(std::string("gridmap-metrics v1\n").size(),
+                   frame.size() - std::string("gridmap-metrics v1\n").size() - 4);
+  // The acceptance surface, socket-free: request quantiles by outcome,
+  // queue-wait histogram, per-backend remap histogram, per-shard queue
+  // depth, and the shard-count gauge.
+  EXPECT_NE(body.find("# TYPE gridmap_request_seconds summary"), std::string::npos);
+  EXPECT_NE(body.find("gridmap_request_seconds{outcome=\"race\",quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("gridmap_queue_wait_seconds_count"), std::string::npos);
+  EXPECT_NE(body.find("gridmap_backend_remap_seconds{backend=\"blocked\""),
+            std::string::npos);
+  EXPECT_NE(body.find("gridmap_queue_depth{shard=\"0\"}"), std::string::npos);
+  EXPECT_NE(body.find("gridmap_queue_depth{shard=\"1\"}"), std::string::npos);
+  EXPECT_NE(body.find("gridmap_shards 2"), std::string::npos);
+  // No exposition line can collide with the frame terminator.
+  EXPECT_EQ(body.find("\nend\n"), std::string::npos);
+}
+
+TEST(WireMetrics, MetricsBlockIsServedOverTheConnectionLoop) {
+  auto service = tiny_service();
+  ScriptedTransport transport({"map 6x8 00 nn 6 8\n", "metrics\n"});
+  EXPECT_EQ(serve(transport, *service), ConnectionEnd::kEof);
+  const std::size_t header = transport.written.find("gridmap-metrics v1\n");
+  ASSERT_NE(header, std::string::npos);
+  EXPECT_NE(transport.written.find("gridmap_service_requests_total", header),
+            std::string::npos);
+  EXPECT_EQ(transport.written.substr(transport.written.size() - 5), "\nend\n");
+}
+
+// ----------------------------------------------- mixed-version interop (PR 6) --
+
+TEST(WireInterop, PrePr6ClientSessionsStillInteroperate) {
+  // Conformance pin: a client built before the `metrics` verb existed
+  // speaks exactly hello + map/stats/shutdown. Nothing in those frames may
+  // change — same hello, same plan block, same stats line shape, same ack.
+  auto service = tiny_service();
+  ScriptedTransport transport(
+      {"map 6x8 00 nn 6 8\n", "stats\n", "shutdown\n"});
+  bool shutdown_seen = false;
+  EXPECT_EQ(serve(transport, *service, nullptr, [&shutdown_seen] { shutdown_seen = true; }),
+            ConnectionEnd::kShutdown);
+  EXPECT_TRUE(shutdown_seen);
+  ASSERT_EQ(transport.written.rfind(hello_line(), 0), 0u);
+  const std::string body = transport.written.substr(hello_line().size());
+  EXPECT_EQ(body.rfind("gridmap-plan", 0), 0u);
+  EXPECT_NE(body.find("\nok shards=2 "), std::string::npos);
+  EXPECT_NE(body.find("\nok bye\n"), std::string::npos);
+}
+
+TEST(WireInterop, UnknownFutureVerbKeepsTheConnectionOpen) {
+  // The kUnknownCommand contract (wire.hpp / FORMATS.md err table): the
+  // command set may grow within GRIDMAP/1, so an old server answers a
+  // future verb with err unknown-command and KEEPS SERVING — a new client
+  // against an old server degrades gracefully instead of disconnecting.
+  auto service = tiny_service();
+  ScriptedTransport transport({"flux_capacitance\n", "map 4x4 00 nn 4 4\n"});
+  EXPECT_EQ(serve(transport, *service), ConnectionEnd::kEof);
+  const std::size_t err = transport.written.find("err unknown-command");
+  ASSERT_NE(err, std::string::npos);
+  // The detail names the supported verbs (now including metrics), and the
+  // next request on the same connection is still served.
+  EXPECT_NE(transport.written.find("want map|stats|metrics|shutdown"), std::string::npos);
+  EXPECT_NE(transport.written.find("gridmap-plan", err), std::string::npos);
+}
+
 }  // namespace
 }  // namespace gridmap::engine::wire
