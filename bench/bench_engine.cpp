@@ -29,6 +29,11 @@
 //       must stay within 3% (+5 ms timer epsilon) of uninstrumented (the
 //       ISSUE 6 acceptance pin). The instrumented run also yields the
 //       latency quantiles reported in the JSON trajectory.
+//   (9) Hot-path evaluation: CSR-adjacency evaluate_mapping vs the scalar
+//       reference on a 64^3 and a 256x256 instance (cells/sec each; the CSR
+//       path must be >= 2x on 64^3 and agree bit-identically — the ISSUE 7
+//       acceptance pin), incremental apply_move throughput, and the share
+//       of a full race's backend wall time spent in evaluation.
 //
 // `bench_engine --json [FILE]` additionally writes the machine-readable
 // perf trajectory (default BENCH_engine.json, committed to the repo): a
@@ -52,7 +57,9 @@
 #include <utility>
 #include <vector>
 
+#include "core/adjacency.hpp"
 #include "core/dims_create.hpp"
+#include "core/metrics.hpp"
 #include "engine/plan_io.hpp"
 #include "engine/portfolio.hpp"
 #include "engine/service.hpp"
@@ -695,8 +702,136 @@ int main(int argc, char** argv) {
   json.put("telemetry.queue_wait_p50_us", instrumented.queue_wait.quantile_nanos(0.5) / 1e3);
   json.put("telemetry.queue_wait_p99_us", instrumented.queue_wait.quantile_nanos(0.99) / 1e3);
 
-  const bool all_ok =
-      identical && selection_ok && dedup_ok && admission_ok && sharding_ok && overhead_ok;
+  // ---- (9) hot-path evaluation microbench --------------------------------
+  // Blocked ownership over 64 nodes on a 64^3 and a 256x256 grid; each path
+  // is timed over a fixed wall budget so iteration counts adapt to the
+  // machine. The CSR/arena path must agree bit-identically with the scalar
+  // reference and be >= 2x faster on 64^3 (the ISSUE 7 acceptance pin); the
+  // cost checksum pins plan-quality across commits.
+  struct EvalBench {
+    double scalar_cells_per_sec = 0.0;
+    double csr_cells_per_sec = 0.0;
+    MappingCost cost;
+  };
+  const auto eval_bench = [](const CartesianGrid& grid, const Stencil& stencil,
+                             int num_nodes) {
+    std::vector<NodeId> nodes(static_cast<std::size_t>(grid.size()));
+    for (std::size_t c = 0; c < nodes.size(); ++c) {
+      nodes[c] = static_cast<NodeId>(static_cast<std::int64_t>(c) * num_nodes /
+                                     grid.size());
+    }
+    const auto cells_per_sec = [&](auto&& evaluate) {
+      (void)evaluate();  // warm (arena build / allocator state)
+      const auto t = Clock::now();
+      std::int64_t iters = 0;
+      double elapsed = 0.0;
+      do {
+        (void)evaluate();
+        ++iters;
+        elapsed = seconds_since(t);
+      } while (elapsed < 0.25);
+      return static_cast<double>(grid.size()) * static_cast<double>(iters) / elapsed;
+    };
+    EvalBench out;
+    out.scalar_cells_per_sec = cells_per_sec(
+        [&] { return evaluate_mapping_scalar(grid, stencil, nodes, num_nodes); });
+    out.csr_cells_per_sec =
+        cells_per_sec([&] { return evaluate_mapping(grid, stencil, nodes, num_nodes); });
+    out.cost = evaluate_mapping(grid, stencil, nodes, num_nodes);
+    const MappingCost reference = evaluate_mapping_scalar(grid, stencil, nodes, num_nodes);
+    GRIDMAP_CHECK(out.cost.jsum == reference.jsum && out.cost.jmax == reference.jmax &&
+                      out.cost.bottleneck == reference.bottleneck &&
+                      out.cost.out_edges == reference.out_edges &&
+                      out.cost.intra_edges == reference.intra_edges,
+                  "CSR evaluation diverged from the scalar reference");
+    return out;
+  };
+  const CartesianGrid cube({64, 64, 64});
+  const CartesianGrid square({256, 256});
+  const EvalBench cube_bench = eval_bench(cube, Stencil::nearest_neighbor(3), 64);
+  const EvalBench square_bench = eval_bench(square, Stencil::nearest_neighbor(2), 64);
+  const double cube_speedup = cube_bench.csr_cells_per_sec / cube_bench.scalar_cells_per_sec;
+  const double square_speedup =
+      square_bench.csr_cells_per_sec / square_bench.scalar_cells_per_sec;
+  const bool eval_ok = cube_speedup >= 2.0;
+
+  // Incremental apply_move throughput: random single-cell relocations folded
+  // into one IncrementalEval on the 64^3 instance (jmax read every 64 moves
+  // so lazy repair is part of the measured cost).
+  const int kEvalNodes = 64;
+  std::vector<NodeId> cube_nodes(static_cast<std::size_t>(cube.size()));
+  for (std::size_t c = 0; c < cube_nodes.size(); ++c) {
+    cube_nodes[c] = static_cast<NodeId>(static_cast<std::int64_t>(c) * kEvalNodes /
+                                        cube.size());
+  }
+  IncrementalEval inc(cube, Stencil::nearest_neighbor(3), cube_nodes, kEvalNodes);
+  std::uint64_t move_state = 0x9e3779b97f4a7c15ULL;
+  const auto next_move = [&move_state] {
+    move_state ^= move_state << 13;
+    move_state ^= move_state >> 7;
+    move_state ^= move_state << 17;
+    return move_state;
+  };
+  const auto move_t = Clock::now();
+  std::int64_t moves = 0;
+  double move_elapsed = 0.0;
+  do {
+    for (int burst = 0; burst < 64; ++burst) {
+      const Cell cell = static_cast<Cell>(next_move() % static_cast<std::uint64_t>(cube.size()));
+      const NodeId to = static_cast<NodeId>(next_move() % kEvalNodes);
+      inc.apply_move(cell, to);
+      ++moves;
+    }
+    (void)inc.jmax();
+    move_elapsed = seconds_since(move_t);
+  } while (move_elapsed < 0.25);
+  const double moves_per_sec = static_cast<double>(moves) / move_elapsed;
+
+  // Evaluation's share of backend wall time in a full race (remap + eval) on
+  // the first bench instance — the fraction the arena path shrinks.
+  double race_eval_s = 0.0, race_total_s = 0.0;
+  {
+    const auto& [grid, stencil, alloc] = instances.front().instance;
+    for (const auto& r : parallel.evaluate_all(grid, stencil, alloc)) {
+      race_eval_s += r.eval_seconds;
+      race_total_s += r.total_seconds();
+    }
+  }
+  const double race_eval_share = race_total_s > 0.0 ? race_eval_s / race_total_s : 0.0;
+
+  std::cout << "\nHot-path evaluation (cells/sec, blocked over 64 nodes):\n"
+            << "  64^3 nn:    scalar " << std::setprecision(3)
+            << cube_bench.scalar_cells_per_sec / 1e6 << " M -> csr "
+            << cube_bench.csr_cells_per_sec / 1e6 << " M (" << std::setprecision(2)
+            << cube_speedup << "x, gate >= 2x: " << (eval_ok ? "yes" : "NO") << ")\n"
+            << "  256^2 nn:   scalar " << std::setprecision(3)
+            << square_bench.scalar_cells_per_sec / 1e6 << " M -> csr "
+            << square_bench.csr_cells_per_sec / 1e6 << " M (" << std::setprecision(2)
+            << square_speedup << "x)\n"
+            << "  apply_move: " << std::setprecision(3) << moves_per_sec / 1e6
+            << " M moves/sec (64^3, jmax repaired every 64 moves)\n"
+            << "  race eval share: " << std::setprecision(1) << race_eval_share * 100
+            << "% of backend wall time\n";
+  json.put("eval.64cube_scalar_cells_per_sec", cube_bench.scalar_cells_per_sec);
+  json.put("eval.64cube_csr_cells_per_sec", cube_bench.csr_cells_per_sec);
+  json.put("eval.64cube_speedup", cube_speedup);
+  json.put("eval.256sq_scalar_cells_per_sec", square_bench.scalar_cells_per_sec);
+  json.put("eval.256sq_csr_cells_per_sec", square_bench.csr_cells_per_sec);
+  json.put("eval.256sq_speedup", square_speedup);
+  json.put("eval.apply_move_moves_per_sec", moves_per_sec);
+  json.put("eval.race_eval_share", race_eval_share);
+  json.put_bool("eval.speedup_ok", eval_ok);
+  json.put_checksum(
+      "eval.cost_checksum",
+      fnv1a("64cube=" + std::to_string(cube_bench.cost.jsum) + "," +
+            std::to_string(cube_bench.cost.jmax) + "," +
+            std::to_string(cube_bench.cost.bottleneck) + ";256sq=" +
+            std::to_string(square_bench.cost.jsum) + "," +
+            std::to_string(square_bench.cost.jmax) + "," +
+            std::to_string(square_bench.cost.bottleneck)));
+
+  const bool all_ok = identical && selection_ok && dedup_ok && admission_ok &&
+                      sharding_ok && overhead_ok && eval_ok;
   if (emit_json) {
     if (!json.write(json_path)) {
       std::cerr << "could not write " << json_path << "\n";

@@ -1,0 +1,92 @@
+#include "core/adjacency.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace gridmap {
+
+StencilAdjacency::StencilAdjacency(const CartesianGrid& grid, const Stencil& stencil) {
+  GRIDMAP_CHECK(stencil.ndims() == grid.ndims(), "stencil dimensionality mismatch");
+  const int ndims = grid.ndims();
+  const std::int64_t size = grid.size();
+  const std::vector<Offset>& offsets = stencil.offsets();
+
+  // Interior box: coord[i] in [lo[i], hi[i]) means every offset lands in
+  // bounds without wrapping (wrapped cells are boundary cells even on
+  // periodic dimensions — they need explicit targets).
+  std::vector<int> lo(static_cast<std::size_t>(ndims), 0);
+  std::vector<int> hi(static_cast<std::size_t>(ndims));
+  for (int i = 0; i < ndims; ++i) hi[static_cast<std::size_t>(i)] = grid.dim(i);
+  for (const Offset& off : offsets) {
+    for (int i = 0; i < ndims; ++i) {
+      const int a = off[static_cast<std::size_t>(i)];
+      if (a < 0) lo[static_cast<std::size_t>(i)] = std::max(lo[static_cast<std::size_t>(i)], -a);
+      if (a > 0) hi[static_cast<std::size_t>(i)] = std::min(hi[static_cast<std::size_t>(i)], grid.dim(i) - a);
+    }
+  }
+
+  interior_deltas_.reserve(offsets.size());
+  for (const Offset& off : offsets) {
+    std::int64_t delta = 0;
+    for (int i = 0; i < ndims; ++i) {
+      // stride[i] = product of dims after i (row-major, matching cell_of).
+      std::int64_t stride = 1;
+      for (int j = i + 1; j < ndims; ++j) stride *= grid.dim(j);
+      delta += static_cast<std::int64_t>(off[static_cast<std::size_t>(i)]) * stride;
+    }
+    interior_deltas_.push_back(delta);
+  }
+
+  row_of_.assign(static_cast<std::size_t>(size), -1);
+  row_offsets_.push_back(0);
+
+  // One odometer sweep in cell order; boundary rows are emitted in ascending
+  // cell order, offsets in stencil order — the multiset and order of
+  // CartesianGrid::neighbors().
+  Coord coord(static_cast<std::size_t>(ndims), 0);
+  Coord dest(static_cast<std::size_t>(ndims), 0);
+  std::int64_t interior_cells = 0;
+  for (Cell cell = 0; cell < size; ++cell) {
+    bool is_interior = true;
+    for (int i = 0; i < ndims; ++i) {
+      const int c = coord[static_cast<std::size_t>(i)];
+      if (c < lo[static_cast<std::size_t>(i)] || c >= hi[static_cast<std::size_t>(i)]) {
+        is_interior = false;
+        break;
+      }
+    }
+    if (is_interior) {
+      ++interior_cells;
+    } else {
+      GRIDMAP_CHECK(row_offsets_.size() <=
+                        static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max()),
+                    "grid too large for boundary row index");
+      row_of_[static_cast<std::size_t>(cell)] =
+          static_cast<std::int32_t>(row_offsets_.size() - 1);
+      for (const Offset& off : offsets) {
+        if (grid.translate(coord, off, dest)) {
+          boundary_neighbors_.push_back(grid.cell_of(dest));
+        }
+      }
+      row_offsets_.push_back(static_cast<std::int64_t>(boundary_neighbors_.size()));
+    }
+    // Odometer increment (last dimension fastest, matching row-major cells).
+    for (int i = ndims - 1; i >= 0; --i) {
+      if (++coord[static_cast<std::size_t>(i)] < grid.dim(i)) break;
+      coord[static_cast<std::size_t>(i)] = 0;
+    }
+  }
+
+  num_edges_ = interior_cells * static_cast<std::int64_t>(offsets.size()) +
+               static_cast<std::int64_t>(boundary_neighbors_.size());
+  if (interior_cells > 0) max_degree_ = static_cast<int>(offsets.size());
+  for (std::size_t r = 0; r + 1 < row_offsets_.size(); ++r) {
+    max_degree_ = std::max(max_degree_, static_cast<int>(row_offsets_[r + 1] - row_offsets_[r]));
+  }
+}
+
+StencilAdjacency CartesianGrid::adjacency(const Stencil& stencil) const {
+  return StencilAdjacency(*this, stencil);
+}
+
+}  // namespace gridmap

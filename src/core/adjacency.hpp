@@ -1,0 +1,97 @@
+// StencilAdjacency: a precomputed, allocation-free neighbor structure for one
+// (grid, stencil) pair — the hot-path replacement for calling
+// CartesianGrid::neighbors() (which heap-allocates a vector per cell) inside
+// metric evaluation loops.
+//
+// Layout (the flat/CSR hybrid of the hot-path performance pass):
+//   * Interior cells — cells whose every stencil offset stays in bounds
+//     without periodic wrapping — all share ONE table of linear-index deltas
+//     (one delta per offset, in stencil offset order). For a d-dimensional
+//     nearest-neighbor stencil that is all but an O(surface) fraction of the
+//     grid, so the structure costs O(k) where the naive per-cell adjacency
+//     costs O(cells * k).
+//   * Boundary cells (anything else: clipped or wrapped neighbors) get an
+//     explicit CSR row of neighbor cell ids, again in offset order with
+//     out-of-bounds offsets skipped — exactly the order and multiset
+//     CartesianGrid::neighbors() produces, including duplicate targets and
+//     self-loops that periodic wrapping can create.
+//
+// for_each_neighbor() visits neighbors without allocating; span accessors
+// expose the two underlying tables for code that wants to iterate manually.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/grid.hpp"
+#include "core/stencil.hpp"
+#include "core/types.hpp"
+
+namespace gridmap {
+
+class StencilAdjacency {
+ public:
+  /// Builds the adjacency in one odometer sweep over the grid: O(cells * d)
+  /// time, O(cells + boundary_edges + k) space. Offsets order is preserved,
+  /// so neighbor visit order matches CartesianGrid::neighbors() exactly.
+  StencilAdjacency(const CartesianGrid& grid, const Stencil& stencil);
+
+  std::int64_t num_cells() const noexcept {
+    return static_cast<std::int64_t>(row_of_.size());
+  }
+  /// Total directed edges — equals CartesianGrid::count_directed_edges().
+  std::int64_t num_edges() const noexcept { return num_edges_; }
+  int max_degree() const noexcept { return max_degree_; }
+
+  bool interior(Cell cell) const {
+    return row_of_[static_cast<std::size_t>(cell)] < 0;
+  }
+  int degree(Cell cell) const {
+    const std::int32_t row = row_of_[static_cast<std::size_t>(cell)];
+    if (row < 0) return static_cast<int>(interior_deltas_.size());
+    return static_cast<int>(row_offsets_[static_cast<std::size_t>(row) + 1] -
+                            row_offsets_[static_cast<std::size_t>(row)]);
+  }
+
+  /// The shared interior stencil table: neighbor = cell + delta, valid for
+  /// any cell with interior(cell).
+  std::span<const std::int64_t> interior_deltas() const noexcept {
+    return interior_deltas_;
+  }
+
+  /// Explicit CSR row of a boundary cell (empty span for interior cells —
+  /// use interior_deltas() there).
+  std::span<const Cell> boundary_row(Cell cell) const {
+    const std::int32_t row = row_of_[static_cast<std::size_t>(cell)];
+    if (row < 0) return {};
+    return {boundary_neighbors_.data() + row_offsets_[static_cast<std::size_t>(row)],
+            boundary_neighbors_.data() + row_offsets_[static_cast<std::size_t>(row) + 1]};
+  }
+
+  /// Calls fn(neighbor_cell) for every directed stencil neighbor of `cell`,
+  /// in stencil offset order, without allocating.
+  template <typename Fn>
+  void for_each_neighbor(Cell cell, Fn&& fn) const {
+    const std::int32_t row = row_of_[static_cast<std::size_t>(cell)];
+    if (row < 0) {
+      for (const std::int64_t delta : interior_deltas_) fn(cell + delta);
+      return;
+    }
+    const std::int64_t begin = row_offsets_[static_cast<std::size_t>(row)];
+    const std::int64_t end = row_offsets_[static_cast<std::size_t>(row) + 1];
+    for (std::int64_t i = begin; i < end; ++i) {
+      fn(boundary_neighbors_[static_cast<std::size_t>(i)]);
+    }
+  }
+
+ private:
+  std::vector<std::int32_t> row_of_;          // per cell: boundary row, -1 = interior
+  std::vector<std::int64_t> interior_deltas_; // shared stencil delta table
+  std::vector<std::int64_t> row_offsets_;     // boundary CSR offsets (rows + 1)
+  std::vector<Cell> boundary_neighbors_;      // boundary CSR targets
+  std::int64_t num_edges_ = 0;
+  int max_degree_ = 0;
+};
+
+}  // namespace gridmap

@@ -10,6 +10,8 @@
 
 namespace gridmap {
 
+class StencilAdjacency;
+
 /// A Cartesian process grid with dimension sizes D = [d_0, ..., d_{d-1}].
 ///
 /// Grid positions are identified either by coordinate vectors or by their
@@ -40,8 +42,14 @@ class CartesianGrid {
   bool translate(const Coord& coord, const Offset& offset, Coord& out) const;
 
   /// All existing stencil neighbors of `cell` (directed, one per offset that
-  /// stays in bounds / wraps periodically).
+  /// stays in bounds / wraps periodically). Allocates a fresh vector per
+  /// call — convenient for cold paths; evaluation loops use adjacency().
   std::vector<Cell> neighbors(Cell cell, const Stencil& stencil) const;
+
+  /// Precomputed flat adjacency (shared interior offset-delta table +
+  /// explicit boundary CSR rows) for allocation-free neighbor iteration on
+  /// hot paths. Defined in core/adjacency.{hpp,cpp}.
+  StencilAdjacency adjacency(const Stencil& stencil) const;
 
   /// Total number of directed communication edges induced by the stencil.
   std::int64_t count_directed_edges(const Stencil& stencil) const;

@@ -5,8 +5,146 @@
 
 namespace gridmap {
 
+namespace {
+
+// Node-id validation hoisted out of the evaluation inner loop: one linear
+// pre-pass in ascending cell order, same failure point and message as the
+// historical per-edge check.
+void check_node_ids(const std::vector<NodeId>& node_of_cell, int num_nodes) {
+  for (const NodeId n : node_of_cell) {
+    GRIDMAP_CHECK(n >= 0 && n < num_nodes, "node id out of range");
+  }
+}
+
+}  // namespace
+
+void MappingCost::repair_jmax() {
+  const auto it = std::max_element(out_edges.begin(), out_edges.end());
+  jmax = (it == out_edges.end()) ? 0 : *it;
+  bottleneck = (it == out_edges.end())
+                   ? NodeId{-1}
+                   : static_cast<NodeId>(std::distance(out_edges.begin(), it));
+}
+
+void MappingCost::apply_move(const StencilAdjacency& forward,
+                             const StencilAdjacency& reverse,
+                             std::vector<NodeId>& node_of_cell, Cell cell,
+                             NodeId from_node, NodeId to_node) {
+  GRIDMAP_CHECK(cell >= 0 && cell < forward.num_cells(), "cell out of range");
+  const int num_nodes = static_cast<int>(out_edges.size());
+  GRIDMAP_CHECK(from_node >= 0 && from_node < num_nodes, "node id out of range");
+  GRIDMAP_CHECK(to_node >= 0 && to_node < num_nodes, "node id out of range");
+  GRIDMAP_CHECK(node_of_cell[static_cast<std::size_t>(cell)] == from_node,
+                "apply_move from_node does not own the cell");
+  if (from_node == to_node) return;
+
+  const NodeId a = from_node;
+  const NodeId b = to_node;
+
+  // Outgoing edges cell -> v: retract them as a-owned, re-add as b-owned.
+  // A periodic self-loop (v == cell) is intra under any owner.
+  forward.for_each_neighbor(cell, [&](Cell v) {
+    if (v == cell) {
+      --intra_edges[static_cast<std::size_t>(a)];
+      ++intra_edges[static_cast<std::size_t>(b)];
+      return;
+    }
+    const NodeId nv = node_of_cell[static_cast<std::size_t>(v)];
+    if (nv == a) {
+      --intra_edges[static_cast<std::size_t>(a)];
+    } else {
+      --out_edges[static_cast<std::size_t>(a)];
+      --jsum;
+    }
+    if (nv == b) {
+      ++intra_edges[static_cast<std::size_t>(b)];
+    } else {
+      ++out_edges[static_cast<std::size_t>(b)];
+      ++jsum;
+    }
+  });
+
+  // Incoming edges u -> cell (u enumerated by the reverse stencil; the
+  // self-loop was fully handled above).
+  reverse.for_each_neighbor(cell, [&](Cell u) {
+    if (u == cell) return;
+    const NodeId nu = node_of_cell[static_cast<std::size_t>(u)];
+    if (nu == a) {
+      --intra_edges[static_cast<std::size_t>(nu)];
+    } else {
+      --out_edges[static_cast<std::size_t>(nu)];
+      --jsum;
+    }
+    if (nu == b) {
+      ++intra_edges[static_cast<std::size_t>(nu)];
+    } else {
+      ++out_edges[static_cast<std::size_t>(nu)];
+      ++jsum;
+    }
+  });
+
+  node_of_cell[static_cast<std::size_t>(cell)] = b;
+  // jsum/out_edges/intra_edges are exact; jmax/bottleneck are now stale —
+  // callers run repair_jmax() before reading them.
+}
+
+MappingCost evaluate_mapping(const StencilAdjacency& adjacency,
+                             const std::vector<NodeId>& node_of_cell, int num_nodes) {
+  GRIDMAP_CHECK(static_cast<std::int64_t>(node_of_cell.size()) == adjacency.num_cells(),
+                "node_of_cell size must equal grid size");
+  check_node_ids(node_of_cell, num_nodes);
+  MappingCost cost;
+  cost.out_edges.assign(static_cast<std::size_t>(num_nodes), 0);
+  cost.intra_edges.assign(static_cast<std::size_t>(num_nodes), 0);
+
+  const std::int64_t p = adjacency.num_cells();
+  for (Cell u = 0; u < p; ++u) {
+    const NodeId nu = node_of_cell[static_cast<std::size_t>(u)];
+    adjacency.for_each_neighbor(u, [&](Cell v) {
+      const NodeId nv = node_of_cell[static_cast<std::size_t>(v)];
+      if (nu == nv) {
+        ++cost.intra_edges[static_cast<std::size_t>(nu)];
+      } else {
+        ++cost.out_edges[static_cast<std::size_t>(nu)];
+        ++cost.jsum;
+      }
+    });
+  }
+  cost.repair_jmax();
+  return cost;
+}
+
 MappingCost evaluate_mapping(const CartesianGrid& grid, const Stencil& stencil,
                              const std::vector<NodeId>& node_of_cell, int num_nodes) {
+  GRIDMAP_CHECK(static_cast<std::int64_t>(node_of_cell.size()) == grid.size(),
+                "node_of_cell size must equal grid size");
+  return evaluate_mapping(EvalScratch::local().adjacency(grid, stencil), node_of_cell,
+                          num_nodes);
+}
+
+MappingCost evaluate_mapping(const CartesianGrid& grid, const Stencil& stencil,
+                             const Remapping& remapping, const NodeAllocation& alloc) {
+  GRIDMAP_CHECK(alloc.total() == remapping.size(),
+                "allocation total must equal grid size");
+  EvalScratch& scratch = EvalScratch::local();
+  // Scatter node ownership into the reused buffer: ranks of node n occupy
+  // the contiguous range [first_rank(n), first_rank(n) + size(n)).
+  std::vector<NodeId>& nodes =
+      scratch.node_buffer(static_cast<std::size_t>(remapping.size()));
+  const int num_nodes = alloc.num_nodes();
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    const Rank first = alloc.first_rank(n);
+    const Rank last = first + alloc.size(n);
+    for (Rank r = first; r < last; ++r) {
+      nodes[static_cast<std::size_t>(remapping.cell_of(r))] = n;
+    }
+  }
+  return evaluate_mapping(scratch.adjacency(grid, stencil), nodes, num_nodes);
+}
+
+MappingCost evaluate_mapping_scalar(const CartesianGrid& grid, const Stencil& stencil,
+                                    const std::vector<NodeId>& node_of_cell,
+                                    int num_nodes) {
   GRIDMAP_CHECK(static_cast<std::int64_t>(node_of_cell.size()) == grid.size(),
                 "node_of_cell size must equal grid size");
   MappingCost cost;
@@ -35,62 +173,109 @@ MappingCost evaluate_mapping(const CartesianGrid& grid, const Stencil& stencil,
   return cost;
 }
 
-MappingCost evaluate_mapping(const CartesianGrid& grid, const Stencil& stencil,
-                             const Remapping& remapping, const NodeAllocation& alloc) {
-  return evaluate_mapping(grid, stencil, remapping.node_of_cell(alloc), alloc.num_nodes());
+EvalScratch& EvalScratch::local() {
+  thread_local EvalScratch scratch;
+  return scratch;
+}
+
+const StencilAdjacency& EvalScratch::adjacency(const CartesianGrid& grid,
+                                               const Stencil& stencil) {
+  if (adjacency_ && *grid_ == grid && *stencil_ == stencil) return *adjacency_;
+  adjacency_ = std::make_unique<StencilAdjacency>(grid, stencil);
+  grid_ = std::make_unique<CartesianGrid>(grid);
+  stencil_ = std::make_unique<Stencil>(stencil);
+  ++builds_;
+  return *adjacency_;
+}
+
+std::vector<NodeId>& EvalScratch::node_buffer(std::size_t size) {
+  nodes_.resize(size);
+  return nodes_;
+}
+
+void EvalScratch::reset() {
+  adjacency_.reset();
+  grid_.reset();
+  stencil_.reset();
+  nodes_.clear();
+  nodes_.shrink_to_fit();
+}
+
+IncrementalEval::IncrementalEval(const CartesianGrid& grid, const Stencil& stencil,
+                                 std::vector<NodeId> node_of_cell, int num_nodes)
+    : forward_(grid, stencil),
+      reverse_(grid, stencil.reversed()),
+      nodes_(std::move(node_of_cell)),
+      num_nodes_(num_nodes) {
+  cost_ = evaluate_mapping(forward_, nodes_, num_nodes_);
+}
+
+void IncrementalEval::apply_move(Cell cell, NodeId to_node) {
+  const NodeId from_node = nodes_.at(static_cast<std::size_t>(cell));
+  if (from_node == to_node) return;
+  cost_.apply_move(forward_, reverse_, nodes_, cell, from_node, to_node);
+  jmax_stale_ = true;
+}
+
+std::int64_t IncrementalEval::jmax() {
+  if (jmax_stale_) {
+    cost_.repair_jmax();
+    jmax_stale_ = false;
+  }
+  return cost_.jmax;
+}
+
+const MappingCost& IncrementalEval::cost() {
+  if (jmax_stale_) {
+    cost_.repair_jmax();
+    jmax_stale_ = false;
+  }
+  return cost_;
 }
 
 TrafficMatrix::TrafficMatrix(int num_nodes) : num_nodes_(num_nodes) {
   GRIDMAP_CHECK(num_nodes >= 1, "traffic matrix needs at least one node");
   counts_.assign(static_cast<std::size_t>(num_nodes) * num_nodes, 0);
-}
-
-std::int64_t& TrafficMatrix::at(NodeId from, NodeId to) {
-  return counts_.at(static_cast<std::size_t>(from) * num_nodes_ + to);
+  row_sums_.assign(static_cast<std::size_t>(num_nodes), 0);
+  col_sums_.assign(static_cast<std::size_t>(num_nodes), 0);
 }
 
 std::int64_t TrafficMatrix::at(NodeId from, NodeId to) const {
   return counts_.at(static_cast<std::size_t>(from) * num_nodes_ + to);
 }
 
-std::int64_t TrafficMatrix::total() const {
-  std::int64_t sum = 0;
-  for (int a = 0; a < num_nodes_; ++a) {
-    for (int b = 0; b < num_nodes_; ++b) {
-      if (a != b) sum += at(a, b);
-    }
-  }
-  return sum;
+void TrafficMatrix::add(NodeId from, NodeId to, std::int64_t count) {
+  GRIDMAP_CHECK(from >= 0 && from < num_nodes_, "node id out of range");
+  GRIDMAP_CHECK(to >= 0 && to < num_nodes_, "node id out of range");
+  counts_[static_cast<std::size_t>(from) * num_nodes_ + to] += count;
+  row_sums_[static_cast<std::size_t>(from)] += count;
+  col_sums_[static_cast<std::size_t>(to)] += count;
+  if (from != to) total_inter_ += count;
 }
 
 std::int64_t TrafficMatrix::out_degree_bytes(NodeId node) const {
-  std::int64_t sum = 0;
-  for (int b = 0; b < num_nodes_; ++b) {
-    if (b != node) sum += at(node, b);
-  }
-  return sum;
+  return row_sums_.at(static_cast<std::size_t>(node)) -
+         counts_[static_cast<std::size_t>(node) * num_nodes_ + node];
 }
 
 std::int64_t TrafficMatrix::in_degree_bytes(NodeId node) const {
-  std::int64_t sum = 0;
-  for (int a = 0; a < num_nodes_; ++a) {
-    if (a != node) sum += at(a, node);
-  }
-  return sum;
+  return col_sums_.at(static_cast<std::size_t>(node)) -
+         counts_[static_cast<std::size_t>(node) * num_nodes_ + node];
 }
 
 TrafficMatrix traffic_matrix(const CartesianGrid& grid, const Stencil& stencil,
                              const std::vector<NodeId>& node_of_cell, int num_nodes) {
   GRIDMAP_CHECK(static_cast<std::int64_t>(node_of_cell.size()) == grid.size(),
                 "node_of_cell size must equal grid size");
+  check_node_ids(node_of_cell, num_nodes);
+  const StencilAdjacency& adj = EvalScratch::local().adjacency(grid, stencil);
   TrafficMatrix traffic(num_nodes);
   const std::int64_t p = grid.size();
   for (Cell u = 0; u < p; ++u) {
     const NodeId nu = node_of_cell[static_cast<std::size_t>(u)];
-    for (const Cell v : grid.neighbors(u, stencil)) {
-      const NodeId nv = node_of_cell[static_cast<std::size_t>(v)];
-      ++traffic.at(nu, nv);
-    }
+    adj.for_each_neighbor(u, [&](Cell v) {
+      traffic.add(nu, node_of_cell[static_cast<std::size_t>(v)]);
+    });
   }
   return traffic;
 }
@@ -98,17 +283,18 @@ TrafficMatrix traffic_matrix(const CartesianGrid& grid, const Stencil& stencil,
 std::vector<RankFlow> rank_flows(const CartesianGrid& grid, const Stencil& stencil,
                                  const Remapping& remapping, const NodeAllocation& alloc) {
   const std::vector<NodeId> node_of_rank = alloc.node_of_all_ranks();
+  const StencilAdjacency& adj = EvalScratch::local().adjacency(grid, stencil);
   std::vector<RankFlow> flows;
-  flows.reserve(static_cast<std::size_t>(grid.size()) * stencil.offsets().size());
+  flows.reserve(static_cast<std::size_t>(adj.num_edges()));
   const std::int64_t p = grid.size();
   for (Cell u = 0; u < p; ++u) {
     const Rank src = remapping.rank_of(u);
     const NodeId src_node = node_of_rank[static_cast<std::size_t>(src)];
-    for (const Cell v : grid.neighbors(u, stencil)) {
+    adj.for_each_neighbor(u, [&](Cell v) {
       const Rank dst = remapping.rank_of(v);
       flows.push_back(RankFlow{src, dst, src_node,
                                node_of_rank[static_cast<std::size_t>(dst)]});
-    }
+    });
   }
   return flows;
 }

@@ -211,6 +211,11 @@ BackendResult RaceStage::run_backend(const std::string& name, std::size_t index,
       }
       const std::uint64_t eval_t0 = traced ? tel->trace().now_nanos() : 0;
       const auto eval_start = Clock::now();
+      // Scoring goes through the worker thread's EvalScratch arena: every
+      // backend of a race shares the same (grid, stencil), so the stencil
+      // adjacency and the node_of_cell scatter buffer are built once per
+      // pool thread and reused — O(backends) allocations per race instead
+      // of O(backends * cells).
       result.cost = evaluate_mapping(grid_, stencil_, remapping, alloc_);
       result.eval_seconds = seconds_since(eval_start);
       if (traced) tel->span("eval", "backend", track, eval_t0);

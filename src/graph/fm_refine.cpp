@@ -42,21 +42,23 @@ std::int64_t fm_refine(const CsrGraph& graph, std::vector<int>& part,
   GRIDMAP_CHECK(static_cast<int>(part.size()) == n, "partition size mismatch");
 
   std::int64_t total_improvement = 0;
+  // Side-0 weight and the max vertex weight are maintained across passes
+  // (the rollback below keeps weight0 consistent) instead of being
+  // recomputed O(n) at the top of every pass.
+  std::int64_t weight0 = 0;
+  std::int64_t max_vertex_weight = 1;
+  for (int v = 0; v < n; ++v) {
+    if (part[static_cast<std::size_t>(v)] == 0) weight0 += graph.vertex_weight(v);
+    max_vertex_weight = std::max(max_vertex_weight, graph.vertex_weight(v));
+  }
   for (int pass = 0; pass < options.max_passes; ++pass) {
-    std::int64_t weight0 = 0;
-    for (int v = 0; v < n; ++v) {
-      if (part[static_cast<std::size_t>(v)] == 0) weight0 += graph.vertex_weight(v);
-    }
-
     std::vector<std::int64_t> gain(static_cast<std::size_t>(n));
     std::vector<std::int64_t> stamp(static_cast<std::size_t>(n), 0);
     std::vector<bool> locked(static_cast<std::size_t>(n), false);
     std::priority_queue<QueueEntry> queue;
-    std::int64_t max_vertex_weight = 1;
     for (int v = 0; v < n; ++v) {
       gain[static_cast<std::size_t>(v)] = move_gain(graph, part, v);
       queue.push({gain[static_cast<std::size_t>(v)], v, 0});
-      max_vertex_weight = std::max(max_vertex_weight, graph.vertex_weight(v));
     }
 
     struct Move {
@@ -126,7 +128,10 @@ std::int64_t fm_refine(const CsrGraph& graph, std::vector<int>& part,
       }
     }
     for (int i = static_cast<int>(moves.size()) - 1; i >= best_prefix; --i) {
-      part[static_cast<std::size_t>(moves[static_cast<std::size_t>(i)].vertex)] ^= 1;
+      const int v = moves[static_cast<std::size_t>(i)].vertex;
+      const std::int64_t w = graph.vertex_weight(v);
+      weight0 += part[static_cast<std::size_t>(v)] == 0 ? -w : w;
+      part[static_cast<std::size_t>(v)] ^= 1;
     }
     total_improvement += best_gain;
     if (best_gain == 0) break;
@@ -144,7 +149,15 @@ void rebalance_exact(const CsrGraph& graph, std::vector<int>& part, std::int64_t
   // Greedily move the highest-gain (least cut-increasing) vertex from the
   // overweight side until balanced. Only moves that strictly reduce the
   // imbalance are taken, so the loop terminates even with weighted vertices
-  // (where the exact target may be unreachable).
+  // (where the exact target may be unreachable). Gains are computed once and
+  // maintained incrementally with the FM delta rule, turning each iteration
+  // from O(n * degree) into O(n + degree) — same candidate values, same
+  // first-maximum selection, bit-identical result.
+  if (weight0 == target0) return;
+  std::vector<std::int64_t> gain(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    gain[static_cast<std::size_t>(v)] = move_gain(graph, part, v);
+  }
   while (weight0 != target0) {
     ctx.checkpoint();
     const int from = weight0 > target0 ? 0 : 1;
@@ -156,7 +169,7 @@ void rebalance_exact(const CsrGraph& graph, std::vector<int>& part, std::int64_t
       const std::int64_t w = graph.vertex_weight(v);
       const std::int64_t next = (from == 0) ? weight0 - w : weight0 + w;
       if (std::llabs(next - target0) >= imbalance) continue;
-      const std::int64_t g = move_gain(graph, part, v);
+      const std::int64_t g = gain[static_cast<std::size_t>(v)];
       if (g > best_gain) {
         best_gain = g;
         best = v;
@@ -165,6 +178,20 @@ void rebalance_exact(const CsrGraph& graph, std::vector<int>& part, std::int64_t
     if (best < 0) break;  // no strictly improving move exists
     part[static_cast<std::size_t>(best)] ^= 1;
     weight0 += (from == 0) ? -graph.vertex_weight(best) : graph.vertex_weight(best);
+    // All of best's edges swap internal/external roles; each neighbor u sees
+    // one edge change role (applied after the flip, so "different side now"
+    // means the edge was internal for u before).
+    gain[static_cast<std::size_t>(best)] = -gain[static_cast<std::size_t>(best)];
+    const auto nbs = graph.neighbors(best);
+    const auto wts = graph.edge_weights(best);
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      const int u = nbs[i];
+      const std::int64_t delta =
+          part[static_cast<std::size_t>(u)] != part[static_cast<std::size_t>(best)]
+              ? 2 * wts[i]
+              : -2 * wts[i];
+      gain[static_cast<std::size_t>(u)] += delta;
+    }
   }
 }
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <random>
 #include <tuple>
 
@@ -80,22 +79,28 @@ double exchange_time_analytic(const MachineModel& machine, const TrafficMatrix& 
 double exchange_time_flows(const MachineModel& machine, const std::vector<NodeFlow>& flows,
                            int num_nodes, int max_degree) {
   const std::vector<FluidResource> resources = build_resources(machine, num_nodes);
-  // Group identical flows (same endpoints and size) into classes.
-  std::map<std::tuple<NodeId, NodeId, double>, std::int64_t> groups;
+  // Group identical flows (same endpoints and size) into classes: one sort +
+  // one run-length pass over a flat key vector — same (src, dst, bytes)
+  // lexicographic class order a tree-map group-by produced, without the
+  // per-flow node allocations.
+  std::vector<std::tuple<NodeId, NodeId, double>> keys;
+  keys.reserve(flows.size());
   bool has_inter = false;
   for (const NodeFlow& f : flows) {
     GRIDMAP_CHECK(f.src >= 0 && f.src < num_nodes && f.dst >= 0 && f.dst < num_nodes,
                   "flow endpoint out of range");
     if (f.bytes <= 0.0) continue;
-    ++groups[{f.src, f.dst, f.bytes}];
+    keys.emplace_back(f.src, f.dst, f.bytes);
     if (f.src != f.dst) has_inter = true;
   }
+  std::sort(keys.begin(), keys.end());
   std::vector<FluidFlowClass> classes;
-  classes.reserve(groups.size());
-  for (const auto& [key, count] : groups) {
-    const auto& [src, dst, bytes] = key;
+  for (std::size_t i = 0; i < keys.size();) {
+    std::size_t j = i + 1;
+    while (j < keys.size() && keys[j] == keys[i]) ++j;
+    const auto& [src, dst, bytes] = keys[i];
     FluidFlowClass c;
-    c.count = count;
+    c.count = static_cast<std::int64_t>(j - i);
     c.bytes = bytes;
     if (src == dst) {
       c.resources = {2 * num_nodes + src};
@@ -103,6 +108,7 @@ double exchange_time_flows(const MachineModel& machine, const std::vector<NodeFl
       c.resources = {src, num_nodes + dst, 3 * num_nodes};
     }
     classes.push_back(std::move(c));
+    i = j;
   }
   const FluidResult result = simulate_fluid(resources, classes);
   return result.makespan + machine.base_overhead +
