@@ -16,6 +16,13 @@
 #include "core/remapping.hpp"
 #include "core/stencil.hpp"
 
+namespace gridmap::engine {
+class ThreadPool;
+}
+namespace gridmap::obs {
+class TraceRecorder;
+}
+
 namespace gridmap {
 
 /// Base interface: computes a full rank -> grid-cell remapping.
@@ -24,6 +31,17 @@ class Mapper {
   virtual ~Mapper() = default;
 
   virtual std::string_view name() const noexcept = 0;
+
+  /// Offers shared-memory execution resources for subsequent remap() calls:
+  /// a shared worker pool the mapper may fork subtasks onto (may be null),
+  /// a target thread count (0 = auto: the pool's size, else the hardware),
+  /// and a trace recorder for backend-internal spans (may be null). The
+  /// default implementation ignores the offer — mappers stay serial unless
+  /// they opt in (GeneralGraphMapper does). The engine calls this on each
+  /// per-run mapper instance right after creating it; implementations need
+  /// not support being reconfigured concurrently with remap().
+  virtual void configure_execution(engine::ThreadPool* /*pool*/, int /*threads*/,
+                                   obs::TraceRecorder* /*trace*/) {}
 
   /// Whether the algorithm can handle this instance (e.g. Nodecart requires a
   /// factorization of n compatible with the grid). Default: always.

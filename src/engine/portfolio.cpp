@@ -29,6 +29,8 @@ int resolve_threads(int requested) {
 void validate_options(const EngineOptions& options) {
   GRIDMAP_CHECK(options.threads >= 0,
                 "EngineOptions::threads must be >= 0 (0 = hardware concurrency)");
+  GRIDMAP_CHECK(options.gmap_threads >= 0,
+                "EngineOptions::gmap_threads must be >= 0 (0 = auto)");
   GRIDMAP_CHECK(options.backend_budget.count() >= 0,
                 "EngineOptions::backend_budget must not be negative");
   const SelectorOptions& sel = options.selector;

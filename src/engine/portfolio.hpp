@@ -100,6 +100,13 @@ struct EngineOptions {
   /// Worker threads for the portfolio race; <= 1 evaluates sequentially on
   /// the calling thread, 0 picks std::thread::hardware_concurrency().
   int threads = 0;
+  /// Thread count handed to each backend via Mapper::configure_execution
+  /// (only the multilevel gmap backend uses it today). 0 = auto: the race
+  /// pool's size when one exists, else the hardware. Backends fork onto the
+  /// engine's shared pool, so the race never multiplies thread counts. The
+  /// gmap backend stays in deterministic mode, so plans remain bit-identical
+  /// for any value.
+  int gmap_threads = 0;
   /// LRU plan-cache capacity in plans; 0 disables caching.
   std::size_t cache_capacity = 256;
   /// Per-backend wall-clock budget for `remap` on one instance; zero means

@@ -191,6 +191,10 @@ BackendResult RaceStage::run_backend(const std::string& name, std::size_t index,
   result.budget_seconds = std::chrono::duration<double>(budget).count();
   try {
     const std::unique_ptr<Mapper> mapper = env_.registry.create(name);
+    // Backends that can use shared-memory parallelism (gmap) fork onto the
+    // race's own pool — one pool for the whole engine, never nested ones.
+    mapper->configure_execution(env_.pool, env_.options.gmap_threads,
+                                traced ? &tel->trace() : nullptr);
     if (!mapper->applicable(grid_, stencil_, alloc_)) return result;  // skipped
     result.applicable = true;
 

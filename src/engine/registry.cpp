@@ -34,16 +34,20 @@ std::unique_ptr<Mapper> MapperRegistry::create(std::string_view name) const {
 }
 
 MapperRegistry MapperRegistry::with_default_backends() {
+  // The serving configuration of the VieM-style mapper: one multilevel run,
+  // few local-search sweeps. The quality-first setting the paper benchmarks
+  // is orders of magnitude slower and would dominate every portfolio race.
+  return with_default_backends(GmapOptions::fast());
+}
+
+MapperRegistry MapperRegistry::with_default_backends(const GmapOptions& gmap) {
   MapperRegistry r;
   r.add("blocked", [] { return std::make_unique<BlockedMapper>(); });
   r.add("hyperplane", [] { return std::make_unique<HyperplaneMapper>(); });
   r.add("kdtree", [] { return std::make_unique<KdTreeMapper>(); });
   r.add("strips", [] { return std::make_unique<StencilStripsMapper>(); });
   r.add("nodecart", [] { return std::make_unique<NodecartMapper>(); });
-  // The serving configuration of the VieM-style mapper: one multilevel run,
-  // few local-search sweeps. The quality-first setting the paper benchmarks
-  // is orders of magnitude slower and would dominate every portfolio race.
-  r.add("viem", [] { return std::make_unique<GeneralGraphMapper>(GmapOptions::fast()); });
+  r.add("viem", [gmap] { return std::make_unique<GeneralGraphMapper>(gmap); });
   r.add("hilbert", [] { return std::make_unique<SfcMapper>(SfcCurve::kHilbert); });
   r.add("morton", [] { return std::make_unique<SfcMapper>(SfcCurve::kMorton); });
   r.add("random", [] { return std::make_unique<RandomMapper>(); });

@@ -11,6 +11,10 @@
 
 #include "core/mapper.hpp"
 
+namespace gridmap {
+struct GmapOptions;
+}
+
 namespace gridmap::engine {
 
 using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
@@ -36,6 +40,13 @@ class MapperRegistry {
   /// nodecart, viem, hilbert, morton, random, plus socket-aware hierarchical
   /// refinements of the paper's three algorithms.
   static MapperRegistry with_default_backends();
+
+  /// The same line-up with a custom gmap (viem) configuration — how callers
+  /// tune the multilevel backend (restarts, determinism, standalone thread
+  /// count) without re-registering the portfolio by hand. Note the engine
+  /// still overrides the per-run pool and thread count through
+  /// Mapper::configure_execution / EngineOptions::gmap_threads.
+  static MapperRegistry with_default_backends(const GmapOptions& gmap);
 
  private:
   std::vector<std::string> names_;

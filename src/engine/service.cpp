@@ -314,12 +314,14 @@ void MappingService::worker_loop() {
       if (error) {
         waiter.promise.set_exception(error);
       } else {
-        waiter.promise.set_value(plan);
+        // Record before fulfilling: the moment set_value returns, the joiner
+        // may wake and scrape metrics, and its sample must already be there.
         if (timed) {
           (waiter.deduped ? tel->request_dedup : tel->request_race)
               ->record_seconds(
                   std::chrono::duration<double>(delivered - waiter.submitted).count());
         }
+        waiter.promise.set_value(plan);
       }
     }
     if (request->active > 0) {

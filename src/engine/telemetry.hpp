@@ -82,34 +82,21 @@ class EngineTelemetry {
 
 /// RAII span: records `name` on `track` from construction to destruction.
 /// A null telemetry, tracing off, or track 0 makes the whole scope a no-op
-/// (no allocation, no clock read).
+/// (no allocation, no clock read). Thin binding of obs::SpanScope to
+/// EngineTelemetry; backend-internal spans (the gmap stack's per-level
+/// "gmap" category) use obs::SpanScope on the same recorder directly.
 class TraceScope {
  public:
   TraceScope(EngineTelemetry* telemetry, std::string_view name, const char* category,
-             std::uint64_t track) {
-    if (telemetry != nullptr && telemetry->tracing() && track != 0) {
-      telemetry_ = telemetry;
-      name_ = name;
-      category_ = category;
-      track_ = track;
-      start_ = telemetry->trace().now_nanos();
-    }
-  }
-  ~TraceScope() {
-    if (telemetry_ != nullptr) {
-      telemetry_->span(std::move(name_), category_, track_, start_);
-    }
-  }
+             std::uint64_t track)
+      : span_(telemetry != nullptr && telemetry->tracing() ? &telemetry->trace() : nullptr,
+              name, category, track) {}
 
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;
 
  private:
-  EngineTelemetry* telemetry_ = nullptr;
-  std::string name_;
-  const char* category_ = "";
-  std::uint64_t track_ = 0;
-  std::uint64_t start_ = 0;
+  obs::SpanScope span_;
 };
 
 }  // namespace gridmap::engine

@@ -35,4 +35,86 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool TaskGroup::State::run_one() {
+  std::size_t index;
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (unclaimed.empty()) return false;  // someone else (often the joiner) got it
+    index = unclaimed.front().first;
+    task = std::move(unclaimed.front().second);
+    unclaimed.pop_front();
+  }
+  std::exception_ptr error;
+  try {
+    task();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    errors[index] = error;
+    if (--outstanding == 0) all_done.notify_all();
+  }
+  return true;
+}
+
+TaskGroup::~TaskGroup() {
+  if (waited_) return;
+  try {
+    wait();
+  } catch (...) {
+    // Destructor path: the first task error is lost; callers that care
+    // call wait() explicitly (all in-tree callers do).
+  }
+}
+
+void TaskGroup::run(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->unclaimed.emplace_back(state_->errors.size(), std::move(task));
+    state_->errors.emplace_back();
+    ++state_->outstanding;
+  }
+  if (pool_ != nullptr) {
+    // The wrapper holds the state alive, not the group, so a task still
+    // queued when the group dies (impossible today — the dtor waits — but
+    // cheap to make safe) finds an empty deque instead of a dangling ref.
+    pool_->submit([state = state_] { state->run_one(); });
+  } else {
+    state_->run_one();
+  }
+}
+
+void TaskGroup::wait() {
+  waited_ = true;
+  while (state_->run_one()) {
+  }
+  {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->all_done.wait(lock, [this] { return state_->outstanding == 0; });
+  }
+  for (const std::exception_ptr& error : state_->errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+void parallel_ranges(ThreadPool* pool, int n, int chunks,
+                     const std::function<void(int, int, int)>& body) {
+  if (n <= 0) return;
+  if (pool == nullptr || chunks <= 1 || n == 1) {
+    body(0, n, 0);
+    return;
+  }
+  const int count = std::min(chunks, n);
+  const int step = (n + count - 1) / count;
+  TaskGroup group(pool);
+  for (int c = 1; c * step < n; ++c) {
+    const int begin = c * step;
+    group.run([&body, begin, end = std::min(n, begin + step), c] { body(begin, end, c); });
+  }
+  body(0, std::min(n, step), 0);  // chunk 0 runs inline on the caller
+  group.wait();
+}
+
 }  // namespace gridmap::engine

@@ -1,11 +1,16 @@
 #include "gmap/gmap.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 #include <random>
+#include <string>
+#include <thread>
 
+#include "engine/thread_pool.hpp"
 #include "graph/bisection.hpp"
 #include "graph/cartesian_graph.hpp"
+#include "obs/trace.hpp"
 
 namespace gridmap {
 
@@ -32,6 +37,13 @@ CsrGraph induced_subgraph(const CsrGraph& graph, const std::vector<int>& vertice
   return CsrGraph::from_edges(static_cast<int>(vertices.size()), std::move(edges));
 }
 
+// A fresh trace track for one parallel job's spans, or 0 when tracing is off.
+std::uint64_t job_track(const GraphParallel* par) {
+  return par != nullptr && par->trace != nullptr && par->trace->enabled()
+             ? par->trace->new_track()
+             : 0;
+}
+
 }  // namespace
 
 void GeneralGraphMapper::recursive_bisect(const CsrGraph& graph,
@@ -39,13 +51,19 @@ void GeneralGraphMapper::recursive_bisect(const CsrGraph& graph,
                                           const std::vector<int>& part_sizes,
                                           int part_begin, int part_end, std::uint64_t seed,
                                           std::vector<int>& part_of_vertex,
-                                          ExecContext& ctx) const {
+                                          const GraphParallel* par, ExecContext& ctx) const {
   ctx.checkpoint();
   const int nparts = part_end - part_begin;
   if (nparts == 1) {
     for (const int v : vertices) part_of_vertex[static_cast<std::size_t>(v)] = part_begin;
     return;
   }
+  const std::uint64_t track = job_track(par);
+  obs::SpanScope span(track != 0 ? par->trace : nullptr,
+                      track != 0 ? "gmap:bisect [" + std::to_string(part_begin) + "," +
+                                       std::to_string(part_end) + ")"
+                                 : std::string(),
+                      "gmap", track);
   // Split the node list in the middle; side 0 receives the first half's
   // total process count.
   const int part_mid = part_begin + nparts / 2;
@@ -64,6 +82,7 @@ void GeneralGraphMapper::recursive_bisect(const CsrGraph& graph,
   options.fm_passes = options_.fm_passes;
   options.seed = seed;
   options.exact_balance = true;
+  options.par = par;
   const std::vector<int> side = multilevel_bisection(sub, options, ctx);
 
   std::vector<int> left;
@@ -75,10 +94,31 @@ void GeneralGraphMapper::recursive_bisect(const CsrGraph& graph,
       right.push_back(local_to_global[static_cast<std::size_t>(i)]);
     }
   }
-  recursive_bisect(graph, left, part_sizes, part_begin, part_mid, seed * 2 + 1,
-                   part_of_vertex, ctx);
-  recursive_bisect(graph, right, part_sizes, part_mid, part_end, seed * 2 + 2,
-                   part_of_vertex, ctx);
+  // The two subtrees are pure functions of (graph, side vertices, seed) and
+  // write disjoint part_of_vertex entries, so they fork as independent
+  // tasks; the caller runs the left subtree itself and helps drain the
+  // group while joining (never deadlocking the shared pool, never running
+  // unrelated work — see TaskGroup). Bit-identical to the serial recursion
+  // by purity alone, whatever the schedule.
+  if (par != nullptr && par->active(static_cast<int>(vertices.size())) && nparts > 2) {
+    engine::TaskGroup group(par->pool);
+    // right_ctx snapshots ctx at capture time, on this thread: an own
+    // checkpoint counter with the shared deadline/token. Copying inside the
+    // task would read ctx while this thread's recursion checkpoints it.
+    group.run([&, seed, right_ctx = ctx]() mutable {
+      recursive_bisect(graph, right, part_sizes, part_mid, part_end, seed * 2 + 2,
+                       part_of_vertex, par, right_ctx);
+    });
+    ExecContext left_ctx = ctx;
+    recursive_bisect(graph, left, part_sizes, part_begin, part_mid, seed * 2 + 1,
+                     part_of_vertex, par, left_ctx);
+    group.wait();
+  } else {
+    recursive_bisect(graph, left, part_sizes, part_begin, part_mid, seed * 2 + 1,
+                     part_of_vertex, par, ctx);
+    recursive_bisect(graph, right, part_sizes, part_mid, part_end, seed * 2 + 2,
+                     part_of_vertex, par, ctx);
+  }
 }
 
 std::int64_t GeneralGraphMapper::local_search(const CsrGraph& graph,
@@ -149,19 +189,78 @@ std::vector<int> GeneralGraphMapper::map_graph(const CsrGraph& graph,
   std::vector<int> vertices(static_cast<std::size_t>(graph.num_vertices()));
   std::iota(vertices.begin(), vertices.end(), 0);
 
+  // Resolve the execution context: the engine-injected pool wins; used
+  // standalone with threads > 1, a pool scoped to this call is spun up
+  // (workers = threads - 1 because the caller works too). Small graphs
+  // skip pool creation entirely.
+  const int requested = configured_threads_ >= 0 ? configured_threads_ : options_.threads;
+  int threads = requested;
+  if (threads == 0) {
+    threads = shared_pool_ != nullptr
+                  ? shared_pool_->size()
+                  : static_cast<int>(std::thread::hardware_concurrency());
+  }
+  threads = std::max(1, threads);
+  std::unique_ptr<engine::ThreadPool> owned_pool;
+  engine::ThreadPool* pool = shared_pool_;
+  if (pool == nullptr && threads > 1 &&
+      graph.num_vertices() >= options_.parallel_min_vertices) {
+    owned_pool = std::make_unique<engine::ThreadPool>(threads - 1);
+    pool = owned_pool.get();
+  }
+  GraphParallel par;
+  par.pool = pool;
+  par.threads = threads;
+  par.deterministic = options_.deterministic;
+  par.min_vertices = options_.parallel_min_vertices;
+  par.trace = trace_;
+  const GraphParallel* par_ptr = pool != nullptr && threads > 1 ? &par : nullptr;
+
+  // Restarts are pure functions of (graph, part_sizes, restart seed); the
+  // serial loop's first-strict-minimum winner is reproduced by reducing
+  // the completed results in restart order.
+  const int restarts = std::max(1, options_.restarts);
+  const int nparts = static_cast<int>(part_sizes.size());
+  const auto run_restart = [&](int restart, ExecContext& restart_ctx) {
+    const std::uint64_t track = job_track(par_ptr);
+    obs::SpanScope span(track != 0 ? par.trace : nullptr,
+                        track != 0 ? "gmap:restart " + std::to_string(restart)
+                                   : std::string(),
+                        "gmap", track);
+    std::vector<int> part_of_vertex(static_cast<std::size_t>(graph.num_vertices()), -1);
+    recursive_bisect(graph, vertices, part_sizes, 0, nparts,
+                     options_.seed + static_cast<std::uint64_t>(restart) * 7919,
+                     part_of_vertex, par_ptr, restart_ctx);
+    local_search(graph, part_of_vertex, restart_ctx);
+    return part_of_vertex;
+  };
+
+  std::vector<std::vector<int>> results(static_cast<std::size_t>(restarts));
+  if (par_ptr != nullptr && restarts > 1 && par_ptr->active(graph.num_vertices())) {
+    engine::TaskGroup group(par.pool);
+    for (int restart = 1; restart < restarts; ++restart) {
+      // Snapshot ctx at capture time: run_restart(0, ctx) below bumps the
+      // parent's checkpoint counter while these tasks run.
+      group.run([&, restart, restart_ctx = ctx]() mutable {
+        results[static_cast<std::size_t>(restart)] = run_restart(restart, restart_ctx);
+      });
+    }
+    results[0] = run_restart(0, ctx);
+    group.wait();
+  } else {
+    for (int restart = 0; restart < restarts; ++restart) {
+      ctx.checkpoint();
+      results[static_cast<std::size_t>(restart)] = run_restart(restart, ctx);
+    }
+  }
+
   std::vector<int> best;
   std::int64_t best_cut = -1;
-  for (int restart = 0; restart < std::max(1, options_.restarts); ++restart) {
-    ctx.checkpoint();
-    std::vector<int> part_of_vertex(static_cast<std::size_t>(graph.num_vertices()), -1);
-    recursive_bisect(graph, vertices, part_sizes, 0, static_cast<int>(part_sizes.size()),
-                     options_.seed + static_cast<std::uint64_t>(restart) * 7919,
-                     part_of_vertex, ctx);
-    local_search(graph, part_of_vertex, ctx);
-    const std::int64_t cut = graph.cut(part_of_vertex);
+  for (int restart = 0; restart < restarts; ++restart) {
+    const std::int64_t cut = graph.cut(results[static_cast<std::size_t>(restart)]);
     if (best_cut < 0 || cut < best_cut) {
       best_cut = cut;
-      best = std::move(part_of_vertex);
+      best = std::move(results[static_cast<std::size_t>(restart)]);
     }
   }
   return best;

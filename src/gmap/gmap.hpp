@@ -8,12 +8,27 @@
 // Deliberately graph-generic (it never looks at the grid structure), so it
 // reproduces both of VieM's roles in the paper: mapping quality similar to
 // the specialized algorithms, and a runtime orders of magnitude larger.
+//
+// Shared-memory parallelism: restarts, the recursive-bisection subtrees,
+// coarsening, and the initial attempts all run as fork-join tasks on a
+// worker pool — either the PortfolioEngine's shared pool injected via
+// configure_execution() (so racing many instances never multiplies thread
+// counts) or a pool scoped to one map_graph call when used standalone with
+// GmapOptions::threads > 1. In the default deterministic mode every
+// parallel phase either computes order-independent per-vertex candidates
+// or runs pure-function subproblems reduced in a fixed order, so the
+// output is bit-identical to the serial code for any thread count; the
+// fast mode (deterministic = false) additionally enables CAS matching and
+// conflict-detecting parallel FM, which may change results run-to-run but
+// preserves every structural invariant (valid permutation, exact part
+// sizes). See docs/PERFORMANCE.md, "Parallel multilevel gmap".
 #pragma once
 
 #include <cstdint>
 
 #include "core/mapper.hpp"
 #include "graph/csr_graph.hpp"
+#include "graph/parallel.hpp"
 
 namespace gridmap {
 
@@ -29,6 +44,20 @@ struct GmapOptions {
   /// the default invests heavily in restarts.
   int restarts = 8;
   std::uint64_t seed = 12345;
+  /// Worker threads for the multilevel phases when used standalone: 1 =
+  /// serial (default), 0 = hardware concurrency. Ignored once the engine
+  /// injects its shared pool via configure_execution(), which overrides
+  /// both the pool and the count.
+  int threads = 1;
+  /// Deterministic mode (default): parallel runs are bit-identical to the
+  /// serial algorithm and to themselves across thread counts. Fast mode
+  /// (false) lifts that to "structurally valid and balanced" in exchange
+  /// for CAS matching and parallel FM.
+  bool deterministic = true;
+  /// (Sub)problems below this many vertices take the serial path even with
+  /// threads available — forking overhead beats the win on small graphs.
+  /// Tests lower it to force parallel paths on small instances.
+  int parallel_min_vertices = 2048;
 
   /// A cheap configuration for tests.
   static GmapOptions fast() {
@@ -51,11 +80,22 @@ class GeneralGraphMapper final : public Mapper {
   Remapping remap(const CartesianGrid& grid, const Stencil& stencil,
                   const NodeAllocation& alloc, ExecContext& ctx) const override;
 
+  /// Adopts the engine's shared pool + resolved thread count + trace
+  /// recorder; overrides GmapOptions::threads for subsequent remap()s.
+  void configure_execution(engine::ThreadPool* pool, int threads,
+                           obs::TraceRecorder* trace) override {
+    shared_pool_ = pool;
+    configured_threads_ = threads < 0 ? 0 : threads;
+    trace_ = trace;
+  }
+
   /// Graph-level entry point: partitions `graph` into parts of exactly the
   /// given sizes (unit vertex weights assumed for exactness), minimizing the
   /// weighted cut, then local-search over connected swaps. Returns
   /// part_of_vertex. Checkpoints `ctx` throughout the multilevel phases —
-  /// the slowest backend in the portfolio, and the reason budgets exist.
+  /// the slowest backend in the portfolio, and the reason budgets exist
+  /// (parallel subtasks checkpoint their own ExecContext copies, which
+  /// share the caller's deadline and cancel token).
   std::vector<int> map_graph(const CsrGraph& graph, const std::vector<int>& part_sizes,
                              ExecContext& ctx = ExecContext::none()) const;
 
@@ -63,12 +103,15 @@ class GeneralGraphMapper final : public Mapper {
   void recursive_bisect(const CsrGraph& graph, const std::vector<int>& vertices,
                         const std::vector<int>& part_sizes, int part_begin, int part_end,
                         std::uint64_t seed, std::vector<int>& part_of_vertex,
-                        ExecContext& ctx) const;
+                        const GraphParallel* par, ExecContext& ctx) const;
 
   std::int64_t local_search(const CsrGraph& graph, std::vector<int>& part_of_vertex,
                             ExecContext& ctx) const;
 
   GmapOptions options_;
+  engine::ThreadPool* shared_pool_ = nullptr;  ///< injected, non-owning
+  int configured_threads_ = -1;                ///< -1: use GmapOptions::threads
+  obs::TraceRecorder* trace_ = nullptr;        ///< injected, non-owning
 };
 
 }  // namespace gridmap

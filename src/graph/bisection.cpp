@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <queue>
 #include <random>
+#include <string>
 
+#include "engine/thread_pool.hpp"
 #include "graph/coarsen.hpp"
 #include "graph/fm_refine.hpp"
+#include "obs/trace.hpp"
 
 namespace gridmap {
 
@@ -62,33 +65,75 @@ std::vector<int> grow_region(const CsrGraph& graph, int seed_vertex, std::int64_
 
 std::vector<int> multilevel_bisection(const CsrGraph& graph, const BisectionOptions& options,
                                       ExecContext& ctx) {
+  const GraphParallel* par = options.par;
+  obs::TraceRecorder* trace = par != nullptr ? par->trace : nullptr;
+  const std::uint64_t track =
+      trace != nullptr && trace->enabled() ? trace->new_track() : 0;
+
   const std::vector<CoarseLevel> hierarchy =
-      coarsen_hierarchy(graph, options.coarsen_target, options.seed, ctx);
+      coarsen_hierarchy(graph, options.coarsen_target, options.seed, ctx, par, track);
   const CsrGraph& coarsest = hierarchy.empty() ? graph : hierarchy.back().graph;
 
-  // Initial partition: best of several greedy growths.
+  // Initial partition: best of several greedy growths. The RNG draws every
+  // attempt's seed vertex up front (the exact serial sequence); each
+  // attempt is then a pure function of (coarsest, seed_vertex), so they
+  // can run as parallel tasks. The reduction takes the first strict
+  // minimum cut in attempt order — precisely what the serial loop's
+  // `cut < best_cut` does — keeping the winner bit-identical.
   std::mt19937_64 rng(options.seed * 0x9e3779b97f4a7c15ULL + 1);
+  const int tries = std::max(1, options.initial_tries);
+  std::vector<int> seed_vertices(static_cast<std::size_t>(tries));
+  for (int attempt = 0; attempt < tries; ++attempt) {
+    seed_vertices[static_cast<std::size_t>(attempt)] =
+        static_cast<int>(rng() % static_cast<std::uint64_t>(coarsest.num_vertices()));
+  }
+  FmOptions coarse_fm;
+  coarse_fm.max_passes = options.fm_passes;
+  // Slack on coarse levels: the heaviest vertex, so FM can cross lumpy
+  // weight boundaries.
+  std::int64_t coarse_max_vw = 1;
+  for (int v = 0; v < coarsest.num_vertices(); ++v) {
+    coarse_max_vw = std::max(coarse_max_vw, coarsest.vertex_weight(v));
+  }
+  coarse_fm.slack = coarse_max_vw;
+
+  const auto run_attempt = [&](int attempt, ExecContext& attempt_ctx) {
+    std::vector<int> part = grow_region(
+        coarsest, seed_vertices[static_cast<std::size_t>(attempt)], options.target0,
+        attempt_ctx);
+    fm_refine(coarsest, part, options.target0, coarse_fm, attempt_ctx);
+    return part;
+  };
+
+  std::vector<std::vector<int>> attempt_parts(static_cast<std::size_t>(tries));
+  {
+    obs::SpanScope span(trace, "gmap:initial", "gmap", track);
+    if (par != nullptr && par->active(coarsest.num_vertices()) && tries > 1) {
+      engine::TaskGroup group(par->pool);
+      for (int attempt = 1; attempt < tries; ++attempt) {
+        // Snapshot ctx at capture time: run_attempt(0, ctx) below bumps the
+        // parent's checkpoint counter while these tasks run.
+        group.run([&, attempt, attempt_ctx = ctx]() mutable {
+          attempt_parts[static_cast<std::size_t>(attempt)] = run_attempt(attempt, attempt_ctx);
+        });
+      }
+      attempt_parts[0] = run_attempt(0, ctx);
+      group.wait();
+    } else {
+      for (int attempt = 0; attempt < tries; ++attempt) {
+        ctx.checkpoint();
+        attempt_parts[static_cast<std::size_t>(attempt)] = run_attempt(attempt, ctx);
+      }
+    }
+  }
   std::vector<int> best_part;
   std::int64_t best_cut = -1;
-  for (int attempt = 0; attempt < std::max(1, options.initial_tries); ++attempt) {
-    ctx.checkpoint();
-    const int seed_vertex =
-        static_cast<int>(rng() % static_cast<std::uint64_t>(coarsest.num_vertices()));
-    std::vector<int> part = grow_region(coarsest, seed_vertex, options.target0, ctx);
-    FmOptions fm;
-    fm.max_passes = options.fm_passes;
-    // Slack on coarse levels: the heaviest vertex, so FM can cross lumpy
-    // weight boundaries.
-    std::int64_t max_vw = 1;
-    for (int v = 0; v < coarsest.num_vertices(); ++v) {
-      max_vw = std::max(max_vw, coarsest.vertex_weight(v));
-    }
-    fm.slack = max_vw;
-    fm_refine(coarsest, part, options.target0, fm, ctx);
-    const std::int64_t cut = coarsest.cut(part);
+  for (int attempt = 0; attempt < tries; ++attempt) {
+    const std::int64_t cut =
+        coarsest.cut(attempt_parts[static_cast<std::size_t>(attempt)]);
     if (best_cut < 0 || cut < best_cut) {
       best_cut = cut;
-      best_part = std::move(part);
+      best_part = std::move(attempt_parts[static_cast<std::size_t>(attempt)]);
     }
   }
 
@@ -100,6 +145,7 @@ std::vector<int> multilevel_bisection(const CsrGraph& graph, const BisectionOpti
         (level == 0) ? graph : hierarchy[static_cast<std::size_t>(level) - 1].graph;
     const std::vector<int>& fine_to_coarse =
         hierarchy[static_cast<std::size_t>(level)].fine_to_coarse;
+    obs::SpanScope span(trace, "gmap:refine L" + std::to_string(level), "gmap", track);
     std::vector<int> fine_part(static_cast<std::size_t>(fine.num_vertices()));
     for (int v = 0; v < fine.num_vertices(); ++v) {
       fine_part[static_cast<std::size_t>(v)] =
@@ -113,7 +159,16 @@ std::vector<int> multilevel_bisection(const CsrGraph& graph, const BisectionOpti
     }
     fm.slack = (level == 0 && options.exact_balance) ? 0 : max_vw;
     if (fm.slack == 0) rebalance_exact(fine, fine_part, options.target0, ctx);
-    fm_refine(fine, fine_part, options.target0, fm, ctx);
+    // Fast mode refines big levels with the conflict-detecting parallel FM;
+    // slack 0 (the exact-balance finest level) stays serial — single flips
+    // always unbalance, only serial FM's alternating sequences make
+    // progress there. Deterministic mode always refines serially.
+    if (par != nullptr && !par->deterministic && fm.slack > 0 &&
+        par->active(fine.num_vertices())) {
+      fm_refine_parallel(fine, fine_part, options.target0, fm, *par, ctx);
+    } else {
+      fm_refine(fine, fine_part, options.target0, fm, ctx);
+    }
     part = std::move(fine_part);
   }
   if (hierarchy.empty()) {

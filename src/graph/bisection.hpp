@@ -1,6 +1,15 @@
 // Multilevel 2-way partitioning: coarsen (heavy-edge matching), greedy
 // region-growing initial partition on the coarsest graph, FM refinement on
 // every level while uncoarsening, exact rebalance at the finest level.
+//
+// Parallelism (BisectionOptions::par): coarsening and the initial
+// region-growing attempts parallelize internally — the attempts draw their
+// seed vertices from the serial RNG sequence first and are then pure
+// functions run as independent tasks, reduced first-strict-minimum in
+// attempt order, so the deterministic mode stays bit-identical to the
+// serial code for any thread count. In fast mode (par->deterministic ==
+// false) large uncoarsening levels refine with the conflict-detecting
+// fm_refine_parallel instead of serial FM.
 #pragma once
 
 #include <cstdint>
@@ -8,6 +17,7 @@
 
 #include "core/exec_context.hpp"
 #include "graph/csr_graph.hpp"
+#include "graph/parallel.hpp"
 
 namespace gridmap {
 
@@ -18,10 +28,15 @@ struct BisectionOptions {
   int fm_passes = 8;
   std::uint64_t seed = 1;
   bool exact_balance = true;  ///< force side-0 weight == target0 at the end
+  /// Shared-memory execution context (null = serial, the default). Non-owning;
+  /// see graph/parallel.hpp for the determinism contract.
+  const GraphParallel* par = nullptr;
 };
 
 /// Returns a 0/1 partition of the graph's vertices. Checkpoints `ctx`
-/// through every phase (coarsening, growing, FM, rebalance).
+/// through every phase (coarsening, growing, FM, rebalance). With a trace
+/// recorder in options.par, records per-level "gmap:coarsen L<k>" /
+/// "gmap:refine L<k>" spans (plus "gmap:initial") on a fresh track.
 std::vector<int> multilevel_bisection(const CsrGraph& graph, const BisectionOptions& options,
                                       ExecContext& ctx = ExecContext::none());
 

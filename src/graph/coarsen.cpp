@@ -1,12 +1,198 @@
 #include "graph/coarsen.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 #include <random>
+#include <string>
+
+#include "engine/thread_pool.hpp"
+#include "obs/trace.hpp"
 
 namespace gridmap {
 
-CoarseLevel coarsen_once(const CsrGraph& graph, std::uint64_t seed, ExecContext& ctx) {
+namespace {
+
+// The serial heavy-edge scan for one vertex: heaviest edge to a neighbor
+// accepted by `eligible`, ties broken towards the lower vertex id. The
+// comparator shape must stay identical across the serial, propose, and
+// rescan call sites — the determinism proof leans on it.
+template <class Eligible>
+int best_neighbor(const CsrGraph& graph, int v, Eligible eligible) {
+  const auto nbs = graph.neighbors(v);
+  const auto wts = graph.edge_weights(v);
+  int best = -1;
+  std::int64_t best_weight = -1;
+  for (std::size_t i = 0; i < nbs.size(); ++i) {
+    const int u = nbs[i];
+    if (!eligible(u)) continue;
+    if (wts[i] > best_weight || (wts[i] == best_weight && u < best)) {
+      best = u;
+      best_weight = wts[i];
+    }
+  }
+  return best;
+}
+
+void match_serial(const CsrGraph& graph, const std::vector<int>& order,
+                  std::vector<int>& match, ExecContext& ctx) {
+  for (const int v : order) {
+    ctx.checkpoint();
+    if (match[static_cast<std::size_t>(v)] >= 0) continue;
+    const int best =
+        best_neighbor(graph, v, [&](int u) { return match[static_cast<std::size_t>(u)] < 0; });
+    if (best >= 0) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    } else {
+      match[static_cast<std::size_t>(v)] = v;  // stays alone
+    }
+  }
+}
+
+// Deterministic parallel matching: propose in parallel, commit serially.
+//
+// Propose: candidate[v] = v's best neighbor over *all* neighbors (match
+// state ignored) — a pure per-vertex function, safe to chunk any way.
+// Commit: replay the serial shuffled order; for an unmatched v whose
+// candidate u is still unmatched, u dominates every neighbor of v and in
+// particular every *unmatched* one under the same comparator, so taking it
+// is exactly the serial greedy choice. Only when u was already claimed do
+// we pay the serial rescan. Identical output to match_serial for every
+// thread count.
+void match_propose_commit(const CsrGraph& graph, const std::vector<int>& order,
+                          std::vector<int>& match, ExecContext& ctx,
+                          const GraphParallel& par) {
+  const int n = graph.num_vertices();
+  std::vector<int> candidate(static_cast<std::size_t>(n), -1);
+  engine::parallel_ranges(par.pool, n, par.chunks(), [&](int begin, int end, int /*chunk*/) {
+    ExecContext task_ctx = ctx;  // own checkpoint counter per task
+    for (int v = begin; v < end; ++v) {
+      task_ctx.checkpoint();
+      candidate[static_cast<std::size_t>(v)] =
+          best_neighbor(graph, v, [](int) { return true; });
+    }
+  });
+
+  for (const int v : order) {
+    ctx.checkpoint();
+    if (match[static_cast<std::size_t>(v)] >= 0) continue;
+    int best = candidate[static_cast<std::size_t>(v)];
+    if (best >= 0 && match[static_cast<std::size_t>(best)] >= 0) {
+      best = best_neighbor(graph, v,
+                           [&](int u) { return match[static_cast<std::size_t>(u)] < 0; });
+    }
+    if (best >= 0) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    } else {
+      match[static_cast<std::size_t>(v)] = v;
+    }
+  }
+}
+
+// Fast-mode parallel matching: chunks of the shuffled order claim match
+// partners with CAS. A thread owns the vertices of its chunk: it claims v
+// first (match[v]: -1 -> u), then the partner (match[u]: -1 -> v). If the
+// partner claim fails the thread releases v and rescans — unless the
+// failure was the symmetric race (u claimed v concurrently), which both
+// sides detect and keep, avoiding the classic pair livelock. Matches other
+// than a thread's own transient claim of its current vertex never revert,
+// so each rescan sees strictly more matched neighbors and the per-vertex
+// retry loop is bounded by its degree. Valid matching, schedule-dependent.
+void match_cas(const CsrGraph& graph, const std::vector<int>& order,
+               std::vector<int>& match, ExecContext& ctx, const GraphParallel& par) {
+  const int n = graph.num_vertices();
+  std::vector<std::atomic<int>> atomic_match(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    atomic_match[static_cast<std::size_t>(v)].store(-1, std::memory_order_relaxed);
+  }
+
+  engine::parallel_ranges(par.pool, n, par.chunks(), [&](int begin, int end, int /*chunk*/) {
+    ExecContext task_ctx = ctx;
+    for (int i = begin; i < end; ++i) {
+      task_ctx.checkpoint();
+      const int v = order[static_cast<std::size_t>(i)];
+      auto& slot_v = atomic_match[static_cast<std::size_t>(v)];
+      if (slot_v.load(std::memory_order_acquire) >= 0) continue;
+      for (;;) {
+        const int u = best_neighbor(graph, v, [&](int w) {
+          return atomic_match[static_cast<std::size_t>(w)].load(std::memory_order_acquire) < 0;
+        });
+        int expected = -1;
+        if (!slot_v.compare_exchange_strong(expected, u >= 0 ? u : v,
+                                            std::memory_order_acq_rel)) {
+          break;  // a neighbor's owner claimed v as its partner meanwhile
+        }
+        if (u < 0) break;  // no free neighbor: v stays alone
+        expected = -1;
+        auto& slot_u = atomic_match[static_cast<std::size_t>(u)];
+        if (slot_u.compare_exchange_strong(expected, v, std::memory_order_acq_rel)) {
+          break;  // pair formed
+        }
+        if (expected == v) break;  // symmetric race: u already claimed v — same pair
+        slot_v.store(-1, std::memory_order_release);  // u was taken; release v, rescan
+      }
+    }
+  });
+
+  for (int v = 0; v < n; ++v) {
+    match[static_cast<std::size_t>(v)] = atomic_match[static_cast<std::size_t>(v)].load(
+        std::memory_order_relaxed);
+    GRIDMAP_CHECK(match[static_cast<std::size_t>(v)] >= 0, "CAS matching left a vertex open");
+  }
+  for (int v = 0; v < n; ++v) {
+    GRIDMAP_CHECK(match[static_cast<std::size_t>(match[static_cast<std::size_t>(v)])] == v,
+                  "CAS matching is not mutual");
+  }
+}
+
+// The coarse edge list in serial vertex order. Parallel mode builds one
+// buffer per contiguous vertex range and concatenates the buffers in range
+// order — byte-identical to the serial single-loop emission.
+std::vector<CsrGraph::WeightedEdge> build_coarse_edges(const CsrGraph& graph,
+                                                       const std::vector<int>& fine_to_coarse,
+                                                       ExecContext& ctx,
+                                                       const GraphParallel* par) {
+  const int n = graph.num_vertices();
+  const auto emit_range = [&](int begin, int end, std::vector<CsrGraph::WeightedEdge>& out,
+                              ExecContext& range_ctx) {
+    for (int v = begin; v < end; ++v) {
+      range_ctx.checkpoint();
+      const auto nbs = graph.neighbors(v);
+      const auto wts = graph.edge_weights(v);
+      const int cv = fine_to_coarse[static_cast<std::size_t>(v)];
+      for (std::size_t i = 0; i < nbs.size(); ++i) {
+        const int cu = fine_to_coarse[static_cast<std::size_t>(nbs[i])];
+        if (cv < cu) out.push_back({cv, cu, wts[i]});  // each fine edge once
+      }
+    }
+  };
+
+  std::vector<CsrGraph::WeightedEdge> edges;
+  if (par == nullptr || !par->active(n)) {
+    emit_range(0, n, edges, ctx);
+    return edges;
+  }
+  std::vector<std::vector<CsrGraph::WeightedEdge>> buffers(
+      static_cast<std::size_t>(par->chunks()));
+  engine::parallel_ranges(par->pool, n, par->chunks(), [&](int begin, int end, int chunk) {
+    ExecContext task_ctx = ctx;
+    emit_range(begin, end, buffers[static_cast<std::size_t>(chunk)], task_ctx);
+  });
+  std::size_t total = 0;
+  for (const auto& buffer : buffers) total += buffer.size();
+  edges.reserve(total);
+  for (const auto& buffer : buffers) {
+    edges.insert(edges.end(), buffer.begin(), buffer.end());
+  }
+  return edges;
+}
+
+}  // namespace
+
+CoarseLevel coarsen_once(const CsrGraph& graph, std::uint64_t seed, ExecContext& ctx,
+                         const GraphParallel* par) {
   const int n = graph.num_vertices();
   std::vector<int> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), 0);
@@ -14,27 +200,14 @@ CoarseLevel coarsen_once(const CsrGraph& graph, std::uint64_t seed, ExecContext&
   std::shuffle(order.begin(), order.end(), rng);
 
   std::vector<int> match(static_cast<std::size_t>(n), -1);
-  for (const int v : order) {
-    ctx.checkpoint();
-    if (match[static_cast<std::size_t>(v)] >= 0) continue;
-    const auto nbs = graph.neighbors(v);
-    const auto wts = graph.edge_weights(v);
-    int best = -1;
-    std::int64_t best_weight = -1;
-    for (std::size_t i = 0; i < nbs.size(); ++i) {
-      const int u = nbs[i];
-      if (match[static_cast<std::size_t>(u)] >= 0) continue;
-      if (wts[i] > best_weight || (wts[i] == best_weight && u < best)) {
-        best = u;
-        best_weight = wts[i];
-      }
-    }
-    if (best >= 0) {
-      match[static_cast<std::size_t>(v)] = best;
-      match[static_cast<std::size_t>(best)] = v;
+  if (par != nullptr && par->active(n)) {
+    if (par->deterministic) {
+      match_propose_commit(graph, order, match, ctx, *par);
     } else {
-      match[static_cast<std::size_t>(v)] = v;  // stays alone
+      match_cas(graph, order, match, ctx, *par);
     }
+  } else {
+    match_serial(graph, order, match, ctx);
   }
 
   CoarseLevel level;
@@ -53,26 +226,26 @@ CoarseLevel coarsen_once(const CsrGraph& graph, std::uint64_t seed, ExecContext&
     vwgt[static_cast<std::size_t>(level.fine_to_coarse[static_cast<std::size_t>(v)])] +=
         graph.vertex_weight(v);
   }
-  std::vector<CsrGraph::WeightedEdge> edges;
-  for (int v = 0; v < n; ++v) {
-    const auto nbs = graph.neighbors(v);
-    const auto wts = graph.edge_weights(v);
-    const int cv = level.fine_to_coarse[static_cast<std::size_t>(v)];
-    for (std::size_t i = 0; i < nbs.size(); ++i) {
-      const int cu = level.fine_to_coarse[static_cast<std::size_t>(nbs[i])];
-      if (cv < cu) edges.push_back({cv, cu, wts[i]});  // each fine edge once
-    }
-  }
+  std::vector<CsrGraph::WeightedEdge> edges =
+      build_coarse_edges(graph, level.fine_to_coarse, ctx, par);
   level.graph = CsrGraph::from_edges(coarse_count, std::move(edges), std::move(vwgt));
   return level;
 }
 
 std::vector<CoarseLevel> coarsen_hierarchy(const CsrGraph& graph, int target_vertices,
-                                           std::uint64_t seed, ExecContext& ctx) {
+                                           std::uint64_t seed, ExecContext& ctx,
+                                           const GraphParallel* par,
+                                           std::uint64_t trace_track) {
+  obs::TraceRecorder* trace = par != nullptr ? par->trace : nullptr;
   std::vector<CoarseLevel> hierarchy;
   const CsrGraph* current = &graph;
   while (current->num_vertices() > target_vertices) {
-    CoarseLevel level = coarsen_once(*current, seed + hierarchy.size(), ctx);
+    CoarseLevel level;
+    {
+      obs::SpanScope span(trace, "gmap:coarsen L" + std::to_string(hierarchy.size()),
+                          "gmap", trace_track);
+      level = coarsen_once(*current, seed + hierarchy.size(), ctx, par);
+    }
     const int before = current->num_vertices();
     const int after = level.graph.num_vertices();
     if (after >= before || before - after < before / 10) break;  // matching stalled

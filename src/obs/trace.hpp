@@ -82,6 +82,42 @@ class TraceRecorder {
   std::uint64_t total_ = 0;         // record() calls so far
 };
 
+/// RAII span over a raw recorder: records `name` on `track` from
+/// construction to destruction. A null recorder, a disabled ring, or track
+/// 0 makes the whole scope a no-op (no allocation, no clock read). This is
+/// the layer-neutral primitive — the engine's TraceScope binds it to
+/// EngineTelemetry, and the gmap stack uses it directly for its per-level
+/// coarsen/bisect/refine spans.
+class SpanScope {
+ public:
+  SpanScope(TraceRecorder* recorder, std::string_view name, const char* category,
+            std::uint64_t track) {
+    if (recorder != nullptr && recorder->enabled() && track != 0) {
+      recorder_ = recorder;
+      name_ = name;
+      category_ = category;
+      track_ = track;
+      start_ = recorder->now_nanos();
+    }
+  }
+  ~SpanScope() {
+    if (recorder_ != nullptr) {
+      recorder_->record({std::move(name_), category_, track_, start_,
+                         recorder_->now_nanos() - start_});
+    }
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  TraceRecorder* recorder_ = nullptr;
+  std::string name_;
+  const char* category_ = "";
+  std::uint64_t track_ = 0;
+  std::uint64_t start_ = 0;
+};
+
 /// Appends the JSON event objects (no enclosing array) for `spans` to
 /// `out`, prefixing a process-name metadata event. Shared by
 /// write_chrome_trace and the sharded service's merged export, which emits

@@ -23,6 +23,15 @@ Everything else (raw seconds, counts, quantiles) is trend data: reported,
 never gated. Keys present only on one side are reported as informational —
 adding a bench section must not break the gate for old baselines.
 
+The section-10 gmap.* keys follow the same conventions: gmap.plan_checksum
+is exact (the deterministic parallel gmap must keep producing the same
+partition), gmap.cells_per_sec is a throughput floor (skipped under
+--trend-only), and gmap.speedup_ok must not regress true -> false — safe
+across machine classes because bench_engine computes it hardware-aware
+(the 2x speedup gate only binds with >= 8 hardware threads; below that a
+relaxed overhead bound applies). gmap.speedup itself is trend data: a raw
+ratio from one machine is meaningless as a floor on another.
+
 With --trend-only, *_per_sec floors are reported but never fail the gate:
 absolute throughput on shared CI runners is not comparable to the machine
 that produced the committed baseline. Checksums and booleans (which compare
