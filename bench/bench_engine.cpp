@@ -42,6 +42,13 @@
 //       with >= 8 hardware threads; below that (shared CI runners, 1-core
 //       boxes) the gate relaxes to "parallel not slower than ~0.6x serial"
 //       so oversubscription overhead is still bounded.
+//  (11) Two-tier speculative serving: the section-6 dedup storm re-served
+//       through map_async(speculate=true). Per-request first-tier latency
+//       (submission -> provisional plan) vs a blocking baseline that waits
+//       for each full race; the provisional p50 must be >= 10x lower, and
+//       every final plan must stay bit-identical to a direct engine race
+//       (the ISSUE 10 acceptance pins — speculation buys latency, never
+//       plan quality).
 //
 // `bench_engine --json [FILE]` additionally writes the machine-readable
 // perf trajectory (default BENCH_engine.json, committed to the repo): a
@@ -895,8 +902,106 @@ int main(int argc, char** argv) {
   json.put_bool("gmap.speedup_ok", gmap_ok);
   json.put_checksum("gmap.plan_checksum", fnv1a(gmap_part_text));
 
+  // ---- (11) two-tier speculative serving ---------------------------------
+  // The section-6 dedup storm re-served with map_async(speculate=true): each
+  // request's first-tier latency (submission until provisional().get()
+  // returns) against a blocking baseline that waits out the full race per
+  // request. Same options as section 6 — cache off, single-flight on, two
+  // workers — so the first request of each signature pays one cheap backend
+  // run and every twin inherits an already-resolved provisional future.
+  const auto quantile_us = [](std::vector<double> seconds, double q) {
+    std::sort(seconds.begin(), seconds.end());
+    const auto at = std::min(
+        seconds.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(seconds.size())));
+    return seconds[at] * 1e6;
+  };
+  EngineOptions spec_engine_options = par_options;
+  spec_engine_options.cache_capacity = 0;
+  ServiceOptions spec_service_options;
+  spec_service_options.workers = 2;
+  spec_service_options.queue_capacity = kStormRequests + 8;
+  spec_service_options.probe_cache = false;
+
+  std::vector<double> provisional_lat;
+  std::vector<std::shared_ptr<const MappingPlan>> spec_finals;
+  ServiceCounters spec_counters;
+  {
+    MappingService spec_service(MapperRegistry::with_default_backends(),
+                                spec_engine_options, spec_service_options);
+    std::vector<MapTicket> spec_tickets;
+    spec_tickets.reserve(kStormRequests);
+    for (int r = 0; r < kStormRequests; ++r) {
+      const Instance& inst = storm_instances[static_cast<std::size_t>(r) %
+                                             storm_instances.size()];
+      const auto t = Clock::now();
+      spec_tickets.push_back(spec_service.map_async(inst.grid, inst.stencil,
+                                                    inst.alloc, Priority::kNormal,
+                                                    /*speculate=*/true));
+      (void)spec_tickets.back().provisional().get();
+      provisional_lat.push_back(seconds_since(t));
+    }
+    for (MapTicket& ticket : spec_tickets) spec_finals.push_back(ticket.get());
+    spec_counters = spec_service.counters();
+  }
+
+  std::vector<double> blocking_lat;
+  {
+    MappingService blocking_service(MapperRegistry::with_default_backends(),
+                                    spec_engine_options, spec_service_options);
+    for (int r = 0; r < kStormRequests; ++r) {
+      const Instance& inst = storm_instances[static_cast<std::size_t>(r) %
+                                             storm_instances.size()];
+      const auto t = Clock::now();
+      (void)blocking_service.map_async(inst.grid, inst.stencil, inst.alloc).get();
+      blocking_lat.push_back(seconds_since(t));
+    }
+  }
+
+  // Speculation buys latency, never plan quality: every final delivered by
+  // the two-tier path must be bit-identical to a direct engine race.
+  PortfolioEngine spec_direct(MapperRegistry::with_default_backends(),
+                              spec_engine_options);
+  std::vector<std::shared_ptr<const MappingPlan>> spec_direct_plans;
+  for (const Instance& inst : storm_instances) {
+    spec_direct_plans.push_back(spec_direct.map(inst.grid, inst.stencil, inst.alloc));
+  }
+  bool final_identical = true;
+  for (int r = 0; r < kStormRequests; ++r) {
+    const auto& direct =
+        spec_direct_plans[static_cast<std::size_t>(r) % storm_instances.size()];
+    if (!(*spec_finals[static_cast<std::size_t>(r)] == *direct)) {
+      final_identical = false;
+      break;
+    }
+  }
+
+  const double spec_provisional_p50_us = quantile_us(provisional_lat, 0.5);
+  const double spec_provisional_p99_us = quantile_us(provisional_lat, 0.99);
+  const double spec_blocking_p50_us = quantile_us(blocking_lat, 0.5);
+  const double spec_ratio = spec_blocking_p50_us / spec_provisional_p50_us;
+  const bool spec_ok = spec_ratio >= 10.0 && final_identical;
+
+  std::cout << "\nTwo-tier speculative serving (" << kStormRequests
+            << "-request dedup storm, cache off):\n  provisional p50 "
+            << std::setprecision(1) << spec_provisional_p50_us << " us, p99 "
+            << spec_provisional_p99_us << " us -> blocking race p50 "
+            << spec_blocking_p50_us << " us (" << std::setprecision(2) << spec_ratio
+            << "x, gate >= 10x: " << (spec_ratio >= 10.0 ? "yes" : "NO")
+            << ")\n  speculated " << spec_counters.speculated << ", upgraded "
+            << spec_counters.upgraded << ", finals bit-identical to direct race: "
+            << (final_identical ? "yes" : "NO") << "\n";
+  json.put("spec.provisional_p50_us", spec_provisional_p50_us);
+  json.put("spec.provisional_p99_us", spec_provisional_p99_us);
+  json.put("spec.blocking_p50_us", spec_blocking_p50_us);
+  json.put("spec.latency_ratio", spec_ratio);
+  json.put_count("spec.speculated", spec_counters.speculated);
+  json.put_count("spec.upgraded", spec_counters.upgraded);
+  json.put_bool("spec.speedup_ok", spec_ratio >= 10.0);
+  json.put_bool("spec.final_identical", final_identical);
+
   const bool all_ok = identical && selection_ok && dedup_ok && admission_ok &&
-                      sharding_ok && overhead_ok && eval_ok && gmap_ok;
+                      sharding_ok && overhead_ok && eval_ok && gmap_ok && spec_ok;
   if (emit_json) {
     if (!json.write(json_path)) {
       std::cerr << "could not write " << json_path << "\n";

@@ -3,11 +3,15 @@
 // prints the response. For "map" requests the received plan block is
 // re-parsed with plan_io::parse_plan before printing, so every served plan
 // is round-trip-verified against the text format spec (docs/FORMATS.md) on
-// the client side too.
+// the client side too. "mapspec" requests take the two-tier path: the
+// provisional block is printed as soon as it arrives, then the client waits
+// for the pushed "revision" marker and prints (and round-trip-verifies) the
+// final plan block.
 //
 // Usage:
 //   plan_client --unix /tmp/gridmap.sock map 6x8 00 nn 6 8 [high|normal|low]
 //   plan_client --tcp 127.0.0.1:7070 map 6x8 00 nn 6 8
+//   plan_client (--unix PATH | --tcp HOST:PORT) mapspec 6x8 00 nn 6 8
 //   plan_client (--unix PATH | --tcp HOST:PORT) stats
 //   plan_client (--unix PATH | --tcp HOST:PORT) shutdown
 //   plan_client (--unix PATH | --tcp HOST:PORT) --stats     # pretty-printed
@@ -40,7 +44,7 @@ using gridmap::engine::wire::FdTransport;
 
 int usage() {
   std::cerr << "usage: plan_client (--unix PATH | --tcp HOST:PORT)"
-               " <map ...|stats|metrics|shutdown|--stats|--metrics>\n"
+               " <map ...|mapspec ...|stats|metrics|shutdown|--stats|--metrics>\n"
                "       plan_client --unix /tmp/gridmap.sock map 6x8 00 nn 6 8\n"
                "       plan_client --tcp 127.0.0.1:7070 --stats\n"
                "       plan_client --tcp 127.0.0.1:7070 --metrics\n";
@@ -190,15 +194,27 @@ int main(int argc, char** argv) {
   }
 
   // Single-line responses ("ok ..." / "err ...") end at their newline; a
-  // plan block ends at its "end" line. Read until whichever terminator the
-  // first line implies (or EOF).
+  // plan block ends at its "end" line. A provisional (mapspec) block is
+  // followed — on the same connection — by the pushed revision: either a
+  // second plan block or an err frame when the race failed. Read until
+  // whichever terminator the first line implies (or EOF).
+  const std::string provisional_header =
+      std::string(gridmap::engine::wire::kProvisionalHeader) + "\n";
   std::string response;
   char chunk[4096];
-  const auto complete = [&response] {
+  const auto complete = [&response, &provisional_header] {
     const std::size_t first_newline = response.find('\n');
     if (first_newline == std::string::npos) return false;
     if (response.compare(0, 3, "ok ") == 0 || response.compare(0, 4, "err ") == 0) {
       return true;
+    }
+    if (response.compare(0, provisional_header.size(), provisional_header) == 0) {
+      const std::size_t first_end = response.find("\nend\n");
+      if (first_end == std::string::npos) return false;
+      if (response.compare(first_end + 5, 4, "err ") == 0) {
+        return response.find('\n', first_end + 5) != std::string::npos;
+      }
+      return response.find("\nend\n", first_end + 5) != std::string::npos;
     }
     return response.find("\nend\n") != std::string::npos;
   };
@@ -229,6 +245,33 @@ int main(int argc, char** argv) {
     }
     std::cout << response.substr(header_end + 1, terminator - header_end - 1);
     return 0;
+  }
+  if (response.rfind(provisional_header, 0) == 0) {
+    // Two-tier mapspec response: provisional block, "revision" marker, final
+    // plain block. Print and verify the provisional tier (stripping the flag
+    // word recovers a frame parse_plan accepts), then fall through to the
+    // ordinary plan path with the final block.
+    const std::size_t split = response.find("\nend\n") + 5;
+    const std::string provisional = response.substr(0, split);
+    const std::string rest = response.substr(split);
+    std::cout << provisional;
+    std::string stripped = provisional;
+    stripped.erase(stripped.find(" provisional"), std::strlen(" provisional"));
+    const gridmap::engine::MappingPlan early = gridmap::engine::parse_plan(stripped);
+    std::cout << "# provisional: mapper=" << early.mapper << " jsum=" << early.jsum
+              << " jmax=" << early.jmax << "\n";
+    if (rest.rfind("err ", 0) == 0) {
+      std::cerr << rest;  // the background race failed after the provisional
+      return 1;
+    }
+    const std::string revision_marker =
+        std::string(gridmap::engine::wire::kRevisionLine) + "\n";
+    if (rest.rfind(revision_marker, 0) != 0) {
+      std::cerr << "malformed revision push\n";
+      return 1;
+    }
+    std::cout << revision_marker;
+    response = rest.substr(revision_marker.size());
   }
   std::cout << response;
   if (response.rfind("gridmap-plan", 0) == 0) {

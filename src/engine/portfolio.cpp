@@ -51,6 +51,8 @@ void validate_options(const EngineOptions& options) {
                   "history_capacity > 0 — with recording disabled the selector "
                   "could never warm up");
   }
+  GRIDMAP_CHECK(options.speculation_budget.count() >= 0,
+                "EngineOptions::speculation_budget must not be negative");
   GRIDMAP_CHECK(!options.obs.trace || options.obs.trace_capacity >= 1,
                 "ObsOptions::trace_capacity must be >= 1 when tracing is enabled");
 }
@@ -159,6 +161,21 @@ std::shared_ptr<const MappingPlan> PortfolioEngine::map(const CartesianGrid& gri
                                                         const Stencil& stencil,
                                                         const NodeAllocation& alloc) {
   return map_one(grid, stencil, alloc, nullptr, nullptr);
+}
+
+std::shared_ptr<const MappingPlan> PortfolioEngine::speculate(const CartesianGrid& grid,
+                                                              const Stencil& stencil,
+                                                              const NodeAllocation& alloc) {
+  StageEnv env{registry_, options_, cache_,      history_,
+               pool_.get(), mapper_runs_, telemetry_.get()};
+  if (telemetry_ != nullptr && telemetry_->tracing()) {
+    env.trace_track = telemetry_->trace().new_track();
+  }
+  TraceScope request_span(telemetry_.get(), "speculate", "engine", env.trace_track);
+  const std::string signature = instance_signature(grid, stencil, alloc, options_.objective);
+  // A cached plan is already final — no point speculating below it.
+  if (std::shared_ptr<const MappingPlan> hit = cache_.probe(signature)) return hit;
+  return SpeculateStage::run(env, signature, grid, stencil, alloc);
 }
 
 std::shared_ptr<const MappingPlan> PortfolioEngine::map(const CartesianGrid& grid,

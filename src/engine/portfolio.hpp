@@ -156,6 +156,11 @@ struct EngineOptions {
   /// Per-backend outcome window of the history store; 0 disables outcome
   /// recording (and thereby selection ever warming up in-process).
   std::size_t history_capacity = 512;
+  /// Per-attempt remap deadline of speculate(), the synchronous provisional
+  /// pass behind the service's two-tier response (see SpeculateStage in
+  /// engine/race.hpp). An attempt that overruns it falls through to the next
+  /// cheapest candidate; zero means unlimited. Must not be negative.
+  std::chrono::nanoseconds speculation_budget = std::chrono::milliseconds(2);
   /// Telemetry toggles: latency histograms/counters (`metrics`, default on)
   /// and per-request trace spans (`trace`, default off). Both off means the
   /// engine allocates no telemetry at all and the hot path pays only
@@ -192,6 +197,17 @@ class PortfolioEngine {
   std::shared_ptr<const MappingPlan> map(const CartesianGrid& grid, const Stencil& stencil,
                                          const NodeAllocation& alloc,
                                          const std::atomic<bool>* cancel);
+
+  /// The speculative fast path: returns a *provisional* plan from one cheap
+  /// synchronous backend run on the calling thread (cached plans are served
+  /// directly), or null when no candidate answered within
+  /// EngineOptions::speculation_budget. Never caches or records anything —
+  /// a later map() of the same instance races exactly as if speculate() had
+  /// never run, so final plans stay bit-identical to a direct race. Never
+  /// throws for a failed attempt (null is the failure signal).
+  std::shared_ptr<const MappingPlan> speculate(const CartesianGrid& grid,
+                                               const Stencil& stencil,
+                                               const NodeAllocation& alloc);
 
   /// Probes the plan cache by canonical signature without racing anything —
   /// the MappingService's synchronous fast path. A hit counts and refreshes

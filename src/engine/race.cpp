@@ -1,6 +1,8 @@
 #include "engine/race.hpp"
 
+#include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "core/types.hpp"
 #include "engine/signature.hpp"
@@ -314,6 +316,94 @@ void RaceStage::rescue(std::vector<BackendResult>& results) {
     results[i] = run_backend(results[i].name, i, env_.options.backend_budget,
                              results[i].predicted_seconds, /*racing=*/false);
   }
+}
+
+// --------------------------------------------------------- SpeculateStage --
+
+namespace {
+
+/// Static cheapest-first order for cold-history speculation: the geometric
+/// mappers answer in microseconds, the multilevel graph mapper can take
+/// milliseconds — exactly the wrong first bet for a provisional plan.
+int cheap_rank(std::string_view name) noexcept {
+  constexpr std::pair<std::string_view, int> kRanks[] = {
+      {"blocked", 0},         {"hilbert", 1},
+      {"morton", 2},          {"strips", 3},
+      {"strips+sockets", 4},  {"kdtree", 5},
+      {"kdtree+sockets", 6},  {"hyperplane", 7},
+      {"hyperplane+sockets", 8}, {"nodecart", 9},
+      {"random", 10},         {"viem", 11}};
+  for (const auto& [known, rank] : kRanks) {
+    if (known == name) return rank;
+  }
+  return 6;  // unknown backends: assume mid-pack cost
+}
+
+}  // namespace
+
+std::shared_ptr<const MappingPlan> SpeculateStage::run(const StageEnv& env,
+                                                       const std::string& signature,
+                                                       const CartesianGrid& grid,
+                                                       const Stencil& stencil,
+                                                       const NodeAllocation& alloc) {
+  StageScope scope(env, stage_hist(env, &EngineTelemetry::stage_speculate), "speculate");
+  const SelectorPass selection =
+      SelectorPass::run(env, grid, stencil, alloc, nullptr, fnv1a_hash(signature));
+
+  // History-informed first, cheapest-static otherwise: a seen backend with a
+  // positive win score that the selector predicts fits the speculation
+  // budget is the best single bet; everything else falls back to the static
+  // cheap rank so a cold start still answers in microseconds.
+  const double budget_seconds =
+      std::chrono::duration<double>(env.options.speculation_budget).count();
+  const auto predicted_fast = [budget_seconds](const BackendPrediction& p) {
+    return budget_seconds <= 0.0 || p.predicted_seconds <= 0.0 ||
+           p.predicted_seconds <= budget_seconds;
+  };
+  std::vector<std::size_t> order(selection.preds.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const BackendPrediction& pa = selection.preds[a];
+    const BackendPrediction& pb = selection.preds[b];
+    const bool ranked_a = pa.seen && pa.win_score > 0.0 && predicted_fast(pa);
+    const bool ranked_b = pb.seen && pb.win_score > 0.0 && predicted_fast(pb);
+    if (ranked_a != ranked_b) return ranked_a;
+    if (ranked_a && pa.win_score != pb.win_score) return pa.win_score > pb.win_score;
+    return cheap_rank(pa.name) < cheap_rank(pb.name);
+  });
+
+  constexpr std::size_t kMaxAttempts = 4;
+  std::size_t attempts = 0;
+  for (const std::size_t index : order) {
+    if (attempts >= kMaxAttempts) break;
+    const std::string& name = selection.preds[index].name;
+    try {
+      const std::unique_ptr<Mapper> mapper = env.registry.create(name);
+      // Strictly on the calling thread: speculation must answer fast without
+      // contending with the background race for the shared pool.
+      mapper->configure_execution(nullptr, 1, nullptr);
+      if (!mapper->applicable(grid, stencil, alloc)) continue;
+      ++attempts;
+      ExecContext ctx = env.options.speculation_budget.count() > 0
+                            ? ExecContext::with_deadline(env.options.speculation_budget,
+                                                         nullptr)
+                            : ExecContext::with_token(nullptr);
+      env.mapper_runs.fetch_add(1, std::memory_order_relaxed);
+      Remapping remapping = mapper->remap(grid, stencil, alloc, ctx);
+      const MappingCost cost = evaluate_mapping(grid, stencil, remapping, alloc);
+      auto plan = std::make_shared<MappingPlan>();
+      plan->signature = signature;
+      plan->mapper = name;
+      plan->objective = env.options.objective;
+      plan->jsum = cost.jsum;
+      plan->jmax = cost.jmax;
+      plan->cell_of_rank = remapping.cell_of_rank();
+      return plan;  // NOT cached, NOT recorded — see the contract above
+    } catch (const std::exception&) {
+      // Deadline, cancellation, or a backend failure: try the next candidate.
+    }
+  }
+  return nullptr;
 }
 
 // ------------------------------------------------------------ RecordStage --

@@ -155,6 +155,29 @@ class RaceStage {
   bool scheduled_ = false;
 };
 
+/// The speculative fast path: one cheap synchronous backend run producing a
+/// *provisional* plan on the calling thread — the first tier of the
+/// service's two-tier response (the full race refines it in the background).
+/// Candidates are ordered by the selector's win-score ranking when history
+/// is warm (skipping backends predicted slower than the speculation budget)
+/// and by a static cheapest-first rank otherwise; each attempt runs under
+/// EngineOptions::speculation_budget and a failed or timed-out attempt falls
+/// through to the next candidate.
+///
+/// Side-effect contract: the provisional plan is NEVER cached and NEVER
+/// recorded into the history — the subsequent full race must stay
+/// bit-identical to a direct PortfolioEngine::map() with no speculation.
+/// Only the mapper-run counter and telemetry observe the attempt. Returns
+/// null when no candidate produced a plan within the budget (the caller
+/// falls back to waiting on the race).
+struct SpeculateStage {
+  static std::shared_ptr<const MappingPlan> run(const StageEnv& env,
+                                                const std::string& signature,
+                                                const CartesianGrid& grid,
+                                                const Stencil& stencil,
+                                                const NodeAllocation& alloc);
+};
+
 /// Stage 4: persists a finished race — outcome recording and plan commit.
 struct RecordStage {
   /// Records every usable result into the history (no-op when recording is

@@ -42,6 +42,22 @@ struct ServiceRequest {
   bool running = false;
   bool done = false;
   ServiceClock::time_point enqueued{};  // set iff telemetry metrics are on
+  /// Admission order, monotone across the service. Queues stay sorted by it:
+  /// initial enqueues are monotone pushes and a priority promotion inserts
+  /// at the seq-ordered position — so a promoted request never jumps behind
+  /// (or ahead of) requests admitted around it within its new class.
+  std::uint64_t seq = 0;
+  // Two-tier speculative state. `speculative` means a provisional future
+  // exists (some joiner asked for speculation); `provisional_done` means the
+  // promise is resolved. A pending provisional is always resolved eventually:
+  // by the speculation pass, by final delivery, by a queued-drop
+  // cancellation, or by shutdown — never left to a broken-promise error.
+  bool speculative = false;
+  bool provisional_done = false;
+  std::promise<std::shared_ptr<const MappingPlan>> provisional_promise;
+  std::shared_future<std::shared_ptr<const MappingPlan>> provisional_future;
+  std::shared_ptr<const MappingPlan> provisional_plan;  // set iff speculation succeeded
+  ServiceClock::time_point provisional_ready{};
 };
 
 }  // namespace detail
@@ -127,6 +143,8 @@ MappingService::~MappingService() {
               std::make_exception_ptr(AdmissionError(RejectReason::kShuttingDown)));
           ++counters_.rejected_shutdown;
         }
+        fail_provisional_locked(
+            request, std::make_exception_ptr(AdmissionError(RejectReason::kShuttingDown)));
         request->done = true;
         unindex(inflight_, request);
       }
@@ -155,7 +173,8 @@ std::shared_ptr<detail::ServiceRequest> MappingService::pop_locked() {
 }
 
 MapTicket MappingService::map_async(const CartesianGrid& grid, const Stencil& stencil,
-                                    const NodeAllocation& alloc, Priority priority) {
+                                    const NodeAllocation& alloc, Priority priority,
+                                    bool speculate) {
   EngineTelemetry* const tel = engine_.telemetry();
   const bool timed = tel != nullptr && tel->metrics();
   const detail::ServiceClock::time_point submitted =
@@ -163,76 +182,141 @@ MapTicket MappingService::map_async(const CartesianGrid& grid, const Stencil& st
   const std::string signature =
       instance_signature(grid, stencil, alloc, engine_.objective());
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counters_.submitted;
-  if (stopping_) {
-    ++counters_.rejected_shutdown;
-    throw AdmissionError(RejectReason::kShuttingDown);
-  }
-
   MapTicket ticket;
-  if (options_.probe_cache) {
-    if (std::shared_ptr<const MappingPlan> plan = engine_.cached(signature)) {
-      ++counters_.cache_hits;
-      std::promise<std::shared_ptr<const MappingPlan>> ready;
-      ticket.future_ = ready.get_future();
-      ready.set_value(std::move(plan));
-      ticket.cache_hit_ = true;
-      if (timed) {
-        tel->request_hit->record_seconds(
-            std::chrono::duration<double>(detail::ServiceClock::now() - submitted).count());
-      }
-      return ticket;
+  // Set when this call owes the request a speculation pass; the pass runs
+  // after the lock is dropped (the race proceeds concurrently) and the
+  // result is published under the lock below.
+  std::shared_ptr<detail::ServiceRequest> speculating;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.submitted;
+    if (stopping_) {
+      ++counters_.rejected_shutdown;
+      throw AdmissionError(RejectReason::kShuttingDown);
     }
-  }
 
-  if (options_.single_flight) {
-    const auto it = inflight_.find(signature);
-    if (it != inflight_.end()) {
-      // Join the twin's race instead of consuming a queue slot.
-      const std::shared_ptr<detail::ServiceRequest>& request = it->second;
-      ++counters_.deduped;
+    if (options_.probe_cache) {
+      if (std::shared_ptr<const MappingPlan> plan = engine_.cached(signature)) {
+        ++counters_.cache_hits;
+        if (speculate) {
+          // A cached plan is final and provisional at once.
+          std::promise<std::shared_ptr<const MappingPlan>> provisional;
+          provisional.set_value(plan);
+          ticket.provisional_ = provisional.get_future().share();
+          ticket.speculative_ = true;
+        }
+        std::promise<std::shared_ptr<const MappingPlan>> ready;
+        ticket.future_ = ready.get_future();
+        ready.set_value(std::move(plan));
+        ticket.cache_hit_ = true;
+        if (timed) {
+          tel->request_hit->record_seconds(
+              std::chrono::duration<double>(detail::ServiceClock::now() - submitted).count());
+        }
+        return ticket;
+      }
+    }
+
+    bool joined = false;
+    if (options_.single_flight) {
+      const auto it = inflight_.find(signature);
+      if (it != inflight_.end()) {
+        // Join the twin's race instead of consuming a queue slot.
+        const std::shared_ptr<detail::ServiceRequest>& request = it->second;
+        joined = true;
+        ++counters_.deduped;
+        ticket.service_ = this;
+        ticket.request_ = request;
+        ticket.waiter_ = request->waiters.size();
+        ticket.deduped_ = true;
+        request->waiters.emplace_back();
+        request->waiters.back().deduped = true;
+        request->waiters.back().submitted = submitted;
+        ticket.future_ = request->waiters.back().promise.get_future();
+        ++request->active;
+        if (speculate && !request->speculative) {
+          // The twin was admitted without speculation: this joiner claims
+          // the pass and runs it on behalf of every waiter.
+          request->speculative = true;
+          request->provisional_future = request->provisional_promise.get_future().share();
+          if (!request->provisional_done) speculating = request;
+        }
+        if (request->speculative) {
+          ticket.provisional_ = request->provisional_future;
+          ticket.speculative_ = true;
+        }
+        if (!request->running && idx(priority) < idx(request->priority)) {
+          // A stronger joiner promotes the whole queued race — into its
+          // admission-order slot of the stronger queue, not its back:
+          // promotion must never demote the request behind later-admitted
+          // requests of its new class.
+          auto& old_queue = queues_[idx(request->priority)];
+          old_queue.erase(std::find(old_queue.begin(), old_queue.end(), request));
+          request->priority = priority;
+          auto& new_queue = queues_[idx(priority)];
+          const auto slot = std::upper_bound(
+              new_queue.begin(), new_queue.end(), request,
+              [](const std::shared_ptr<detail::ServiceRequest>& a,
+                 const std::shared_ptr<detail::ServiceRequest>& b) { return a->seq < b->seq; });
+          new_queue.insert(slot, request);
+        }
+      }
+    }
+
+    if (!joined) {
+      if (depth_locked() >= options_.queue_capacity) {
+        ++counters_.rejected_full;
+        throw AdmissionError(RejectReason::kQueueFull);
+      }
+
+      auto request = std::make_shared<detail::ServiceRequest>(
+          signature, Instance{grid, stencil, alloc}, priority);
+      request->seq = ++next_seq_;
+      request->waiters.emplace_back();
+      request->waiters.back().submitted = submitted;
+      request->enqueued = submitted;
+      request->active = 1;
       ticket.service_ = this;
       ticket.request_ = request;
-      ticket.waiter_ = request->waiters.size();
-      ticket.deduped_ = true;
-      request->waiters.emplace_back();
-      request->waiters.back().deduped = true;
-      request->waiters.back().submitted = submitted;
+      ticket.waiter_ = 0;
       ticket.future_ = request->waiters.back().promise.get_future();
-      ++request->active;
-      if (!request->running && idx(priority) < idx(request->priority)) {
-        // A stronger joiner promotes the whole queued race.
-        auto& old_queue = queues_[idx(request->priority)];
-        old_queue.erase(std::find(old_queue.begin(), old_queue.end(), request));
-        request->priority = priority;
-        queues_[idx(priority)].push_back(request);
+      if (speculate) {
+        request->speculative = true;
+        request->provisional_future = request->provisional_promise.get_future().share();
+        ticket.provisional_ = request->provisional_future;
+        ticket.speculative_ = true;
+        speculating = request;
       }
-      return ticket;
+      queues_[idx(priority)].push_back(request);
+      if (options_.single_flight) inflight_.emplace(signature, request);
+      ++counters_.admitted;
+      counters_.queue_depth = depth_locked();
+      counters_.max_queue_depth = std::max(counters_.max_queue_depth, counters_.queue_depth);
+      work_.notify_one();
     }
   }
 
-  if (depth_locked() >= options_.queue_capacity) {
-    ++counters_.rejected_full;
-    throw AdmissionError(RejectReason::kQueueFull);
+  if (speculating != nullptr) {
+    // The first tier: one cheap backend run on this thread, racing the
+    // dispatcher. Whoever finishes first resolves the provisional future —
+    // if the full race already delivered, its (final) answer stands.
+    std::shared_ptr<const MappingPlan> plan = engine_.speculate(grid, stencil, alloc);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!speculating->provisional_done && plan != nullptr) {
+      speculating->provisional_done = true;
+      speculating->provisional_plan = plan;
+      speculating->provisional_ready = detail::ServiceClock::now();
+      speculating->provisional_promise.set_value(std::move(plan));
+      ++counters_.speculated;
+      if (timed) {
+        tel->request_provisional->record_seconds(
+            std::chrono::duration<double>(speculating->provisional_ready - submitted)
+                .count());
+      }
+    }
+    // A null plan leaves the promise pending: final delivery (or
+    // cancellation/shutdown) resolves provisional() alongside the future.
   }
-
-  auto request = std::make_shared<detail::ServiceRequest>(
-      signature, Instance{grid, stencil, alloc}, priority);
-  request->waiters.emplace_back();
-  request->waiters.back().submitted = submitted;
-  request->enqueued = submitted;
-  request->active = 1;
-  ticket.service_ = this;
-  ticket.request_ = request;
-  ticket.waiter_ = 0;
-  ticket.future_ = request->waiters.back().promise.get_future();
-  queues_[idx(priority)].push_back(request);
-  if (options_.single_flight) inflight_.emplace(signature, std::move(request));
-  ++counters_.admitted;
-  counters_.queue_depth = depth_locked();
-  counters_.max_queue_depth = std::max(counters_.max_queue_depth, counters_.queue_depth);
-  work_.notify_one();
   return ticket;
 }
 
@@ -256,12 +340,22 @@ void MappingService::cancel_waiter(const std::shared_ptr<detail::ServiceRequest>
     if (options_.single_flight) unindex(inflight_, request);
     return;
   }
-  // Still queued: drop it before a dispatcher wastes a race on it.
+  // Still queued: drop it before a dispatcher wastes a race on it. The
+  // request ends here, so it settles its conservation leg now.
   auto& queue = queues_[idx(request->priority)];
   queue.erase(std::find(queue.begin(), queue.end(), request));
   if (options_.single_flight) unindex(inflight_, request);
   request->done = true;
+  ++counters_.fully_cancelled;
+  fail_provisional_locked(request, cancelled_error());
   counters_.queue_depth = depth_locked();
+}
+
+void MappingService::fail_provisional_locked(
+    const std::shared_ptr<detail::ServiceRequest>& request, std::exception_ptr error) {
+  if (!request->speculative || request->provisional_done) return;
+  request->provisional_done = true;
+  request->provisional_promise.set_exception(std::move(error));
 }
 
 void MappingService::worker_loop() {
@@ -324,12 +418,43 @@ void MappingService::worker_loop() {
         waiter.promise.set_value(plan);
       }
     }
+    if (request->speculative && !request->provisional_done) {
+      // Speculation never published (it failed, or the race beat it): the
+      // final answer doubles as the provisional one. Resolved after the
+      // waiters above so a provisional() waker always finds the final
+      // future ready too.
+      request->provisional_done = true;
+      if (error) {
+        request->provisional_promise.set_exception(error);
+      } else {
+        request->provisional_promise.set_value(plan);
+      }
+    } else if (!error && request->provisional_plan != nullptr) {
+      // The genuine two-tier case: the provisional plan was served earlier
+      // and the race now refines it.
+      if (timed) {
+        tel->upgrade_wait->record_seconds(
+            std::chrono::duration<double>(delivered - request->provisional_ready).count());
+      }
+      MappingCost provisional_cost;
+      provisional_cost.jsum = request->provisional_plan->jsum;
+      provisional_cost.jmax = request->provisional_plan->jmax;
+      MappingCost final_cost;
+      final_cost.jsum = plan->jsum;
+      final_cost.jmax = plan->jmax;
+      if (better(engine_.objective(), final_cost, provisional_cost)) ++counters_.upgraded;
+    }
     if (request->active > 0) {
       if (error) {
         ++counters_.failed;
       } else {
         ++counters_.completed;
       }
+    } else {
+      // Every joiner cancelled — including the window where the last joiner
+      // cancels after the race finished but before this delivery. Without
+      // this leg the request would vanish from the accounting entirely.
+      ++counters_.fully_cancelled;
     }
     request->done = true;
     request->running = false;
@@ -374,6 +499,9 @@ obs::MetricsSnapshot MappingService::metrics() const {
   counter("gridmap_service_requests", {{"event", "completed"}}, c.completed);
   counter("gridmap_service_requests", {{"event", "failed"}}, c.failed);
   counter("gridmap_service_requests", {{"event", "cancelled"}}, c.cancelled);
+  counter("gridmap_service_requests", {{"event", "fully_cancelled"}}, c.fully_cancelled);
+  counter("gridmap_service_requests", {{"event", "speculated"}}, c.speculated);
+  counter("gridmap_service_requests", {{"event", "upgraded"}}, c.upgraded);
   gauge("gridmap_queue_depth", static_cast<double>(c.queue_depth));
   gauge("gridmap_in_flight", static_cast<double>(c.in_flight));
   // A per-queue high-water mark: summing it across shards would overstate

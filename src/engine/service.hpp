@@ -20,9 +20,19 @@
 //     requests are dropped, and when every joiner of a running race has
 //     cancelled, the race itself is stopped cooperatively through the
 //     ExecContext machinery (PortfolioEngine::map's cancel flag).
+//   two-tier serving  — map_async(..., speculate=true) answers a cache miss
+//     twice: a *provisional* plan produced synchronously at submission by
+//     one cheap backend run (PortfolioEngine::speculate — microseconds),
+//     then the full race's final plan through the ordinary future. The
+//     provisional pass never touches the cache or history, so the final
+//     plan is bit-identical to a non-speculative request.
 //
 // Plans served here are bit-identical to direct PortfolioEngine::map calls
 // with the same options — the service adds scheduling, not policy.
+// Accounting conservation: every admitted request ends in exactly one of
+// completed / failed / fully_cancelled — unless the service shuts down while
+// it is still queued, in which case its waiters count under
+// rejected_shutdown instead.
 //
 // Thread model: one mutex guards the queue, the single-flight index, the
 // per-request waiter lists, and the counters. Races run outside the lock;
@@ -113,6 +123,13 @@ struct ServiceCounters {
   std::uint64_t completed = 0;          ///< races that produced a plan
   std::uint64_t failed = 0;             ///< races that threw (delivered via future)
   std::uint64_t cancelled = 0;          ///< waiters abandoned via MapTicket::cancel
+  /// Admitted requests whose every joiner cancelled (dropped while queued or
+  /// abandoned around the race) — the third leg of the conservation
+  /// invariant: admitted == completed + failed + fully_cancelled for every
+  /// request not rejected by shutdown while queued.
+  std::uint64_t fully_cancelled = 0;
+  std::uint64_t speculated = 0;         ///< provisional plans published by speculation
+  std::uint64_t upgraded = 0;           ///< final plans strictly better than their provisional
   std::size_t queue_depth = 0;          ///< gauge: requests awaiting dispatch
   std::size_t in_flight = 0;            ///< gauge: races running right now
   std::size_t max_queue_depth = 0;      ///< high-water mark of queue_depth
@@ -132,6 +149,21 @@ class MapTicket {
   std::future<std::shared_ptr<const MappingPlan>>& future() noexcept { return future_; }
   bool valid() const noexcept { return future_.valid(); }
 
+  /// The provisional (first-tier) plan future of a speculative submission.
+  /// Valid only when speculative() — a plain map_async leaves it invalid.
+  /// Resolves with the speculated plan microseconds after submission; when
+  /// speculation produced nothing it resolves together with the final future
+  /// (same plan or same error), so get() on it never blocks longer than the
+  /// race. Shared: every deduped joiner of a speculative request observes
+  /// the same provisional plan object.
+  std::shared_future<std::shared_ptr<const MappingPlan>>& provisional() noexcept {
+    return provisional_;
+  }
+
+  /// This ticket carries a provisional() future (the submission — or a twin
+  /// it joined — asked for speculation).
+  bool speculative() const noexcept { return speculative_; }
+
   /// This request joined a race another submission started.
   bool deduped() const noexcept { return deduped_; }
   /// This request completed synchronously from the plan cache.
@@ -140,19 +172,26 @@ class MapTicket {
   /// Abandons this requester: its future fails with CancelledError
   /// immediately. The shared race is only stopped (cooperatively, via the
   /// engine's ExecContext machinery) once every joiner has cancelled — a
-  /// single cancel never steals the result from other waiters. Idempotent;
-  /// a no-op after completion or on a cache-hit ticket.
+  /// single cancel never steals the result from other waiters. Idempotent.
+  ///
+  /// Post-completion contract (identical for both ticket flavors): once the
+  /// plan is delivered — a cache-hit ticket is born delivered — cancel() is
+  /// a well-defined no-op: it never throws, never invalidates the future or
+  /// an already-resolved provisional(), and never moves the cancelled
+  /// counter.
   void cancel();
 
  private:
   friend class MappingService;
 
   std::future<std::shared_ptr<const MappingPlan>> future_;
+  std::shared_future<std::shared_ptr<const MappingPlan>> provisional_;
   std::shared_ptr<detail::ServiceRequest> request_;  // null for cache hits
   std::size_t waiter_ = 0;                           // index into the request's waiters
   MappingService* service_ = nullptr;
   bool deduped_ = false;
   bool cache_hit_ = false;
+  bool speculative_ = false;
 };
 
 class MappingService {
@@ -175,8 +214,19 @@ class MappingService {
   /// winning plan; completes synchronously on a cache hit, joins an
   /// in-flight twin when single-flight applies, otherwise consumes a queue
   /// slot. Throws AdmissionError when the request is not admitted.
+  ///
+  /// With `speculate` set, the two-tier path: the race is enqueued first,
+  /// then PortfolioEngine::speculate runs synchronously on the calling
+  /// thread and publishes its plan through the ticket's provisional()
+  /// future before map_async returns (so the call costs one cheap backend
+  /// run, not a race). A speculative joiner of a twin that is already
+  /// speculating shares the twin's provisional future instead of running
+  /// its own pass; a joiner of a non-speculative twin claims speculation
+  /// for it. Cache hits resolve provisional() and the final future with the
+  /// same plan. Speculation never changes the final plan (see class docs).
   MapTicket map_async(const CartesianGrid& grid, const Stencil& stencil,
-                      const NodeAllocation& alloc, Priority priority = Priority::kNormal);
+                      const NodeAllocation& alloc, Priority priority = Priority::kNormal,
+                      bool speculate = false);
 
   ServiceCounters counters() const;
 
@@ -202,6 +252,10 @@ class MappingService {
   std::size_t depth_locked() const;
   void cancel_waiter(const std::shared_ptr<detail::ServiceRequest>& request,
                      std::size_t waiter);
+  /// Fails a still-pending provisional promise (no-op otherwise). Called
+  /// wherever a request can end without the race delivering.
+  static void fail_provisional_locked(const std::shared_ptr<detail::ServiceRequest>& request,
+                                      std::exception_ptr error);
 
   PortfolioEngine engine_;
   ServiceOptions options_;
@@ -211,6 +265,7 @@ class MappingService {
   std::deque<std::shared_ptr<detail::ServiceRequest>> queues_[3];  // by Priority
   std::unordered_map<std::string, std::shared_ptr<detail::ServiceRequest>> inflight_;
   ServiceCounters counters_;
+  std::uint64_t next_seq_ = 0;  // admission order, preserved across promotions
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -48,9 +48,10 @@ std::size_t ShardedService::shard_of(const std::string& signature) const noexcep
 }
 
 MapTicket ShardedService::map_async(const CartesianGrid& grid, const Stencil& stencil,
-                                    const NodeAllocation& alloc, Priority priority) {
+                                    const NodeAllocation& alloc, Priority priority,
+                                    bool speculate) {
   const std::string signature = instance_signature(grid, stencil, alloc, objective_);
-  return shards_[shard_of(signature)]->map_async(grid, stencil, alloc, priority);
+  return shards_[shard_of(signature)]->map_async(grid, stencil, alloc, priority, speculate);
 }
 
 ServiceCounters ShardedService::counters() const {
@@ -66,6 +67,9 @@ ServiceCounters ShardedService::counters() const {
     total.completed += c.completed;
     total.failed += c.failed;
     total.cancelled += c.cancelled;
+    total.fully_cancelled += c.fully_cancelled;
+    total.speculated += c.speculated;
+    total.upgraded += c.upgraded;
     total.queue_depth += c.queue_depth;
     total.in_flight += c.in_flight;
     total.max_queue_depth = std::max(total.max_queue_depth, c.max_queue_depth);

@@ -55,10 +55,11 @@ class ShardedService {
                           ServiceOptions service_options = {}, int shards = 1);
 
   /// Routes the request to its signature's shard. Everything else —
-  /// admission, dedup, priorities, tickets — is that shard's
-  /// MappingService::map_async contract.
+  /// admission, dedup, priorities, tickets, the two-tier speculative path —
+  /// is that shard's MappingService::map_async contract.
   MapTicket map_async(const CartesianGrid& grid, const Stencil& stencil,
-                      const NodeAllocation& alloc, Priority priority = Priority::kNormal);
+                      const NodeAllocation& alloc, Priority priority = Priority::kNormal,
+                      bool speculate = false);
 
   /// The shard index serving `signature`: route_hash(signature) % shards().
   /// A pure function of the signature — stable across runs and instances.

@@ -9,11 +9,15 @@ EngineTelemetry::EngineTelemetry(const obs::ObsOptions& options,
   request_hit = &registry_.histogram("gridmap_request_seconds", {{"outcome", "hit"}});
   request_dedup = &registry_.histogram("gridmap_request_seconds", {{"outcome", "dedup"}});
   request_race = &registry_.histogram("gridmap_request_seconds", {{"outcome", "race"}});
+  request_provisional =
+      &registry_.histogram("gridmap_request_seconds", {{"outcome", "provisional"}});
+  upgrade_wait = &registry_.histogram("gridmap_upgrade_wait_seconds");
   queue_wait = &registry_.histogram("gridmap_queue_wait_seconds");
   stage_cache_probe = &registry_.histogram("gridmap_stage_seconds", {{"stage", "cache_probe"}});
   stage_selector = &registry_.histogram("gridmap_stage_seconds", {{"stage", "selector"}});
   stage_race = &registry_.histogram("gridmap_stage_seconds", {{"stage", "race"}});
   stage_record = &registry_.histogram("gridmap_stage_seconds", {{"stage", "record"}});
+  stage_speculate = &registry_.histogram("gridmap_stage_seconds", {{"stage", "speculate"}});
   plan_cache_probe = &registry_.histogram("gridmap_plan_cache_probe_seconds");
   rescued_runs = &registry_.counter("gridmap_rescued_backend_runs");
   spans_dropped_ = &registry_.gauge("gridmap_trace_spans_dropped");

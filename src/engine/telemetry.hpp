@@ -5,9 +5,11 @@
 // few relaxed atomics (never a registry lookup).
 //
 // Metric names (spec: docs/OBSERVABILITY.md):
-//   gridmap_request_seconds{outcome="hit|dedup|race"}   service request latency
+//   gridmap_request_seconds{outcome="hit|dedup|race|provisional"}
+//                                                       service request latency
+//   gridmap_upgrade_wait_seconds                        provisional -> final plan
 //   gridmap_queue_wait_seconds                          admission -> dispatch
-//   gridmap_stage_seconds{stage="cache_probe|selector|race|record"}
+//   gridmap_stage_seconds{stage="cache_probe|selector|race|record|speculate"}
 //   gridmap_backend_remap_seconds{backend=...}          per-backend remap time
 //   gridmap_backend_eval_seconds{backend=...}           per-backend scoring time
 //   gridmap_plan_cache_probe_seconds                    PlanCache lookup latency
@@ -63,11 +65,16 @@ class EngineTelemetry {
   obs::LatencyHistogram* request_hit = nullptr;
   obs::LatencyHistogram* request_dedup = nullptr;
   obs::LatencyHistogram* request_race = nullptr;
+  /// Submission -> provisional plan published (two-tier speculative path).
+  obs::LatencyHistogram* request_provisional = nullptr;
+  /// Provisional published -> final race plan delivered for the same request.
+  obs::LatencyHistogram* upgrade_wait = nullptr;
   obs::LatencyHistogram* queue_wait = nullptr;
   obs::LatencyHistogram* stage_cache_probe = nullptr;
   obs::LatencyHistogram* stage_selector = nullptr;
   obs::LatencyHistogram* stage_race = nullptr;
   obs::LatencyHistogram* stage_record = nullptr;
+  obs::LatencyHistogram* stage_speculate = nullptr;
   obs::LatencyHistogram* plan_cache_probe = nullptr;
   obs::Counter* rescued_runs = nullptr;
   std::vector<obs::LatencyHistogram*> backend_remap;  ///< by registry index

@@ -55,6 +55,8 @@ std::string stats_frame(const ShardedService& service) {
       << " rejected_shutdown=" << c.rejected_shutdown << " deduped=" << c.deduped
       << " cache_hits=" << c.cache_hits << " completed=" << c.completed
       << " failed=" << c.failed << " cancelled=" << c.cancelled
+      << " fully_cancelled=" << c.fully_cancelled << " speculated=" << c.speculated
+      << " upgraded=" << c.upgraded
       << " queue_depth=" << c.queue_depth << " max_queue_depth=" << c.max_queue_depth
       << " cache_hit_rate=" << cache.hit_rate()
       << " mapper_runs=" << service.mapper_runs() << "\n";
@@ -199,7 +201,17 @@ MapRequest parse_map_request(std::istream& args) {
                     priority};
 }
 
-std::string handle_request(ShardedService& service, const std::string& line,
+std::string provisional_plan_frame(const MappingPlan& plan) {
+  std::string frame = serialize_plan(plan);
+  // "gridmap-plan v1\n..." -> "gridmap-plan v1 provisional\n...": the flag
+  // rides the header line, so every other line (and the end terminator)
+  // stays byte-identical to a plain plan block.
+  const std::size_t newline = frame.find('\n');
+  frame.insert(newline, " provisional");
+  return frame;
+}
+
+Response handle_request_ex(ShardedService& service, const std::string& line,
                            bool& want_shutdown) {
   std::istringstream args(line);
   std::string command;
@@ -209,23 +221,58 @@ std::string handle_request(ShardedService& service, const std::string& line,
       const MapRequest request = parse_map_request(args);
       MapTicket ticket = service.map_async(request.instance.grid, request.instance.stencil,
                                            request.instance.alloc, request.priority);
-      return serialize_plan(*ticket.get());
+      return {serialize_plan(*ticket.get()), nullptr};
     }
-    if (command == "stats") return stats_frame(service);
-    if (command == "metrics") return metrics_frame(service);
+    if (command == "mapspec") {
+      const MapRequest request = parse_map_request(args);
+      // shared_ptr: the ticket must outlive this scope inside the deferred
+      // revision closure.
+      auto ticket = std::make_shared<MapTicket>(
+          service.map_async(request.instance.grid, request.instance.stencil,
+                            request.instance.alloc, request.priority,
+                            /*speculate=*/true));
+      const std::shared_ptr<const MappingPlan> provisional = ticket->provisional().get();
+      if (ticket->future().wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+        // Cache hit, or the race beat the speculation pass: the answer is
+        // already final — one plain plan block, no revision push.
+        return {serialize_plan(*ticket->get()), nullptr};
+      }
+      Response response;
+      response.immediate = provisional_plan_frame(*provisional);
+      response.follow_up = [ticket]() -> std::string {
+        try {
+          return std::string(kRevisionLine) + "\n" + serialize_plan(*ticket->get());
+        } catch (const AdmissionError& e) {
+          return error_frame(ErrorCode::kBusy, to_string(e.reason()));
+        } catch (const std::exception& e) {
+          return error_frame(ErrorCode::kInternal, e.what());
+        }
+      };
+      return response;
+    }
+    if (command == "stats") return {stats_frame(service), nullptr};
+    if (command == "metrics") return {metrics_frame(service), nullptr};
     if (command == "shutdown") {
       want_shutdown = true;
-      return "ok bye\n";
+      return {"ok bye\n", nullptr};
     }
-    return error_frame(ErrorCode::kUnknownCommand,
-                       "want map|stats|metrics|shutdown: " + command);
+    return {error_frame(ErrorCode::kUnknownCommand,
+                        "want map|mapspec|stats|metrics|shutdown: " + command),
+            nullptr};
   } catch (const AdmissionError& e) {
-    return error_frame(ErrorCode::kBusy, to_string(e.reason()));
+    return {error_frame(ErrorCode::kBusy, to_string(e.reason())), nullptr};
   } catch (const std::invalid_argument& e) {
-    return error_frame(ErrorCode::kBadRequest, e.what());
+    return {error_frame(ErrorCode::kBadRequest, e.what()), nullptr};
   } catch (const std::exception& e) {
-    return error_frame(ErrorCode::kInternal, e.what());
+    return {error_frame(ErrorCode::kInternal, e.what()), nullptr};
   }
+}
+
+std::string handle_request(ShardedService& service, const std::string& line,
+                           bool& want_shutdown) {
+  Response response = handle_request_ex(service, line, want_shutdown);
+  if (response.follow_up) response.immediate += response.follow_up();
+  return response.immediate;
 }
 
 std::string_view to_string(ConnectionEnd end) {
@@ -276,8 +323,15 @@ ConnectionEnd serve_connection(Transport& transport, ShardedService& service,
     if (line.empty()) continue;
 
     bool want_shutdown = false;
-    const std::string response = handle_request(service, line, want_shutdown);
-    if (!transport.write_all(response)) return ConnectionEnd::kPeerGone;
+    Response response = handle_request_ex(service, line, want_shutdown);
+    if (!transport.write_all(response.immediate)) return ConnectionEnd::kPeerGone;
+    if (response.follow_up) {
+      // The revision push: blocks on the background race exactly like a
+      // blocking "map" would, then writes the upgraded plan. A peer that
+      // vanished in between only loses the write — the race has already
+      // completed inside the service and warmed its shard's cache.
+      if (!transport.write_all(response.follow_up())) return ConnectionEnd::kPeerGone;
+    }
     if (want_shutdown) {
       if (on_shutdown) on_shutdown();
       return ConnectionEnd::kShutdown;

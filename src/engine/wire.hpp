@@ -5,16 +5,27 @@
 //   hello     — on connect the server sends one "GRIDMAP/1\n" line before
 //               anything else, so clients can reject a version mismatch
 //               instead of misparsing frames.
-//   requests  — single '\n'-terminated lines ("map ...", "stats",
-//               "metrics", "shutdown"), at most kMaxRequestLine bytes and
-//               never containing NUL. An oversized or NUL-bearing line is
-//               answered with "err too-long ..." / "err bad-byte ..." and the
-//               connection is closed — the parser never buffers unboundedly.
+//   requests  — single '\n'-terminated lines ("map ...", "mapspec ...",
+//               "stats", "metrics", "shutdown"), at most kMaxRequestLine
+//               bytes and never containing NUL. An oversized or NUL-bearing
+//               line is answered with "err too-long ..." / "err bad-byte ..."
+//               and the connection is closed — the parser never buffers
+//               unboundedly.
 //   responses — one "ok ..." line, one "err <code> <detail>" line, or a
 //               block response terminated by its "end" line: a plan block in
 //               plan_io text form ("map"), or a "gridmap-metrics v1" block
 //               carrying Prometheus-style text exposition ("metrics").
 //               Error codes are the closed set in ErrorCode.
+//   mapspec   — the two-tier speculative verb (same arguments as "map"). A
+//               cache hit answers with one plain plan block. A miss answers
+//               immediately with a plan block whose header carries the
+//               `provisional` flag ("gridmap-plan v1 provisional"), then —
+//               on the same connection, once the background race finishes —
+//               pushes a revision: one "revision" marker line followed by
+//               the final plain plan block. Old clients are unaffected:
+//               they never send the verb, and every other frame is
+//               unchanged (verb growth per the kUnknownCommand contract,
+//               no version bump).
 //
 // The protocol logic is written against the Transport byte-stream interface
 // rather than sockets, so tests drive the full server path — framing,
@@ -52,13 +63,14 @@ enum class ErrorCode {
   kTooLong,         ///< request line exceeded kMaxRequestLine
   kBadByte,         ///< NUL byte inside a request line
   kBadRequest,      ///< request parsed but was malformed/invalid
-  /// First word is not a known command (map|stats|metrics|shutdown). The
-  /// command set may grow in later GRIDMAP/1 revisions WITHOUT a protocol
-  /// version bump: a new verb changes no existing frame, an old server
-  /// answers it with this error and keeps the connection open, and an old
-  /// client simply never sends it — so mixed-version deployments
-  /// interoperate. The err-code table in docs/FORMATS.md mirrors this
-  /// contract and must be extended together with this comment.
+  /// First word is not a known command (map|mapspec|stats|metrics|
+  /// shutdown). The command set may grow in later GRIDMAP/1 revisions
+  /// WITHOUT a protocol version bump: a new verb changes no existing frame,
+  /// an old server answers it with this error and keeps the connection
+  /// open, and an old client simply never sends it — so mixed-version
+  /// deployments interoperate ("mapspec" grew this way in PR 10). The
+  /// err-code table in docs/FORMATS.md mirrors this contract and must be
+  /// extended together with this comment.
   kUnknownCommand,
   kBusy,            ///< admission control refused (queue-full|shutting-down)
   kInternal,        ///< the race itself failed
@@ -144,10 +156,39 @@ struct MapRequest {
 /// priority, non-positive node counts, trailing junk.
 MapRequest parse_map_request(std::istream& args);
 
-/// Executes one request line against the service and returns the complete
-/// response frame. Never throws: parse and validation failures become
-/// "err bad-request", admission refusals "err busy", race failures
-/// "err internal". Sets `want_shutdown` on the shutdown command.
+/// Header line of a provisional plan block: the plan_io header plus the
+/// `provisional` flag word. Clients strip the flag to recover a frame
+/// parse_plan accepts.
+inline constexpr std::string_view kProvisionalHeader = "gridmap-plan v1 provisional";
+
+/// Marker line announcing the pushed upgrade of a mapspec response; the
+/// final plain plan block follows it.
+inline constexpr std::string_view kRevisionLine = "revision";
+
+/// serialize_plan(plan) with the header rewritten to kProvisionalHeader.
+std::string provisional_plan_frame(const MappingPlan& plan);
+
+/// A handled request: the frame to write now, plus — for mapspec misses —
+/// a deferred continuation that blocks on the background race and returns
+/// the revision push (or an err frame when the race fails). Null follow_up
+/// means a single-frame response.
+struct Response {
+  std::string immediate;
+  std::function<std::string()> follow_up;
+};
+
+/// Executes one request line against the service. Never throws: parse and
+/// validation failures become "err bad-request", admission refusals
+/// "err busy", race failures "err internal". Sets `want_shutdown` on the
+/// shutdown command. The follow_up closure (mapspec only) never throws
+/// either and owns every resource it needs — it may be invoked (or
+/// dropped) after the Response's request line is gone.
+Response handle_request_ex(ShardedService& service, const std::string& line,
+                           bool& want_shutdown);
+
+/// Single-frame convenience over handle_request_ex: immediate plus the
+/// resolved follow_up concatenated — i.e. a mapspec miss blocks for the
+/// final plan and returns both frames in one string.
 std::string handle_request(ShardedService& service, const std::string& line,
                            bool& want_shutdown);
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "baselines/blocked.hpp"
+#include "engine/objective.hpp"
 #include "engine/service.hpp"
 #include "engine/signature.hpp"
 
@@ -240,6 +241,35 @@ TEST(MappingService, HighPriorityDispatchesBeforeEarlierLowPriority) {
   (void)occupier.get();
 }
 
+TEST(MappingService, PromotionKeepsAdmissionOrderWithinTheStrongerClass) {
+  // Regression (PR 10): a queued request promoted by a high-priority twin
+  // must land in its admission-order slot of the stronger queue — ahead of
+  // high requests admitted after it, behind ones admitted before it — not
+  // jump the whole class or fall to its back.
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  ServiceOptions service_options;
+  service_options.workers = 1;
+  MappingService service(slow_registry(milliseconds(300)), engine_options,
+                         service_options);
+
+  MapTicket occupier = submit(service, instance_2d(3, 3));
+  wait_until_running(service);
+  MapTicket normal = submit(service, instance_2d(4, 4));                  // admitted 2nd
+  MapTicket high = submit(service, instance_2d(5, 4), Priority::kHigh);   // admitted 3rd
+  MapTicket twin = submit(service, instance_2d(4, 4), Priority::kHigh);   // promotes #2
+  EXPECT_TRUE(twin.deduped());
+
+  // The promoted request was admitted before `high`, so it dispatches
+  // first; `high`'s own 300 ms race has not finished (or started) yet.
+  const std::shared_ptr<const MappingPlan> plan = normal.get();
+  EXPECT_NE(plan, nullptr);
+  EXPECT_NE(high.future().wait_for(milliseconds(0)), std::future_status::ready);
+  EXPECT_EQ(twin.get(), plan);  // the twin joined that same race
+  EXPECT_NE(high.get(), nullptr);
+  (void)occupier.get();
+}
+
 // ------------------------------------------------------------- cancellation --
 
 TEST(MappingService, CancelQueuedRequestFailsFastAndSkipsTheRace) {
@@ -331,6 +361,154 @@ TEST(MappingService, CancellingOneJoinerDoesNotStealTheTwinsResult) {
   EXPECT_THROW(quitter.get(), CancelledError);
   EXPECT_NE(keeper.get(), nullptr);  // the shared race still delivered
   (void)occupier.get();
+}
+
+TEST(MappingService, CancelAfterCompletionIsAWellDefinedNoOpForBothFlavors) {
+  // Post-completion contract (service.hpp): once the plan is delivered,
+  // cancel() never throws, never invalidates the future, and never moves
+  // the cancelled counter — for raced tickets and cache-hit tickets alike.
+  MappingService service(MapperRegistry::with_default_backends(), {}, {});
+  const Instance inst = instance_2d(4, 4);
+
+  MapTicket raced = submit(service, inst);
+  raced.future().wait();  // delivered, result not yet consumed
+  raced.cancel();
+  EXPECT_TRUE(raced.valid());
+  const std::shared_ptr<const MappingPlan> plan = raced.get();
+  EXPECT_NE(plan, nullptr);
+  raced.cancel();  // after get() too
+
+  MapTicket hit = submit(service, inst);
+  EXPECT_TRUE(hit.cache_hit());
+  hit.cancel();  // born delivered: cancel is a no-op, not a failure
+  EXPECT_TRUE(hit.valid());
+  EXPECT_EQ(hit.get(), plan);
+  hit.cancel();
+
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.cancelled, 0u);
+  EXPECT_EQ(c.fully_cancelled, 0u);
+  EXPECT_EQ(c.completed, 1u);
+}
+
+// ----------------------------------------------------- two-tier speculation --
+
+TEST(MappingService, SpeculativeMissServesProvisionalThenBitIdenticalFinal) {
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  ServiceOptions service_options;
+  service_options.workers = 1;
+  MappingService service(slow_registry(milliseconds(200)), engine_options,
+                         service_options);
+
+  const Instance inst = instance_2d(6, 8);
+  MapTicket ticket = service.map_async(inst.grid, inst.stencil, inst.alloc,
+                                       Priority::kNormal, /*speculate=*/true);
+  EXPECT_TRUE(ticket.speculative());
+  ASSERT_TRUE(ticket.provisional().valid());
+  // The provisional tier resolved during map_async — the 200 ms race can't
+  // have finished yet, so the first answer demonstrably arrived early.
+  const std::shared_ptr<const MappingPlan> early = ticket.provisional().get();
+  ASSERT_NE(early, nullptr);
+  EXPECT_EQ(early->mapper, "blocked");  // cold history: cheapest-first
+  EXPECT_NE(ticket.future().wait_for(milliseconds(0)), std::future_status::ready);
+
+  // Determinism pin: speculation never touches cache or history, so the
+  // final plan is bit-identical to a direct engine race.
+  const std::shared_ptr<const MappingPlan> final_plan = ticket.get();
+  PortfolioEngine direct(slow_registry(milliseconds(1)), engine_options);
+  EXPECT_EQ(*final_plan, *direct.map(inst.grid, inst.stencil, inst.alloc));
+
+  // The race winner is never worse than the speculated plan.
+  MappingCost early_cost, final_cost;
+  early_cost.jsum = early->jsum;
+  early_cost.jmax = early->jmax;
+  final_cost.jsum = final_plan->jsum;
+  final_cost.jmax = final_plan->jmax;
+  EXPECT_FALSE(better(service.engine().objective(), early_cost, final_cost));
+
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.speculated, 1u);
+  EXPECT_EQ(c.completed, 1u);
+}
+
+TEST(MappingService, SpeculativeCacheHitResolvesBothTiersWithTheSamePlan) {
+  MappingService service(MapperRegistry::with_default_backends(), {}, {});
+  const Instance inst = instance_2d(4, 4);
+  const std::shared_ptr<const MappingPlan> first = submit(service, inst).get();
+
+  MapTicket again = service.map_async(inst.grid, inst.stencil, inst.alloc,
+                                      Priority::kNormal, /*speculate=*/true);
+  EXPECT_TRUE(again.cache_hit());
+  EXPECT_TRUE(again.speculative());
+  EXPECT_EQ(again.provisional().get(), first);  // same shared object, both tiers
+  EXPECT_EQ(again.get(), first);
+  EXPECT_EQ(service.counters().speculated, 0u);  // no speculation pass ran
+}
+
+TEST(MappingService, SpeculativeJoinersShareOneProvisionalPlanObject) {
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  engine_options.cache_capacity = 0;
+  ServiceOptions service_options;
+  service_options.workers = 1;
+  MappingService service(slow_registry(milliseconds(200)), engine_options,
+                         service_options);
+
+  MapTicket occupier = submit(service, instance_2d(3, 3));
+  wait_until_running(service);
+  const Instance twin = instance_2d(4, 5);
+  // Admitted without speculation; a later speculative joiner claims the
+  // pass on behalf of every waiter.
+  MapTicket plain = submit(service, twin);
+  EXPECT_FALSE(plain.speculative());
+  EXPECT_FALSE(plain.provisional().valid());
+  MapTicket claimer = service.map_async(twin.grid, twin.stencil, twin.alloc,
+                                        Priority::kNormal, /*speculate=*/true);
+  MapTicket sharer = service.map_async(twin.grid, twin.stencil, twin.alloc,
+                                       Priority::kNormal, /*speculate=*/true);
+  EXPECT_TRUE(claimer.deduped());
+  EXPECT_TRUE(claimer.speculative());
+  EXPECT_TRUE(sharer.speculative());
+  const std::shared_ptr<const MappingPlan> early = claimer.provisional().get();
+  ASSERT_NE(early, nullptr);
+  EXPECT_EQ(sharer.provisional().get(), early);  // shared, not recomputed
+  EXPECT_EQ(service.counters().speculated, 1u);
+
+  const std::shared_ptr<const MappingPlan> plan = plain.get();
+  EXPECT_EQ(claimer.get(), plan);
+  EXPECT_EQ(sharer.get(), plan);
+  (void)occupier.get();
+}
+
+TEST(MappingService, CancellingASpeculativeTicketKeepsTheResolvedProvisional) {
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  ServiceOptions service_options;
+  service_options.workers = 1;
+  MappingService service(slow_registry(milliseconds(200)), engine_options,
+                         service_options);
+
+  MapTicket occupier = submit(service, instance_2d(3, 3));
+  wait_until_running(service);
+  MapTicket doomed = service.map_async(CartesianGrid({4, 4}), Stencil::nearest_neighbor(2),
+                                       NodeAllocation::homogeneous(4, 4),
+                                       Priority::kNormal, /*speculate=*/true);
+  const std::shared_ptr<const MappingPlan> early = doomed.provisional().get();
+  ASSERT_NE(early, nullptr);
+  doomed.cancel();  // dropped while queued
+  EXPECT_THROW(doomed.get(), CancelledError);
+  // The provisional tier was already served; cancelling the final tier must
+  // not claw it back.
+  EXPECT_EQ(doomed.provisional().get(), early);
+
+  (void)occupier.get();
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.cancelled, 1u);
+  EXPECT_EQ(c.fully_cancelled, 1u);
+  EXPECT_EQ(c.speculated, 1u);
+  // Conservation: occupier completed, the doomed request fully cancelled.
+  EXPECT_EQ(c.admitted, c.completed + c.failed + c.fully_cancelled);
 }
 
 // ----------------------------------------------------------------- shutdown --
@@ -428,6 +606,65 @@ TEST(MappingService, ConcurrentSubmissionStormStaysConsistent) {
   EXPECT_LE(c.max_queue_depth, 8u);
   EXPECT_EQ(c.queue_depth, 0u);
   EXPECT_EQ(c.in_flight, 0u);
+}
+
+TEST(MappingService, CancelStormConservesTheAccountingInvariant) {
+  // Regression (PR 10): a last joiner cancelling after its race finished
+  // but before delivery used to leave the request out of completed, failed
+  // AND fully_cancelled — requests vanished from the books. Under a storm
+  // of concurrent cancels racing short races, every admitted request must
+  // still settle exactly one conservation leg:
+  //   admitted == completed + failed + fully_cancelled.
+  EngineOptions engine_options;
+  engine_options.threads = 2;
+  engine_options.cache_capacity = 0;  // every request races — maximal churn
+  ServiceOptions service_options;
+  service_options.workers = 2;
+  service_options.queue_capacity = 16;
+  MappingService service(slow_registry(milliseconds(2)), engine_options,
+                         service_options);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 30;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&service, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        try {
+          MapTicket ticket =
+              submit(service, instance_2d(3 + (i % 4), 4),
+                     i % 3 == 0 ? Priority::kHigh : Priority::kNormal);
+          // Two cancel cadences: immediate (often catches the request still
+          // queued) and post-sleep (often lands in the finished-but-not-
+          // delivered window the fix covers).
+          if ((t + i) % 3 == 0) {
+            if (i % 2 == 0) std::this_thread::sleep_for(milliseconds(2));
+            ticket.cancel();
+            try {
+              ticket.get();
+            } catch (const CancelledError&) {
+            }
+            continue;
+          }
+          (void)ticket.get();
+        } catch (const AdmissionError&) {
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+
+  // Abandoned races may still be winding down; wait for the gauges to settle.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while ((service.counters().in_flight > 0 || service.counters().queue_depth > 0) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.in_flight, 0u);
+  EXPECT_EQ(c.admitted, c.completed + c.failed + c.fully_cancelled);
+  EXPECT_EQ(c.submitted,
+            c.admitted + c.deduped + c.cache_hits + c.rejected_full + c.rejected_shutdown);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <sstream>
@@ -25,7 +26,9 @@ namespace {
 /// one would-block return), then reports EOF — or, when `stop_when_drained`
 /// is set, flips that flag and keeps returning would-block like a peer that
 /// went half-open. write_all() records everything; writes from
-/// `fail_writes_after` onward fail like a vanished peer.
+/// `fail_writes_after` onward fail like a vanished peer, and write number
+/// `truncate_write_at` lands only its first `truncate_write_bytes` bytes
+/// before failing — a frame torn by a mid-write disconnect.
 class ScriptedTransport final : public Transport {
  public:
   explicit ScriptedTransport(std::vector<std::string> reads) : reads_(std::move(reads)) {}
@@ -54,6 +57,11 @@ class ScriptedTransport final : public Transport {
   }
 
   bool write_all(std::string_view text) override {
+    if (truncate_write_at >= 0 && writes_done_ == truncate_write_at) {
+      ++writes_done_;
+      written += text.substr(0, std::min(truncate_write_bytes, text.size()));
+      return false;  // the tail of this frame never reached the peer
+    }
     if (fail_writes_after >= 0 && writes_done_ >= fail_writes_after) {
       ++writes_done_;
       return false;
@@ -68,6 +76,8 @@ class ScriptedTransport final : public Transport {
 
   std::string written;
   int fail_writes_after = -1;                     ///< -1: writes never fail
+  int truncate_write_at = -1;                     ///< write N tears mid-frame
+  std::size_t truncate_write_bytes = 0;           ///< bytes landed before the tear
   std::atomic<bool>* stop_when_drained = nullptr; ///< half-open peer mode
   std::atomic<bool>* stop_after_write = nullptr;  ///< raise stop at write N
   int stop_after_write_count = 0;
@@ -97,6 +107,48 @@ std::unique_ptr<ShardedService> tiny_service(int shards = 2) {
   EngineOptions engine_options;
   engine_options.threads = 1;
   return std::make_unique<ShardedService>(tiny_registry(), engine_options,
+                                          ServiceOptions{}, shards);
+}
+
+/// Deliberately slow cooperative mapper (test_service idiom): spins for
+/// `spin` wall time while polling the ExecContext, then returns the
+/// identity mapping — so its plan is a pure function of the grid, never of
+/// the spin time.
+class SlowMapper final : public Mapper {
+ public:
+  using Mapper::remap;
+
+  explicit SlowMapper(std::chrono::milliseconds spin) : spin_(spin) {}
+
+  std::string_view name() const noexcept override { return "Slow"; }
+
+  Remapping remap(const CartesianGrid& grid, const Stencil& /*stencil*/,
+                  const NodeAllocation& /*alloc*/, ExecContext& ctx) const override {
+    const auto start = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - start < spin_) ctx.checkpoint();
+    return Remapping::identity(grid);
+  }
+
+ private:
+  std::chrono::milliseconds spin_;
+};
+
+/// blocked + a slow backend: every full race takes at least `spin`, while a
+/// speculation pass (cheapest-first: blocked) returns in microseconds — so
+/// a mapspec miss deterministically takes the provisional-then-revision
+/// path instead of racing to a final answer before the handler looks.
+MapperRegistry slow_registry(std::chrono::milliseconds spin) {
+  MapperRegistry registry;
+  registry.add("blocked", [] { return std::make_unique<BlockedMapper>(); });
+  registry.add("slow", [spin] { return std::make_unique<SlowMapper>(spin); });
+  return registry;
+}
+
+std::unique_ptr<ShardedService> slow_service(std::chrono::milliseconds spin,
+                                             int shards = 1) {
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  return std::make_unique<ShardedService>(slow_registry(spin), engine_options,
                                           ServiceOptions{}, shards);
 }
 
@@ -488,6 +540,100 @@ TEST(WireMetrics, MetricsBlockIsServedOverTheConnectionLoop) {
   EXPECT_EQ(transport.written.substr(transport.written.size() - 5), "\nend\n");
 }
 
+// ------------------------------------------ two-tier speculative mapspec (PR 10) --
+
+TEST(WireSpec, MapspecMissPushesProvisionalThenFinalRevision) {
+  using std::chrono::milliseconds;
+  auto service = slow_service(milliseconds(200));
+  ScriptedTransport transport({"mapspec 6x8 00 nn 6 8\n"});
+  EXPECT_EQ(serve(transport, *service), ConnectionEnd::kEof);
+
+  ASSERT_EQ(transport.written.rfind(hello_line(), 0), 0u);
+  const std::string body = transport.written.substr(hello_line().size());
+  // Immediate answer: a plan block whose header carries the provisional flag.
+  ASSERT_EQ(body.rfind(std::string(kProvisionalHeader) + "\n", 0), 0u) << body;
+  const std::size_t marker = body.find("end\nrevision\n");
+  ASSERT_NE(marker, std::string::npos) << body;
+  std::string provisional = body.substr(0, marker + 4);
+  const std::string final_frame = body.substr(marker + 4 + std::string("revision\n").size());
+
+  // Stripping the flag word recovers a frame parse_plan accepts.
+  provisional.erase(provisional.find(" provisional"), std::string(" provisional").size());
+  const MappingPlan early = parse_plan(provisional);
+  EXPECT_EQ(early.mapper, "blocked");  // cold history: cheapest-first speculation
+
+  // Determinism pin: the pushed final is bit-identical to a direct engine
+  // race over the same registry and options. (SlowMapper's plan does not
+  // depend on its spin time, so a 1 ms twin registry keeps the test fast.)
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  PortfolioEngine direct(slow_registry(milliseconds(1)), engine_options);
+  const auto direct_plan = direct.map(CartesianGrid({6, 8}), Stencil::nearest_neighbor(2),
+                                      NodeAllocation::homogeneous(6, 8));
+  EXPECT_EQ(final_frame, serialize_plan(*direct_plan));
+  EXPECT_EQ(parse_plan(final_frame), *direct_plan);
+
+  const ServiceCounters c = service->counters();
+  EXPECT_EQ(c.speculated, 1u);
+  EXPECT_EQ(c.completed, 1u);
+  EXPECT_EQ(c.failed, 0u);
+}
+
+TEST(WireSpec, MapspecOnAWarmCacheAnswersWithOneFinalFrame) {
+  auto service = tiny_service();
+  bool want_shutdown = false;
+  const std::string warm = handle_request(*service, "map 6x8 00 nn 6 8", want_shutdown);
+  const std::string response =
+      handle_request(*service, "mapspec 6x8 00 nn 6 8", want_shutdown);
+  EXPECT_EQ(response, warm);  // one plain block, bit-identical to the map frame
+  EXPECT_EQ(response.find("provisional"), std::string::npos);
+  EXPECT_EQ(response.find("revision"), std::string::npos);
+  EXPECT_EQ(service->counters().cache_hits, 1u);
+}
+
+TEST(WireSpec, PeerVanishingBeforeTheRevisionOnlyLosesTheWrite) {
+  using std::chrono::milliseconds;
+  auto service = slow_service(milliseconds(200));
+  ScriptedTransport transport({"mapspec 6x8 00 nn 6 8\n"});
+  transport.fail_writes_after = 2;  // hello + provisional land, the revision fails
+  EXPECT_EQ(serve(transport, *service), ConnectionEnd::kPeerGone);
+  EXPECT_NE(transport.written.find(std::string(kProvisionalHeader) + "\n"),
+            std::string::npos);
+  EXPECT_EQ(transport.written.find("revision"), std::string::npos);
+
+  // The background race still completed inside the service (the doomed peer
+  // only lost the push) and warmed the cache: a fresh connection's mapspec
+  // for the same instance is answered with one plain final frame.
+  const ServiceCounters after = service->counters();
+  EXPECT_EQ(after.completed, 1u);
+  EXPECT_EQ(after.failed, 0u);
+  ScriptedTransport retry({"mapspec 6x8 00 nn 6 8\n"});
+  EXPECT_EQ(serve(retry, *service), ConnectionEnd::kEof);
+  const std::string body = retry.written.substr(hello_line().size());
+  EXPECT_EQ(body.rfind("gridmap-plan v1\n", 0), 0u) << body;
+  EXPECT_EQ(body.find("provisional"), std::string::npos);
+  EXPECT_EQ(service->counters().cache_hits, 1u);
+}
+
+TEST(WireSpec, TornRevisionWriteEndsTheConnectionNotTheShard) {
+  using std::chrono::milliseconds;
+  auto service = slow_service(milliseconds(200));
+  ScriptedTransport transport({"mapspec 6x8 00 nn 6 8\n"});
+  transport.truncate_write_at = 2;      // the revision push (hello=0, provisional=1)...
+  transport.truncate_write_bytes = 12;  // ...tears mid-frame: "revision\ngri"
+  EXPECT_EQ(serve(transport, *service), ConnectionEnd::kPeerGone);
+  // Exactly the torn prefix went out after the provisional block's "end".
+  const std::size_t end = transport.written.find("end\n");
+  ASSERT_NE(end, std::string::npos);
+  EXPECT_EQ(transport.written.substr(end + 4), "revision\ngri");
+
+  // The shard stayed healthy: a new connection races a fresh instance fine.
+  ScriptedTransport next({"map 4x4 00 nn 4 4\n"});
+  EXPECT_EQ(serve(next, *service), ConnectionEnd::kEof);
+  EXPECT_NE(next.written.find("gridmap-plan"), std::string::npos);
+  EXPECT_EQ(service->counters().failed, 0u);
+}
+
 // ----------------------------------------------- mixed-version interop (PR 6) --
 
 TEST(WireInterop, PrePr6ClientSessionsStillInteroperate) {
@@ -518,10 +664,28 @@ TEST(WireInterop, UnknownFutureVerbKeepsTheConnectionOpen) {
   EXPECT_EQ(serve(transport, *service), ConnectionEnd::kEof);
   const std::size_t err = transport.written.find("err unknown-command");
   ASSERT_NE(err, std::string::npos);
-  // The detail names the supported verbs (now including metrics), and the
+  // The detail names the supported verbs (now including mapspec), and the
   // next request on the same connection is still served.
-  EXPECT_NE(transport.written.find("want map|stats|metrics|shutdown"), std::string::npos);
+  EXPECT_NE(transport.written.find("want map|mapspec|stats|metrics|shutdown"),
+            std::string::npos);
   EXPECT_NE(transport.written.find("gridmap-plan", err), std::string::npos);
+}
+
+TEST(WireInterop, PrePr10MapOnlySessionIsUnaffectedBySpeculativeTraffic) {
+  // Verb-growth contract for PR 10: a client that never sends mapspec sees
+  // exactly the frames it always saw — plain plan blocks, no provisional
+  // flag, no unsolicited revision push — even when another connection used
+  // the two-tier path against the same service and warmed its caches.
+  auto service = slow_service(std::chrono::milliseconds(50));
+  ScriptedTransport spec({"mapspec 6x8 00 nn 6 8\n"});
+  EXPECT_EQ(serve(spec, *service), ConnectionEnd::kEof);
+
+  ScriptedTransport old({"map 6x8 00 nn 6 8\n", "map 5x4 00 nn 5 4\n"});
+  EXPECT_EQ(serve(old, *service), ConnectionEnd::kEof);
+  const std::string body = old.written.substr(hello_line().size());
+  EXPECT_EQ(body.rfind("gridmap-plan v1\n", 0), 0u) << body;  // hit: a plain frame
+  EXPECT_EQ(body.find("provisional"), std::string::npos);
+  EXPECT_EQ(body.find("revision"), std::string::npos);
 }
 
 }  // namespace
